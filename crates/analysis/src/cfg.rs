@@ -1,0 +1,131 @@
+//! Control-flow graph: predecessors, successors, reverse post-order.
+
+use sor_ir::{BlockId, Function};
+
+/// The control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+
+        // Iterative post-order DFS from the entry block.
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut post = Vec::with_capacity(n);
+        if n > 0 {
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+            state[0] = 1;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                if *next < succs[b.index()].len() {
+                    let s = succs[b.index()][*next];
+                    *next += 1;
+                    if state[s.index()] == 0 {
+                        state[s.index()] = 1;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    state[b.index()] = 2;
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        post.reverse();
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+        }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse post-order from the entry. Blocks unreachable from
+    /// the entry are absent.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Number of blocks in the function (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{CmpOp, ModuleBuilder, Width};
+
+    fn diamond() -> sor_ir::Module {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let c = f.cmp(CmpOp::Eq, Width::W64, 1i64, 1i64);
+        let left = f.block();
+        let right = f.block();
+        let join = f.block();
+        f.branch(c, left, right);
+        f.switch_to(left);
+        f.jump(join);
+        f.switch_to(right);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let m = diamond();
+        let cfg = Cfg::new(&m.funcs[0]);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo().first(), Some(&BlockId(0)));
+        assert_eq!(cfg.rpo().last(), Some(&BlockId(3)));
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_in_rpo() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        f.ret(&[]);
+        let dead = f.block();
+        f.switch_to(dead);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let cfg = Cfg::new(&m.funcs[0]);
+        assert!(!cfg.is_reachable(BlockId(1)));
+        assert_eq!(cfg.rpo().len(), 1);
+        assert_eq!(cfg.block_count(), 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! Known-bits analysis: which bits of each integer value can possibly be one.
+//!
+//! This is the invariant source for the MASK transform (paper §5): if the
+//! analysis proves the high bits of a value are always zero, MASK re-enforces
+//! that fact at runtime with an `and`, so a fault flipping any provably-zero
+//! bit is masked out before it can change program behavior.
+//!
+//! The analysis is flow-insensitive over virtual registers: each register's
+//! "possible ones" mask is the join (bitwise or) of the transfer function of
+//! every definition, iterated to a fixpoint. Flow-insensitivity is sound and
+//! matches what a backend pass can cheaply compute pre-regalloc.
+
+use sor_ir::{AluOp, Function, Inst, MemWidth, Operand, RegClass, Vreg};
+
+/// All bits at and below the most significant set bit of `x`.
+fn fill(x: u64) -> u64 {
+    if x == 0 {
+        0
+    } else {
+        let msb = 63 - x.leading_zeros() as u64;
+        if msb == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (msb + 1)) - 1
+        }
+    }
+}
+
+/// Possible-ones and known-ones masks per integer virtual register.
+#[derive(Debug, Clone)]
+pub struct KnownBits {
+    po: Vec<u64>,
+    ko: Vec<u64>,
+}
+
+impl KnownBits {
+    /// Runs the analysis on `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.int_vreg_count() as usize;
+        let mut po = vec![0u64; n];
+        // Parameters arrive unconstrained.
+        for p in &func.params {
+            if p.is_int() {
+                po[p.index() as usize] = u64::MAX;
+            }
+        }
+        // Iterate transfer functions to a fixpoint. Joins only grow masks,
+        // and masks are bounded, so this terminates.
+        loop {
+            let mut changed = false;
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    for (dst, mask) in transfer(inst, &po) {
+                        let slot = &mut po[dst.index() as usize];
+                        let joined = *slot | mask;
+                        if joined != *slot {
+                            *slot = joined;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Known-ones: the dual lattice (start optimistic at all-ones,
+        // intersect per definition, monotone decreasing). Supports the §5
+        // extension of enforcing known-one bits with `or` instructions.
+        let mut ko = vec![u64::MAX; n];
+        for p in &func.params {
+            if p.is_int() {
+                ko[p.index() as usize] = 0;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    for (dst, mask) in transfer_ones(inst, &po, &ko) {
+                        let slot = &mut ko[dst.index() as usize];
+                        let met = *slot & mask;
+                        if met != *slot {
+                            *slot = met;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // A register with no definitions reads as zero.
+        for (k, p) in ko.iter_mut().zip(&po) {
+            if *p == 0 {
+                *k = 0;
+            }
+            // Consistency: a known-one bit must be a possible-one bit.
+            *k &= *p;
+        }
+        KnownBits { po, ko }
+    }
+
+    /// Bits of `v` that may be one. Bits outside the mask are provably zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an integer register of the analyzed function.
+    pub fn possible_ones(&self, v: Vreg) -> u64 {
+        assert_eq!(v.class(), RegClass::Int, "known bits are integer-only");
+        self.po[v.index() as usize]
+    }
+
+    /// Bits of `v` that are provably zero.
+    pub fn known_zeros(&self, v: Vreg) -> u64 {
+        !self.possible_ones(v)
+    }
+
+    /// Bits of `v` that are provably one (the §5 `or`-enforcement
+    /// extension's invariant source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an integer register of the analyzed function.
+    pub fn known_ones(&self, v: Vreg) -> u64 {
+        assert_eq!(v.class(), RegClass::Int, "known bits are integer-only");
+        self.ko[v.index() as usize]
+    }
+}
+
+fn operand_ko(o: &Operand, ko: &[u64]) -> u64 {
+    match o {
+        Operand::Reg(r) => ko[r.index() as usize],
+        Operand::Imm(i) => *i as u64,
+    }
+}
+
+/// Known-ones transfer: bits guaranteed set in each defined value.
+fn transfer_ones(inst: &Inst, po: &[u64], ko: &[u64]) -> Vec<(Vreg, u64)> {
+    let one = |dst: Vreg, mask: u64| vec![(dst, mask)];
+    match inst {
+        Inst::Alu {
+            op,
+            width,
+            dst,
+            a,
+            b,
+        } => {
+            let ka = operand_ko(a, ko);
+            let kb = operand_ko(b, ko);
+            let pa = operand_po(a, po);
+            let pb = operand_po(b, po);
+            let m = match op {
+                AluOp::And => ka & kb,
+                AluOp::Or => ka | kb,
+                // A result bit is certainly one when exactly one side is
+                // certainly one and the other certainly zero.
+                AluOp::Xor => (ka & !pb) | (kb & !pa),
+                AluOp::Shl => match b {
+                    Operand::Imm(c) => ka << ((*c as u64) % width.bits() as u64),
+                    Operand::Reg(_) => 0,
+                },
+                AluOp::ShrL => match b {
+                    Operand::Imm(c) => (ka & width.mask()) >> ((*c as u64) % width.bits() as u64),
+                    Operand::Reg(_) => 0,
+                },
+                _ => 0,
+            };
+            one(*dst, m & width.mask())
+        }
+        Inst::Mov { dst, src } => one(*dst, operand_ko(src, ko)),
+        Inst::Select { dst, t, f, .. } => one(*dst, operand_ko(t, ko) & operand_ko(f, ko)),
+        Inst::Assume { dst, src, lo, .. } => {
+            // If even the lower bound has a high bit set, that bit is set
+            // for every value in the range... only safe when lo == hi.
+            let base = ko[src.index() as usize];
+            let _ = lo;
+            one(*dst, base)
+        }
+        Inst::Cmp { dst, .. }
+        | Inst::FCmp { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::CvtFI { dst, .. } => one(*dst, 0),
+        Inst::Call { rets, .. } => rets
+            .iter()
+            .filter(|r| r.is_int())
+            .map(|r| (*r, 0))
+            .collect(),
+        _ => vec![],
+    }
+}
+
+fn operand_po(o: &Operand, po: &[u64]) -> u64 {
+    match o {
+        Operand::Reg(r) => po[r.index() as usize],
+        Operand::Imm(i) => *i as u64,
+    }
+}
+
+/// Transfer function: possible-ones of each value defined by `inst`.
+fn transfer(inst: &Inst, po: &[u64]) -> Vec<(Vreg, u64)> {
+    let out = |dst: Vreg, mask: u64| vec![(dst, mask)];
+    match inst {
+        Inst::Alu {
+            op,
+            width,
+            dst,
+            a,
+            b,
+        } => {
+            let pa = operand_po(a, po);
+            let pb = operand_po(b, po);
+            let wmask = width.mask();
+            let m = match op {
+                AluOp::And => pa & pb,
+                AluOp::Or | AluOp::Xor => pa | pb,
+                AluOp::Add => match pa.checked_add(pb) {
+                    Some(s) => fill(s),
+                    None => u64::MAX,
+                },
+                AluOp::Sub => u64::MAX,
+                AluOp::Mul => match pa.checked_mul(pb) {
+                    Some(p) => fill(p),
+                    None => u64::MAX,
+                },
+                AluOp::Shl => match b {
+                    Operand::Imm(c) => {
+                        let c = (*c as u64) % width.bits() as u64;
+                        pa << c
+                    }
+                    Operand::Reg(_) => u64::MAX,
+                },
+                AluOp::ShrL => match b {
+                    Operand::Imm(c) => {
+                        let c = (*c as u64) % width.bits() as u64;
+                        (pa & wmask) >> c
+                    }
+                    // Shifting right only shrinks the value.
+                    Operand::Reg(_) => fill(pa & wmask),
+                },
+                AluOp::ShrA => {
+                    let sign = 1u64 << (width.bits() - 1);
+                    if pa & wmask & sign == 0 {
+                        match b {
+                            Operand::Imm(c) => {
+                                let c = (*c as u64) % width.bits() as u64;
+                                (pa & wmask) >> c
+                            }
+                            Operand::Reg(_) => fill(pa & wmask),
+                        }
+                    } else {
+                        u64::MAX
+                    }
+                }
+                AluOp::DivU => fill(pa & wmask),
+                AluOp::RemU => {
+                    // Result is strictly less than the divisor (≤ pb as a value)
+                    // and no larger than the dividend.
+                    fill(pa & wmask).min(fill(pb & wmask))
+                }
+                AluOp::DivS | AluOp::RemS => {
+                    let sign = 1u64 << (width.bits() - 1);
+                    if (pa | pb) & wmask & sign == 0 {
+                        fill(pa & wmask)
+                    } else {
+                        u64::MAX
+                    }
+                }
+            };
+            out(*dst, m & wmask)
+        }
+        Inst::Cmp { dst, .. } | Inst::FCmp { dst, .. } => out(*dst, 1),
+        Inst::Mov { dst, src } => out(*dst, operand_po(src, po)),
+        Inst::Select { dst, t, f, .. } => out(*dst, operand_po(t, po) | operand_po(f, po)),
+        Inst::Assume { dst, src, hi, .. } => out(*dst, po[src.index() as usize] & fill(*hi)),
+        Inst::Load {
+            dst, width, signed, ..
+        } => {
+            let m = if *signed && *width != MemWidth::B8 {
+                u64::MAX
+            } else {
+                width.unsigned_max()
+            };
+            out(*dst, m)
+        }
+        Inst::CvtFI { dst, .. } => out(*dst, u64::MAX),
+        Inst::Call { rets, .. } => rets
+            .iter()
+            .filter(|r| r.is_int())
+            .map(|r| (*r, u64::MAX))
+            .collect(),
+        // FP-defining instructions and stores define no integer registers.
+        _ => vec![],
+    }
+}
+
+// Re-evaluates the `Eq`-style helper used in docs/tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{ModuleBuilder, Operand};
+
+    #[test]
+    fn fill_masks() {
+        assert_eq!(fill(0), 0);
+        assert_eq!(fill(1), 1);
+        assert_eq!(fill(0b100), 0b111);
+        assert_eq!(fill(u64::MAX), u64::MAX);
+        assert_eq!(fill(1 << 63), u64::MAX);
+    }
+
+    #[test]
+    fn masked_loop_guard_has_one_possible_bit() {
+        // The paper's Figure 6: r3 alternates via `xor r3, r3, 1` from 0.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let guard = f.movi(0);
+        let header = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let flipped = f.xor(sor_ir::Width::W64, guard, 1i64);
+        f.mov_to(guard, flipped);
+        let c = f.cmp(sor_ir::CmpOp::Eq, sor_ir::Width::W64, guard, 0i64);
+        f.branch(c, exit, header);
+        f.switch_to(exit);
+        f.emit(Operand::reg(guard));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let kb = KnownBits::new(&m.funcs[0]);
+        assert_eq!(kb.possible_ones(guard), 1);
+        assert_eq!(kb.known_zeros(guard), !1);
+    }
+
+    #[test]
+    fn byte_load_then_and_narrow() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.alloc_global("g", 16);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B1, base, 0);
+        let y = f.and(sor_ir::Width::W64, x, 0x0Fi64);
+        let z = f.add(sor_ir::Width::W64, y, y);
+        f.emit(Operand::reg(z));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let kb = KnownBits::new(&m.funcs[0]);
+        assert_eq!(kb.possible_ones(x), 0xFF);
+        assert_eq!(kb.possible_ones(y), 0x0F);
+        // y + y <= 0x1E, so possible ones fill to 0x1F.
+        assert_eq!(kb.possible_ones(z), 0x1F);
+    }
+
+    #[test]
+    fn signed_narrow_load_is_unconstrained() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.alloc_global("g", 16);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.loads(MemWidth::B2, base, 0);
+        f.emit(Operand::reg(x));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let kb = KnownBits::new(&m.funcs[0]);
+        assert_eq!(kb.possible_ones(x), u64::MAX);
+    }
+
+    #[test]
+    fn w32_ops_clear_high_bits() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let p = f.param(RegClass::Int);
+        let x = f.add(sor_ir::Width::W32, p, p);
+        f.emit(Operand::reg(x));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let kb = KnownBits::new(&m.funcs[0]);
+        assert_eq!(kb.possible_ones(p), u64::MAX);
+        assert_eq!(kb.possible_ones(x), u32::MAX as u64);
+    }
+
+    #[test]
+    fn known_ones_track_constants_and_ors() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let p = f.param(RegClass::Int);
+        let tagged = f.or(sor_ir::Width::W64, p, 0xF0i64);
+        let masked = f.and(sor_ir::Width::W64, tagged, 0xFFi64);
+        f.emit(Operand::reg(masked));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let kb = KnownBits::new(&m.funcs[0]);
+        assert_eq!(kb.known_ones(p), 0);
+        assert_eq!(kb.known_ones(tagged), 0xF0);
+        assert_eq!(kb.known_ones(masked), 0xF0);
+        // Known ones are always a subset of possible ones.
+        assert_eq!(
+            kb.known_ones(masked) & kb.possible_ones(masked),
+            kb.known_ones(masked)
+        );
+    }
+
+    #[test]
+    fn known_ones_survive_shifts_and_loops() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let v = f.movi(0b1010);
+        let header = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let shifted = f.shl(sor_ir::Width::W64, v, 1i64);
+        let retag = f.or(sor_ir::Width::W64, shifted, 0b1010i64);
+        f.mov_to(v, retag);
+        let c = f.cmp(sor_ir::CmpOp::LtU, sor_ir::Width::W64, v, 4096i64);
+        f.branch(c, header, exit);
+        f.switch_to(exit);
+        f.emit(Operand::reg(v));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let kb = KnownBits::new(&m.funcs[0]);
+        // v joins `movi 0b1010` and `or .., 0b1010`: bits 1 and 3 always set.
+        assert_eq!(kb.known_ones(v) & 0b1010, 0b1010);
+    }
+
+    #[test]
+    fn cmp_results_are_boolean() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let p = f.param(RegClass::Int);
+        let c = f.cmp(sor_ir::CmpOp::LtU, sor_ir::Width::W64, p, 10i64);
+        f.emit(Operand::reg(c));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let kb = KnownBits::new(&m.funcs[0]);
+        assert_eq!(kb.possible_ones(c), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sor-analysis — dataflow analyses for the recovery transforms
+//!
+//! The transforms in `sor-core` need four facts about a function:
+//!
+//! * its control-flow graph and loops ([`Cfg`], [`LoopInfo`]) — MASK inserts
+//!   its enforcement instructions at loop headers;
+//! * which values are live where ([`Liveness`]) — MASK targets loop-carried
+//!   values, and the register allocator in `sor-regalloc` builds intervals
+//!   from the same analysis;
+//! * which bits of each value are provably zero ([`KnownBits`]) — the MASK
+//!   invariant source (paper §5);
+//! * an unsigned value range for each value ([`Ranges`]) — the TRUMP
+//!   applicability test that the AN-encoded copy `3·x` can never overflow
+//!   (paper §4.3).
+
+mod cfg;
+mod known_bits;
+mod liveness;
+mod loops;
+mod range;
+
+pub use cfg::Cfg;
+pub use known_bits::KnownBits;
+pub use liveness::Liveness;
+pub use loops::{Loop, LoopInfo};
+pub use range::{Interval, Ranges};

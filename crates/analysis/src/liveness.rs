@@ -1,0 +1,143 @@
+//! Classic backward liveness over the CFG.
+
+use crate::cfg::Cfg;
+use sor_ir::{BlockId, Function, Vreg};
+use std::collections::HashSet;
+
+/// Per-block live-in / live-out sets of virtual registers.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<HashSet<Vreg>>,
+    live_out: Vec<HashSet<Vreg>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `func` using `cfg`.
+    pub fn new(func: &Function, cfg: &Cfg) -> Self {
+        let n = func.blocks.len();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![HashSet::new(); n];
+        let mut kill = vec![HashSet::new(); n];
+        for (id, block) in func.iter_blocks() {
+            let i = id.index();
+            for inst in &block.insts {
+                for u in inst.uses() {
+                    if !kill[i].contains(&u) {
+                        gen[i].insert(u);
+                    }
+                }
+                for d in inst.defs() {
+                    kill[i].insert(d);
+                }
+            }
+            for u in block.term.uses() {
+                if !kill[i].contains(&u) {
+                    gen[i].insert(u);
+                }
+            }
+        }
+
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out = vec![HashSet::new(); n];
+        // Iterate to a fixpoint, visiting blocks in reverse RPO for speed.
+        let order: Vec<BlockId> = cfg.rpo().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let i = b.index();
+                let mut out = HashSet::new();
+                for s in cfg.succs(b) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn = gen[i].clone();
+                for v in &out {
+                    if !kill[i].contains(v) {
+                        inn.insert(*v);
+                    }
+                }
+                if out != live_out[i] || inn != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<Vreg> {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &HashSet<Vreg> {
+        &self.live_out[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{CmpOp, ModuleBuilder, Operand, Width};
+
+    #[test]
+    fn loop_carried_value_is_live_at_header() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let i = f.movi(0);
+        let header = f.block();
+        let body = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtS, Width::W64, i, 10i64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i2 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i2);
+        f.jump(header);
+        f.switch_to(exit);
+        f.emit(Operand::reg(i));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let func = &m.funcs[0];
+        let cfg = Cfg::new(func);
+        let live = Liveness::new(func, &cfg);
+        // `i` (v0) is live around the loop.
+        assert!(
+            live.live_in(sor_ir::BlockId(1)).contains(
+                &func.params.first().copied().unwrap_or_else(|| {
+                    // v0 is the first int vreg.
+                    sor_ir::Vreg::new(0, sor_ir::RegClass::Int)
+                })
+            ) || live
+                .live_in(sor_ir::BlockId(1))
+                .contains(&sor_ir::Vreg::new(0, sor_ir::RegClass::Int))
+        );
+        assert!(live
+            .live_out(sor_ir::BlockId(2))
+            .contains(&sor_ir::Vreg::new(0, sor_ir::RegClass::Int)));
+        // The loop counter is dead after the final emit.
+        assert!(live.live_out(sor_ir::BlockId(3)).is_empty());
+    }
+
+    #[test]
+    fn straight_line_liveness_is_empty_at_exit() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let a = f.movi(1);
+        let b = f.add(Width::W64, a, 1i64);
+        f.emit(Operand::reg(b));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let func = &m.funcs[0];
+        let cfg = Cfg::new(func);
+        let live = Liveness::new(func, &cfg);
+        assert!(live.live_in(sor_ir::BlockId(0)).is_empty());
+        assert!(live.live_out(sor_ir::BlockId(0)).is_empty());
+    }
+}

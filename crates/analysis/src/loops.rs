@@ -1,0 +1,185 @@
+//! Natural-loop detection from back edges.
+//!
+//! MASK inserts its invariant-enforcement `and`s at loop headers for values
+//! that are live around the loop (the paper's Figure 6 pattern), so the
+//! transform needs to know where loops are and what their bodies contain.
+
+use crate::cfg::Cfg;
+use sor_ir::BlockId;
+use std::collections::HashSet;
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub body: HashSet<BlockId>,
+}
+
+/// All natural loops of a function.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+}
+
+impl LoopInfo {
+    /// Finds natural loops: for each DFS back edge `t -> h`, the loop body is
+    /// `h` plus every block that can reach `t` without passing through `h`.
+    pub fn new(cfg: &Cfg) -> Self {
+        // DFS to find back edges. A back edge is an edge to a block currently
+        // on the DFS stack.
+        let n = cfg.block_count();
+        let mut state = vec![0u8; n];
+        let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        if n > 0 {
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+            state[0] = 1;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                let succs = cfg.succs(b);
+                if *next < succs.len() {
+                    let s = succs[*next];
+                    *next += 1;
+                    match state[s.index()] {
+                        0 => {
+                            state[s.index()] = 1;
+                            stack.push((s, 0));
+                        }
+                        1 => back_edges.push((b, s)),
+                        _ => {}
+                    }
+                } else {
+                    state[b.index()] = 2;
+                    stack.pop();
+                }
+            }
+        }
+
+        // Merge back edges with the same header into one loop.
+        let mut loops: Vec<Loop> = Vec::new();
+        for (tail, header) in back_edges {
+            let mut body = HashSet::new();
+            body.insert(header);
+            // Walk predecessors backward from the tail, stopping at header.
+            let mut work = vec![tail];
+            while let Some(b) = work.pop() {
+                if body.insert(b) {
+                    for &p in cfg.preds(b) {
+                        work.push(p);
+                    }
+                }
+            }
+            if let Some(l) = loops.iter_mut().find(|l| l.header == header) {
+                l.body.extend(body);
+            } else {
+                loops.push(Loop { header, body });
+            }
+        }
+        LoopInfo { loops }
+    }
+
+    /// The loops found, in discovery order.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Whether `b` is a loop header.
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.header == b)
+    }
+
+    /// The innermost-discovered loop containing `b`, if any.
+    pub fn containing(&self, b: BlockId) -> Option<&Loop> {
+        // Smallest body wins as a proxy for innermost.
+        self.loops
+            .iter()
+            .filter(|l| l.body.contains(&b))
+            .min_by_key(|l| l.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{CmpOp, ModuleBuilder, Width};
+
+    #[test]
+    fn finds_simple_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let i = f.movi(0);
+        let header = f.block();
+        let body = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtS, Width::W64, i, 10i64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i2 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i2);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let cfg = Cfg::new(&m.funcs[0]);
+        let li = LoopInfo::new(&cfg);
+        assert_eq!(li.loops().len(), 1);
+        let l = &li.loops()[0];
+        assert_eq!(l.header, BlockId(1));
+        assert!(l.body.contains(&BlockId(1)));
+        assert!(l.body.contains(&BlockId(2)));
+        assert!(!l.body.contains(&BlockId(3)));
+        assert!(li.is_header(BlockId(1)));
+        assert!(!li.is_header(BlockId(0)));
+    }
+
+    #[test]
+    fn nested_loops_find_two_headers() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let i = f.movi(0);
+        let oh = f.block(); // outer header
+        let ih = f.block(); // inner header
+        let ib = f.block(); // inner body
+        let ob = f.block(); // outer latch
+        let exit = f.block();
+        f.jump(oh);
+        f.switch_to(oh);
+        let c1 = f.cmp(CmpOp::LtS, Width::W64, i, 10i64);
+        f.branch(c1, ih, exit);
+        f.switch_to(ih);
+        let c2 = f.cmp(CmpOp::LtS, Width::W64, i, 5i64);
+        f.branch(c2, ib, ob);
+        f.switch_to(ib);
+        let i2 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i2);
+        f.jump(ih);
+        f.switch_to(ob);
+        let i3 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i3);
+        f.jump(oh);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let cfg = Cfg::new(&m.funcs[0]);
+        let li = LoopInfo::new(&cfg);
+        assert_eq!(li.loops().len(), 2);
+        // The inner loop is the smaller one containing the inner body.
+        let inner = li.containing(BlockId(3)).unwrap();
+        assert_eq!(inner.header, BlockId(2));
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let cfg = Cfg::new(&m.funcs[0]);
+        assert!(LoopInfo::new(&cfg).loops().is_empty());
+    }
+}

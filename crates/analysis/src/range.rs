@@ -1,0 +1,528 @@
+//! Unsigned value-range analysis for TRUMP applicability.
+//!
+//! TRUMP (paper §4) keeps a redundant copy `3·x` of every protected value.
+//! The scheme is only sound when `3·x` cannot overflow the 64-bit register:
+//! a wrapping codeword can masquerade as valid after a bit flip, and the
+//! recovery division would reconstruct the wrong value. The compiler must
+//! therefore prove an upper bound on every value in a protected dependence
+//! chain (§4.3). The two sources of bounds the paper leans on — limited
+//! valid-address ranges for pointers and 32-bit C integer types on a 64-bit
+//! machine — show up here as bounded loads/globals and `W32` operations.
+//!
+//! Like [`crate::KnownBits`], the analysis is flow-insensitive over virtual
+//! registers with a join per definition, plus widening to guarantee
+//! termination on loop-carried arithmetic.
+
+use sor_ir::{AluOp, Function, Inst, MemWidth, Operand, RegClass, Vreg, Width};
+
+/// An inclusive unsigned interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The full 64-bit range (no information).
+    pub const FULL: Interval = Interval {
+        lo: 0,
+        hi: u64::MAX,
+    };
+
+    /// A single value.
+    pub fn exact(v: u64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`; panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Whether this interval carries no information.
+    pub fn is_full(self) -> bool {
+        self == Interval::FULL
+    }
+
+    /// Smallest interval containing both.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection; `None` when disjoint.
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Interval addition; `None` when the sum may exceed `u64::MAX`.
+    pub fn add(self, other: Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: self.lo.checked_add(other.lo)?,
+            hi: self.hi.checked_add(other.hi)?,
+        })
+    }
+
+    /// Interval subtraction; `None` when the difference may go below zero.
+    pub fn sub(self, other: Interval) -> Option<Interval> {
+        if self.lo < other.hi {
+            return None;
+        }
+        Some(Interval {
+            lo: self.lo - other.hi,
+            hi: self.hi - other.lo,
+        })
+    }
+
+    /// Interval multiplication; `None` on possible overflow.
+    pub fn mul(self, other: Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: self.lo.checked_mul(other.lo)?,
+            hi: self.hi.checked_mul(other.hi)?,
+        })
+    }
+
+    /// Left shift by a constant; `None` on possible overflow.
+    pub fn shl(self, amount: u32) -> Option<Interval> {
+        if amount >= 64 {
+            return None;
+        }
+        if self.hi.leading_zeros() < amount {
+            return None;
+        }
+        Some(Interval {
+            lo: self.lo << amount,
+            hi: self.hi << amount,
+        })
+    }
+
+    /// Logical right shift by a constant.
+    pub fn shr(self, amount: u32) -> Interval {
+        if amount >= 64 {
+            return Interval::exact(0);
+        }
+        Interval {
+            lo: self.lo >> amount,
+            hi: self.hi >> amount,
+        }
+    }
+
+    /// Whether the AN-encoded copy `3·x` fits in 64 bits for every value in
+    /// the interval — the TRUMP overflow condition `x < 2^M / A` from §4.3.
+    pub fn an_encodable(self) -> bool {
+        self.hi <= u64::MAX / 3
+    }
+}
+
+/// Value ranges per integer virtual register.
+#[derive(Debug, Clone)]
+pub struct Ranges {
+    ranges: Vec<Interval>,
+}
+
+/// Number of fixpoint sweeps before widening kicks in.
+const WIDEN_AFTER: usize = 4;
+
+impl Ranges {
+    /// Runs the analysis on `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.int_vreg_count() as usize;
+        // Bottom is encoded as "not yet defined": start everything at an
+        // impossible empty marker via Option.
+        let mut ranges: Vec<Option<Interval>> = vec![None; n];
+        for p in &func.params {
+            if p.is_int() {
+                ranges[p.index() as usize] = Some(Interval::FULL);
+            }
+        }
+        for sweep in 0.. {
+            let mut changed = false;
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    for (dst, iv) in transfer(inst, &ranges) {
+                        let slot = &mut ranges[dst.index() as usize];
+                        let joined = match *slot {
+                            None => iv,
+                            Some(old) => {
+                                let j = old.join(iv);
+                                if j == old {
+                                    continue;
+                                }
+                                // Widening: once bounds keep moving, give up
+                                // on precision to guarantee termination.
+                                if sweep >= WIDEN_AFTER {
+                                    Interval::FULL
+                                } else {
+                                    j
+                                }
+                            }
+                        };
+                        *slot = Some(joined);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Narrowing: widening is blunt — a value that merely *tracked* a
+        // slowly-growing input (an `assume` of a loop counter, say) was
+        // widened along with it even though its transfer function is
+        // bounded. Recomputing every definition from the post-widening
+        // state replaces each value with the join of its defs' transfer
+        // results, which is sound (transfer is monotone, the current state
+        // is an over-approximation) and restores bounded facts.
+        for _ in 0..2 {
+            let mut fresh: Vec<Option<Interval>> = vec![None; n];
+            for p in &func.params {
+                if p.is_int() {
+                    fresh[p.index() as usize] = Some(Interval::FULL);
+                }
+            }
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    for (dst, iv) in transfer(inst, &ranges) {
+                        let slot = &mut fresh[dst.index() as usize];
+                        *slot = Some(match *slot {
+                            None => iv,
+                            Some(old) => old.join(iv),
+                        });
+                    }
+                }
+            }
+            // Values with no definitions (never written) keep their old
+            // state; everything else takes the recomputed interval.
+            for (old, new) in ranges.iter_mut().zip(fresh) {
+                if let Some(nv) = new {
+                    *old = Some(nv);
+                }
+            }
+        }
+
+        Ranges {
+            ranges: ranges
+                .into_iter()
+                .map(|r| r.unwrap_or(Interval::FULL))
+                .collect(),
+        }
+    }
+
+    /// The inferred range of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an integer register of the analyzed function.
+    pub fn range(&self, v: Vreg) -> Interval {
+        assert_eq!(v.class(), RegClass::Int, "ranges are integer-only");
+        self.ranges[v.index() as usize]
+    }
+
+    /// Range of an operand (registers via the analysis, immediates exactly).
+    pub fn operand_range(&self, o: Operand) -> Interval {
+        match o {
+            Operand::Reg(r) => self.range(r),
+            Operand::Imm(i) => Interval::exact(i as u64),
+        }
+    }
+}
+
+/// The interval of `value as u32` for values in `iv`. Truncation is only
+/// interval-preserving when the whole interval lies in one 2^32-aligned
+/// window; otherwise any 32-bit value is possible.
+fn truncate32(iv: Interval) -> Interval {
+    if (iv.lo >> 32) == (iv.hi >> 32) {
+        Interval::new(iv.lo & 0xFFFF_FFFF, iv.hi & 0xFFFF_FFFF)
+    } else {
+        Interval::new(0, u32::MAX as u64)
+    }
+}
+
+fn op_range(o: &Operand, ranges: &[Option<Interval>]) -> Interval {
+    match o {
+        Operand::Reg(r) => ranges[r.index() as usize].unwrap_or(Interval::FULL),
+        Operand::Imm(i) => Interval::exact(*i as u64),
+    }
+}
+
+/// The interval the instruction's result is guaranteed to lie in, assuming
+/// the operands lie in their intervals.
+fn transfer(inst: &Inst, ranges: &[Option<Interval>]) -> Vec<(Vreg, Interval)> {
+    let one = |dst: Vreg, iv: Interval| vec![(dst, iv)];
+    match inst {
+        Inst::Alu {
+            op,
+            width,
+            dst,
+            a,
+            b,
+        } => {
+            let ra = op_range(a, ranges);
+            let rb = op_range(b, ranges);
+            let w32 = *width == Width::W32;
+            let wfull = if w32 {
+                Interval::new(0, u32::MAX as u64)
+            } else {
+                Interval::FULL
+            };
+            let iv = match op {
+                AluOp::Add => ra.add(rb),
+                AluOp::Sub => ra.sub(rb),
+                AluOp::Mul => ra.mul(rb),
+                AluOp::Shl => match b {
+                    Operand::Imm(c) => ra.shl((*c as u64 % width.bits() as u64) as u32),
+                    Operand::Reg(_) => None,
+                },
+                AluOp::ShrL => Some(match b {
+                    Operand::Imm(c) => {
+                        // The machine truncates the operand to the operation
+                        // width before shifting.
+                        let m = if w32 { truncate32(ra) } else { ra };
+                        m.shr((*c as u64 % width.bits() as u64) as u32)
+                    }
+                    Operand::Reg(_) => Interval::new(0, ra.hi),
+                }),
+                AluOp::ShrA => {
+                    let sign = 1u64 << (width.bits() - 1);
+                    if ra.hi < sign {
+                        Some(match b {
+                            Operand::Imm(c) => ra.shr((*c as u64 % width.bits() as u64) as u32),
+                            Operand::Reg(_) => Interval::new(0, ra.hi),
+                        })
+                    } else {
+                        None
+                    }
+                }
+                AluOp::And => Some(Interval::new(0, ra.hi.min(rb.hi))),
+                AluOp::Or | AluOp::Xor => {
+                    // Bounded by the next power of two above both.
+                    let m = ra.hi | rb.hi;
+                    let hi = if m == 0 {
+                        0
+                    } else {
+                        let msb = 63 - m.leading_zeros();
+                        if msb == 63 {
+                            u64::MAX
+                        } else {
+                            (1u64 << (msb + 1)) - 1
+                        }
+                    };
+                    Some(Interval::new(0, hi))
+                }
+                AluOp::DivU => Some(Interval::new(0, ra.hi)),
+                AluOp::RemU => Some(Interval::new(0, ra.hi.min(rb.hi.saturating_sub(1).max(0)))),
+                AluOp::DivS => {
+                    let sign = 1u64 << (width.bits() - 1);
+                    (ra.hi < sign && rb.hi < sign).then(|| Interval::new(0, ra.hi))
+                }
+                AluOp::RemS => {
+                    let sign = 1u64 << (width.bits() - 1);
+                    (ra.hi < sign && rb.hi < sign)
+                        .then(|| Interval::new(0, rb.hi.saturating_sub(1)))
+                }
+            };
+            // A result that may wrap at the operation width collapses to the
+            // width's full range.
+            let iv = match iv {
+                Some(iv) if iv.hi <= wfull.hi => iv,
+                _ => wfull,
+            };
+            one(*dst, iv)
+        }
+        Inst::Cmp { dst, .. } | Inst::FCmp { dst, .. } => one(*dst, Interval::new(0, 1)),
+        Inst::Mov { dst, src } => one(*dst, op_range(src, ranges)),
+        Inst::Select { dst, t, f, .. } => one(*dst, op_range(t, ranges).join(op_range(f, ranges))),
+        Inst::Assume { dst, src, lo, hi } => {
+            let fact = Interval::new(*lo, *hi);
+            let src_iv = ranges[src.index() as usize].unwrap_or(Interval::FULL);
+            one(*dst, src_iv.meet(fact).unwrap_or(fact))
+        }
+        Inst::Load {
+            dst, width, signed, ..
+        } => {
+            let iv = if *signed && *width != MemWidth::B8 {
+                Interval::FULL
+            } else {
+                Interval::new(0, width.unsigned_max())
+            };
+            one(*dst, iv)
+        }
+        Inst::CvtFI { dst, .. } => one(*dst, Interval::FULL),
+        Inst::Call { rets, .. } => rets
+            .iter()
+            .filter(|r| r.is_int())
+            .map(|r| (*r, Interval::FULL))
+            .collect(),
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{CmpOp, ModuleBuilder, Operand};
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = Interval::new(2, 10);
+        let b = Interval::new(1, 3);
+        assert_eq!(a.add(b), Some(Interval::new(3, 13)));
+        assert_eq!(a.sub(b), None); // 2 - 3 would underflow
+        assert_eq!(Interval::new(5, 10).sub(b), Some(Interval::new(2, 9)));
+        assert_eq!(a.mul(b), Some(Interval::new(2, 30)));
+        assert_eq!(a.shl(2), Some(Interval::new(8, 40)));
+        assert_eq!(Interval::new(0, u64::MAX).shl(1), None);
+        assert_eq!(a.shr(1), Interval::new(1, 5));
+        assert!(Interval::new(0, 1 << 40).an_encodable());
+        assert!(!Interval::FULL.an_encodable());
+    }
+
+    #[test]
+    fn join_meet() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(3, 9);
+        assert_eq!(a.join(b), Interval::new(0, 9));
+        assert_eq!(a.meet(b), Some(Interval::new(3, 5)));
+        assert_eq!(a.meet(Interval::new(7, 9)), None);
+    }
+
+    #[test]
+    fn bounded_load_chain_is_encodable() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.alloc_global("g", 64);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B4, base, 0); // < 2^32
+        let y = f.add(Width::W64, x, 100i64);
+        let z = f.mul(Width::W64, y, 8i64);
+        f.emit(Operand::reg(z));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let r = Ranges::new(&m.funcs[0]);
+        assert!(r.range(x).an_encodable());
+        assert!(r.range(y).an_encodable());
+        assert!(r.range(z).an_encodable());
+        assert_eq!(r.range(x).hi, u32::MAX as u64);
+    }
+
+    #[test]
+    fn widening_terminates_on_loop_counter() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let i = f.movi(0);
+        let header = f.block();
+        let body = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtU, Width::W64, i, 1000i64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i2 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i2);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let r = Ranges::new(&m.funcs[0]);
+        // Unbounded by the flow-insensitive analysis: widened to FULL.
+        assert!(r.range(i).is_full());
+    }
+
+    #[test]
+    fn assume_recovers_precision() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let p = f.param(RegClass::Int);
+        let idx = f.assume(p, 0, 4095);
+        let scaled = f.mul(Width::W64, idx, 8i64);
+        f.emit(Operand::reg(scaled));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let r = Ranges::new(&m.funcs[0]);
+        assert!(r.range(p).is_full());
+        assert_eq!(r.range(idx), Interval::new(0, 4095));
+        assert_eq!(r.range(scaled), Interval::new(0, 4095 * 8));
+        assert!(r.range(scaled).an_encodable());
+    }
+
+    #[test]
+    fn w32_wrap_collapses_to_width_range() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let p = f.param(RegClass::Int);
+        let x = f.add(Width::W32, p, p); // may wrap mod 2^32
+        f.emit(Operand::reg(x));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let r = Ranges::new(&m.funcs[0]);
+        assert_eq!(r.range(x), Interval::new(0, u32::MAX as u64));
+    }
+
+    #[test]
+    fn w32_shift_truncates_rather_than_clamps() {
+        // Regression (found by the soundness proptest): `-257 as u32` is
+        // 0xFFFF_FEFF, not 0xFFFF_FFFF — a min-clamp transfer claimed the
+        // exact value 0xFFFFFF for `(-257) >>w32 8` while the machine
+        // computes 0xFFFFFE.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let x = f.movi(-257);
+        let y = f.shrl(Width::W32, x, 8i64);
+        f.emit(Operand::reg(y));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let r = Ranges::new(&m.funcs[0]);
+        let iv = r.range(y);
+        assert!(
+            iv.lo <= 0xFF_FFFE && 0xFF_FFFE <= iv.hi,
+            "true value 0xFFFFFE outside [{:#x}, {:#x}]",
+            iv.lo,
+            iv.hi
+        );
+    }
+
+    #[test]
+    fn truncate32_windows() {
+        assert_eq!(
+            truncate32(Interval::new(5, 10)),
+            Interval::new(5, 10),
+            "low window is identity"
+        );
+        assert_eq!(
+            truncate32(Interval::exact((-257i64) as u64)),
+            Interval::exact(0xFFFF_FEFF)
+        );
+        assert_eq!(
+            truncate32(Interval::new(u32::MAX as u64, u32::MAX as u64 + 1)),
+            Interval::new(0, u32::MAX as u64),
+            "window-crossing collapses"
+        );
+    }
+
+    #[test]
+    fn negative_immediates_are_not_encodable() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let x = f.movi(-1);
+        f.emit(Operand::reg(x));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let r = Ranges::new(&m.funcs[0]);
+        assert!(!r.range(x).an_encodable());
+    }
+}

@@ -1,0 +1,141 @@
+//! Soundness property tests for the dataflow analyses.
+//!
+//! TRUMP's correctness rests on [`Ranges`] never under-approximating (a
+//! value escaping its interval would let the AN shadow wrap and recover the
+//! *wrong* value), and MASK's on [`KnownBits`] never claiming a live bit is
+//! dead (the mask would then destroy real data). Both are checked here by
+//! running randomly generated straight-line programs and comparing every
+//! executed value against the static facts.
+
+use proptest::prelude::*;
+use sor_analysis::{KnownBits, Ranges};
+use sor_ir::{AluOp, CmpOp, MemWidth, Module, ModuleBuilder, Operand, Vreg, Width};
+use sor_regalloc::{lower, LowerConfig};
+use sor_sim::{Machine, MachineConfig, RunStatus};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alu(AluOp, bool, usize, usize, i64), // (op, w64, a, b, imm-or-reg selector)
+    Cmp(CmpOp, usize, usize),
+    Select(usize, usize, usize),
+    Assume(usize, u64),
+    Load(bool, usize), // (signed, slot)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            prop::sample::select(AluOp::ALL.to_vec()),
+            prop::bool::ANY,
+            0usize..12,
+            0usize..12,
+            -300i64..300
+        )
+            .prop_map(|(o, w, a, b, i)| Op::Alu(o, w, a, b, i)),
+        (
+            prop::sample::select(CmpOp::ALL.to_vec()),
+            0usize..12,
+            0usize..12
+        )
+            .prop_map(|(o, a, b)| Op::Cmp(o, a, b)),
+        (0usize..12, 0usize..12, 0usize..12).prop_map(|(c, a, b)| Op::Select(c, a, b)),
+        (0usize..12, 1u64..100_000).prop_map(|(v, hi)| Op::Assume(v, hi)),
+        (prop::bool::ANY, 0usize..4).prop_map(|(s, slot)| Op::Load(s, slot)),
+    ]
+}
+
+/// Builds a program that computes the op list and then *emits every value*,
+/// so the simulator reveals each value for comparison with the analyses.
+fn build(seeds: &[i64], mem: &[u64], ops: &[Op]) -> (Module, Vec<Vreg>) {
+    let mut mb = ModuleBuilder::new("sound");
+    let g = mb.alloc_global_u64s("mem", mem);
+    let mut f = mb.function("main");
+    let base = f.movi(g as i64);
+    let mut vals: Vec<Vreg> = seeds.iter().map(|s| f.movi(*s)).collect();
+    let pick = |vals: &[Vreg], i: usize| vals[i % vals.len()];
+    for op in ops {
+        let v = match op {
+            Op::Alu(o, w64, a, b, imm) => {
+                let width = if *w64 { Width::W64 } else { Width::W32 };
+                let bop: Operand = if *imm % 2 == 0 {
+                    Operand::imm(*imm)
+                } else {
+                    Operand::reg(pick(&vals, *b))
+                };
+                f.alu(*o, width, pick(&vals, *a), bop)
+            }
+            Op::Cmp(o, a, b) => f.cmp(*o, Width::W64, pick(&vals, *a), pick(&vals, *b)),
+            Op::Select(c, a, b) => {
+                let cond = pick(&vals, *c);
+                f.select(cond, pick(&vals, *a), pick(&vals, *b))
+            }
+            Op::Assume(v, hi) => {
+                let m = f.alu(
+                    AluOp::RemU,
+                    Width::W64,
+                    pick(&vals, *v),
+                    (*hi as i64).max(1),
+                );
+                f.assume(m, 0, hi - 1)
+            }
+            Op::Load(signed, slot) => {
+                if *signed {
+                    f.loads(MemWidth::B4, base, (*slot as i64) * 8)
+                } else {
+                    f.load(MemWidth::B8, base, (*slot as i64) * 8)
+                }
+            }
+        };
+        vals.push(v);
+    }
+    for v in &vals {
+        f.emit(Operand::reg(*v));
+    }
+    f.ret(&[]);
+    let id = f.finish();
+    (mb.finish(id), vals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analyses_never_underapproximate(
+        seeds in prop::collection::vec(-500i64..500, 2..6),
+        mem in prop::collection::vec(0u64..u64::MAX, 4),
+        ops in prop::collection::vec(op_strategy(), 1..30),
+    ) {
+        let (module, vals) = build(&seeds, &mem, &ops);
+        prop_assert!(sor_ir::verify(&module).is_ok());
+        let func = &module.funcs[0];
+        let ranges = Ranges::new(func);
+        let kb = KnownBits::new(func);
+
+        let p = lower(&module, &LowerConfig::default()).unwrap();
+        let r = Machine::new(&p, &MachineConfig::default()).run(None);
+        // Division faults abort the run; nothing to compare then.
+        prop_assume!(r.status == RunStatus::Completed);
+        prop_assert_eq!(r.output.len(), vals.len());
+
+        for (v, observed) in vals.iter().zip(&r.output) {
+            let iv = ranges.range(*v);
+            prop_assert!(
+                iv.lo <= *observed && *observed <= iv.hi,
+                "range violated for {}: {} not in [{}, {}]",
+                v, observed, iv.lo, iv.hi
+            );
+            let po = kb.possible_ones(*v);
+            prop_assert!(
+                observed & !po == 0,
+                "known-zero bit set in {}: value {:#x}, possible-ones {:#x}",
+                v, observed, po
+            );
+            let ko = kb.known_ones(*v);
+            prop_assert!(
+                observed & ko == ko,
+                "known-one bit clear in {}: value {:#x}, known-ones {:#x}",
+                v, observed, ko
+            );
+        }
+    }
+}

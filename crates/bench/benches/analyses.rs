@@ -1,0 +1,34 @@
+//! Criterion: dataflow-analysis throughput — the compile-time cost of the
+//! facts the transforms depend on (runs on the largest workload module).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sor_analysis::{Cfg, KnownBits, Liveness, LoopInfo, Ranges};
+use sor_workloads::{Twolf, Workload};
+
+fn bench_analyses(c: &mut Criterion) {
+    let module = Twolf::default().build();
+    let func = &module.funcs[0];
+    let mut g = c.benchmark_group("analysis");
+    g.bench_function("cfg", |b| b.iter(|| Cfg::new(std::hint::black_box(func))));
+    g.bench_function("liveness", |b| {
+        let cfg = Cfg::new(func);
+        b.iter(|| Liveness::new(std::hint::black_box(func), &cfg))
+    });
+    g.bench_function("loops", |b| {
+        let cfg = Cfg::new(func);
+        b.iter(|| LoopInfo::new(std::hint::black_box(&cfg)))
+    });
+    g.bench_function("known_bits", |b| {
+        b.iter(|| KnownBits::new(std::hint::black_box(func)))
+    });
+    g.bench_function("ranges", |b| {
+        b.iter(|| Ranges::new(std::hint::black_box(func)))
+    });
+    g.bench_function("trump_capability", |b| {
+        b.iter(|| sor_core::trump_protected_set(std::hint::black_box(func), true))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Extension experiment E5: static TRUMP coverage per benchmark — the
+//! quantified version of the paper's §7 instruction-mix discussion
+//! (arithmetic-dominated benchmarks are TRUMP-friendly, logic-dominated
+//! ones are not).
+
+use sor_core::coverage;
+use sor_workloads::all_workloads;
+
+fn main() {
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>12}",
+        "benchmark", "int-values", "TRUMP(pure)", "TRUMP(hybrid)", "value-frac"
+    );
+    let mut csv = String::from("benchmark,int_values,trump_pure,trump_hybrid,value_frac\n");
+    for w in all_workloads() {
+        let cov = coverage(&w.build());
+        let c = &cov.funcs[0];
+        println!(
+            "{:<12} {:>10} {:>12} {:>14} {:>12.2}",
+            w.name(),
+            c.int_values,
+            c.trump_pure,
+            c.trump_hybrid,
+            cov.trump_value_fraction()
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{:.4}\n",
+            w.name(),
+            c.int_values,
+            c.trump_pure,
+            c.trump_hybrid,
+            cov.trump_value_fraction()
+        ));
+    }
+    match sor_bench::write_results("coverage.csv", &csv) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

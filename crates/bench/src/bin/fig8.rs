@@ -1,0 +1,33 @@
+//! Regenerates **Figure 8**: reliability percentage (unACE/SEGV/SDC) for
+//! NOFT, MASK, TRUMP, TRUMP/MASK, TRUMP/SWIFT-R and SWIFT-R over the ten
+//! benchmark kernels, 250 SEU injections per cell (paper §7.1).
+
+use sor_harness::{CampaignConfig, FigureEight};
+use sor_workloads::all_workloads;
+
+fn main() {
+    let runs = sor_bench::runs_arg(250);
+    let seed = sor_bench::arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED);
+    let cfg = CampaignConfig {
+        runs,
+        seed,
+        ..CampaignConfig::default()
+    };
+    eprintln!("running Figure 8: 10 benchmarks x 6 techniques x {runs} injections...");
+    let start = std::time::Instant::now();
+    let fig = FigureEight::run(&all_workloads(), &cfg);
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+    println!("{fig}");
+    println!("{}", fig.to_chart());
+    for (name, contents) in [
+        ("fig8.csv", fig.to_csv()),
+        ("fig8.txt", format!("{fig}\n{}", fig.to_chart())),
+    ] {
+        match sor_bench::write_results(name, &contents) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write results: {e}"),
+        }
+    }
+}

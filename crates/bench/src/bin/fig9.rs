@@ -1,0 +1,19 @@
+//! Regenerates **Figure 9**: execution time normalized to NOFT under the
+//! PPC970-calibrated out-of-order timing model (paper §7.2).
+
+use sor_harness::{FigureNine, PerfConfig};
+use sor_workloads::all_workloads;
+
+fn main() {
+    eprintln!("running Figure 9: 10 benchmarks x 6 techniques, timed, fault-free...");
+    let start = std::time::Instant::now();
+    let fig = FigureNine::run(&all_workloads(), &PerfConfig::default());
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+    println!("{fig}");
+    for (name, contents) in [("fig9.csv", fig.to_csv()), ("fig9.txt", fig.to_string())] {
+        match sor_bench::write_results(name, &contents) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write results: {e}"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # sor-bench — figure regeneration and engineering benches
+//!
+//! Binaries (run with `--release`):
+//!
+//! * `fig8` — the Figure 8 reliability matrix (`--runs N` to override the
+//!   paper's 250 injections per cell; results also written to
+//!   `results/fig8.csv`).
+//! * `fig9` — the Figure 9 normalized execution times (`results/fig9.csv`).
+//! * `headline` — the paper's §1/§9 summary numbers, derived from both
+//!   figures (uses fewer injections by default; `--runs N` to override).
+//! * `coverage` — the per-benchmark TRUMP/SWIFT-R protection split behind
+//!   the §7 instruction-mix discussion (extension experiment E5).
+//! * `ablation` — design-choice sweeps: check-placement density and issue
+//!   width (DESIGN.md §7).
+//!
+//! Criterion benches (`cargo bench`): transform throughput, simulator
+//! throughput, end-to-end per-technique cost on a small kernel.
+
+/// Parses a `--flag value` style argument from the command line.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--runs N` with a default.
+pub fn runs_arg(default: u64) -> u64 {
+    arg_value("--runs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Writes a results file under `results/`, creating the directory.
+pub fn write_results(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs_arg_defaults() {
+        assert_eq!(super::runs_arg(123), 123);
+    }
+}

@@ -1,0 +1,78 @@
+//! Transform configuration: check-placement density knobs.
+//!
+//! The paper fixes one placement policy (checks before loads, stores,
+//! branches and calls); the knobs here allow the ablation benches to
+//! quantify what each class of check buys.
+
+/// Where checks/votes are inserted and what MASK enforces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformConfig {
+    /// Check/vote store *values* (addresses are always checked).
+    pub check_store_values: bool,
+    /// Check/vote branch condition sources.
+    pub check_branches: bool,
+    /// Check/vote register arguments of calls.
+    pub check_call_args: bool,
+    /// Check/vote returned values.
+    pub check_ret_vals: bool,
+    /// MASK: re-enforce invariants on loop-carried values at loop headers.
+    pub mask_loop_carried: bool,
+    /// MASK: mask branch conditions down to their possible bits.
+    pub mask_branch_conds: bool,
+    /// MASK extension (§5's closing remark): also enforce provably-*one*
+    /// bits with `or` instructions. Off by default — the paper only
+    /// evaluates `and`-enforcement of known-zero bits.
+    pub mask_known_ones: bool,
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        TransformConfig {
+            check_store_values: true,
+            check_branches: true,
+            check_call_args: true,
+            check_ret_vals: true,
+            mask_loop_carried: true,
+            mask_branch_conds: true,
+            mask_known_ones: false,
+        }
+    }
+}
+
+impl TransformConfig {
+    /// The paper's policy (everything on) — same as `default()`.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Minimal policy: only load/store addresses are protected. Used by the
+    /// check-density ablation.
+    pub fn addresses_only() -> Self {
+        TransformConfig {
+            check_store_values: false,
+            check_branches: false,
+            check_call_args: false,
+            check_ret_vals: false,
+            mask_loop_carried: true,
+            mask_branch_conds: false,
+            mask_known_ones: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_checks_everything() {
+        let c = TransformConfig::paper();
+        assert!(c.check_store_values && c.check_branches && c.check_call_args);
+    }
+
+    #[test]
+    fn addresses_only_is_sparser() {
+        let c = TransformConfig::addresses_only();
+        assert!(!c.check_store_values && !c.check_branches);
+    }
+}

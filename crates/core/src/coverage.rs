@@ -1,0 +1,146 @@
+//! Static protection-coverage statistics (the §7.2 instruction-mix
+//! discussion, quantified).
+
+use crate::trump::trump_protected_set;
+use sor_ir::{Function, Inst, Module, RegClass, Vreg};
+
+/// Coverage of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncCoverage {
+    /// Function name.
+    pub name: String,
+    /// Integer virtual registers in the function.
+    pub int_values: usize,
+    /// Values TRUMP can protect on its own (pure mode).
+    pub trump_pure: usize,
+    /// Values TRUMP protects inside the TRUMP/SWIFT-R hybrid.
+    pub trump_hybrid: usize,
+    /// Static instruction count.
+    pub insts: usize,
+    /// Instructions whose every integer result is TRUMP-protectable (hybrid
+    /// mode) — the paper's "instructions protected by TRUMP vs SWIFT-R".
+    pub trump_insts: usize,
+}
+
+/// Module-wide coverage report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Per-function breakdown.
+    pub funcs: Vec<FuncCoverage>,
+}
+
+impl CoverageReport {
+    /// Fraction of integer values TRUMP protects in hybrid mode, across the
+    /// whole module.
+    pub fn trump_value_fraction(&self) -> f64 {
+        let total: usize = self.funcs.iter().map(|f| f.int_values).sum();
+        let covered: usize = self.funcs.iter().map(|f| f.trump_hybrid).sum();
+        if total == 0 {
+            0.0
+        } else {
+            covered as f64 / total as f64
+        }
+    }
+}
+
+fn func_coverage(func: &Function) -> FuncCoverage {
+    let pure = trump_protected_set(func, false);
+    let hybrid = trump_protected_set(func, true);
+    let mut insts = 0;
+    let mut trump_insts = 0;
+    for block in &func.blocks {
+        for inst in &block.insts {
+            insts += 1;
+            let defs: Vec<Vreg> = inst
+                .defs()
+                .into_iter()
+                .filter(|d| d.class() == RegClass::Int)
+                .collect();
+            if !defs.is_empty() && defs.iter().all(|d| hybrid.contains(d)) {
+                trump_insts += 1;
+            }
+            // Stores/branches have no defs; attribute them nowhere.
+            let _ = inst as &Inst;
+        }
+        insts += 1; // terminator
+    }
+    FuncCoverage {
+        name: func.name.clone(),
+        int_values: func.int_vreg_count() as usize,
+        trump_pure: pure.len(),
+        trump_hybrid: hybrid.len(),
+        insts,
+        trump_insts,
+    }
+}
+
+/// Computes protection coverage for every function in `module`.
+pub fn coverage(module: &Module) -> CoverageReport {
+    CoverageReport {
+        funcs: module.funcs.iter().map(func_coverage).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{MemWidth, ModuleBuilder, Operand, Width};
+
+    #[test]
+    fn arithmetic_module_has_higher_coverage_than_logic() {
+        let arith = {
+            let mut mb = ModuleBuilder::new("a");
+            let g = mb.alloc_global_i32s("g", &[1, 2]);
+            let mut f = mb.function("main");
+            let base = f.movi(g as i64);
+            let x = f.load(MemWidth::B4, base, 0);
+            let y = f.mul(Width::W64, x, 3i64);
+            let z = f.add(Width::W64, y, 7i64);
+            f.emit(Operand::reg(z));
+            f.ret(&[]);
+            let id = f.finish();
+            mb.finish(id)
+        };
+        let logic = {
+            let mut mb = ModuleBuilder::new("l");
+            let g = mb.alloc_global_u64s("g", &[1, 2]);
+            let mut f = mb.function("main");
+            let base = f.movi(g as i64);
+            let x = f.load(MemWidth::B8, base, 0);
+            let y = f.xor(Width::W64, x, 3i64);
+            let z = f.or(Width::W64, y, 7i64);
+            f.emit(Operand::reg(z));
+            f.ret(&[]);
+            let id = f.finish();
+            mb.finish(id)
+        };
+        let ca = coverage(&arith);
+        let cl = coverage(&logic);
+        assert!(
+            ca.trump_value_fraction() > cl.trump_value_fraction(),
+            "arith {} !> logic {}",
+            ca.trump_value_fraction(),
+            cl.trump_value_fraction()
+        );
+        assert_eq!(ca.funcs.len(), 1);
+        assert!(ca.funcs[0].trump_insts > 0);
+    }
+
+    #[test]
+    fn hybrid_coverage_is_at_least_pure() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.alloc_global_u64s("g", &[9]);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B8, base, 0);
+        let m1 = f.and(Width::W64, x, 0xFFi64);
+        let a = f.assume(m1, 0, 255);
+        let s = f.shl(Width::W64, a, 4i64);
+        f.emit(Operand::reg(s));
+        f.ret(&[]);
+        let id = f.finish();
+        let module = mb.finish(id);
+        let c = &coverage(&module).funcs[0];
+        assert!(c.trump_hybrid >= c.trump_pure);
+    }
+}

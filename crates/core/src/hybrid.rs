@@ -1,0 +1,408 @@
+//! The hybrid techniques: TRUMP/SWIFT-R (§6.1) and TRUMP/MASK (§6.2).
+
+use crate::config::TransformConfig;
+use crate::mask::apply_mask_with_skip;
+use crate::nmr::{dup_into, emit_vote};
+use crate::rewrite::{Rewriter, ShadowMap};
+use crate::trump::{
+    apply_trump_with_info, emit_check, emit_encode, emit_shadow_op, trump_protected_set,
+};
+use sor_ir::{AluOp, Function, Inst, Module, Operand, RegClass, Terminator, Vreg, Width};
+use std::collections::HashSet;
+
+/// TRUMP/MASK: TRUMP protects every provable arithmetic chain; MASK then
+/// enforces invariants on the values TRUMP could not cover. The two are
+/// nearly disjoint by construction — TRUMP handles arithmetic, MASK's
+/// provably-zero bits almost always come from logical operations — which is
+/// exactly the paper's complementarity argument.
+pub fn apply_trump_mask(module: &Module, cfg: &TransformConfig) -> Module {
+    let (m, infos) = apply_trump_with_info(module, cfg);
+    apply_mask_with_skip(&m, cfg, Some(&infos))
+}
+
+/// TRUMP/SWIFT-R: TRUMP wherever the compiler can prove applicability,
+/// SWIFT-R everywhere else, with the Figure 7 fuse (`rt = 2·r' + r''`)
+/// converting SWIFT-R redundancy into AN redundancy at each chain's single
+/// SWIFT-R→TRUMP transition.
+pub fn apply_trump_swiftr(module: &Module, cfg: &TransformConfig) -> Module {
+    let mut out = module.clone();
+    out.funcs = module
+        .funcs
+        .iter()
+        .map(|f| transform_func(f, cfg))
+        .collect();
+    out
+}
+
+struct HybridPass<'c> {
+    cfg: &'c TransformConfig,
+    t: HashSet<Vreg>,
+    tmap: ShadowMap,
+    s1: ShadowMap,
+    s2: ShadowMap,
+}
+
+fn transform_func(old: &Function, cfg: &TransformConfig) -> Function {
+    let mut rw = Rewriter::new(old);
+    let mut pass = HybridPass {
+        cfg,
+        t: trump_protected_set(old, true),
+        tmap: ShadowMap::new(),
+        s1: ShadowMap::new(),
+        s2: ShadowMap::new(),
+    };
+    for (bid, block) in old.iter_blocks() {
+        rw.start_block(bid);
+        if bid.index() == 0 {
+            for p in old.params.clone() {
+                if p.is_int() {
+                    // Parameters are never TRUMP-capable (unknown range).
+                    pass.replicate(&mut rw, p);
+                }
+            }
+        }
+        for inst in &block.insts {
+            pass.rewrite_inst(&mut rw, inst);
+        }
+        pass.rewrite_term(&mut rw, &block.term);
+    }
+    rw.finish()
+}
+
+impl HybridPass<'_> {
+    fn in_t(&self, v: Vreg) -> bool {
+        self.t.contains(&v)
+    }
+
+    /// SWIFT-R two-copy replication after loads/calls/params.
+    fn replicate(&mut self, rw: &mut Rewriter, v: Vreg) {
+        for sm in [&mut self.s1, &mut self.s2] {
+            let s = sm.shadow(rw, v);
+            rw.emit(Inst::Mov {
+                dst: s,
+                src: Operand::reg(v),
+            });
+        }
+    }
+
+    /// The Figure 7 fuse: builds `2·v' + v''` — an AN codeword of `v` that
+    /// inherits a fault in *either* SWIFT-R copy, so nothing is lost at the
+    /// transition.
+    fn fuse(&mut self, rw: &mut Rewriter, v: Vreg) -> Vreg {
+        let v1 = self.s1.shadow(rw, v);
+        let v2 = self.s2.shadow(rw, v);
+        let tmp = rw.vreg(RegClass::Int);
+        rw.emit(Inst::Alu {
+            op: AluOp::Shl,
+            width: Width::W64,
+            dst: tmp,
+            a: Operand::reg(v1),
+            b: Operand::imm(1),
+        });
+        let fused = rw.vreg(RegClass::Int);
+        rw.emit(Inst::Alu {
+            op: AluOp::Add,
+            width: Width::W64,
+            dst: fused,
+            a: Operand::reg(tmp),
+            b: Operand::reg(v2),
+        });
+        fused
+    }
+
+    /// Verify `v` before it escapes: TRUMP check or SWIFT-R vote, depending
+    /// on which redundancy tracks it.
+    fn sync(&mut self, rw: &mut Rewriter, v: Vreg) {
+        if self.in_t(v) {
+            emit_check(rw, &mut self.tmap, v);
+        } else {
+            let v1 = self.s1.shadow(rw, v);
+            let v2 = self.s2.shadow(rw, v);
+            emit_vote(rw, v, v1, v2);
+        }
+    }
+
+    fn sync_operand(&mut self, rw: &mut Rewriter, o: Operand) {
+        if let Operand::Reg(r) = o {
+            if r.is_int() {
+                self.sync(rw, r);
+            }
+        }
+    }
+
+    fn rewrite_inst(&mut self, rw: &mut Rewriter, inst: &Inst) {
+        match inst {
+            Inst::Alu { .. }
+            | Inst::Cmp { .. }
+            | Inst::Mov { .. }
+            | Inst::Select { .. }
+            | Inst::Assume { .. } => {
+                rw.emit(inst.clone());
+                let defs = inst.defs();
+                let trump_def = defs.iter().any(|d| d.is_int() && self.in_t(*d));
+                if trump_def {
+                    // TRUMP side. Operands outside T are fused from their
+                    // SWIFT-R copies at this (unique) transition point.
+                    let mut fused: Vec<(Vreg, Vreg)> = Vec::new();
+                    // Pre-fuse unprotected register operands (fusing inside
+                    // the shadow-op callback would interleave emission).
+                    for u in inst.uses() {
+                        if u.is_int() && !self.in_t(u) && !fused.iter().any(|(o, _)| *o == u) {
+                            let f = self.fuse(rw, u);
+                            fused.push((u, f));
+                        }
+                    }
+                    let dt = self.tmap.shadow(rw, defs[0]);
+                    let t = &self.t;
+                    let tmap = &mut self.tmap;
+                    emit_shadow_op(rw, dt, inst, |rw2, r| {
+                        if t.contains(&r) {
+                            tmap.shadow(rw2, r)
+                        } else {
+                            fused
+                                .iter()
+                                .find(|(o, _)| *o == r)
+                                .map(|(_, f)| *f)
+                                .expect("operand fused above")
+                        }
+                    });
+                } else {
+                    // SWIFT-R side; the fixpoint guarantees operands are
+                    // SWIFT-R-protected too.
+                    debug_assert!(
+                        inst.uses().iter().all(|u| !u.is_int() || !self.in_t(*u)),
+                        "SWIFT-R dup of {inst} would need a TRUMP operand"
+                    );
+                    let d1 = dup_into(rw, &mut self.s1, inst);
+                    rw.emit(d1);
+                    let d2 = dup_into(rw, &mut self.s2, inst);
+                    rw.emit(d2);
+                }
+            }
+            Inst::FCmp { dst, .. } | Inst::CvtFI { dst, .. } => {
+                rw.emit(inst.clone());
+                // Integer value born from the FP domain: recompute twice.
+                let d1 = dup_into(rw, &mut self.s1, inst);
+                rw.emit(d1);
+                let d2 = dup_into(rw, &mut self.s2, inst);
+                rw.emit(d2);
+                let _ = dst;
+            }
+            Inst::Load { dst, base, .. } => {
+                self.sync(rw, *base);
+                rw.emit(inst.clone());
+                if self.in_t(*dst) {
+                    emit_encode(rw, &mut self.tmap, *dst);
+                } else {
+                    self.replicate(rw, *dst);
+                }
+            }
+            Inst::FLoad { base, .. } => {
+                self.sync(rw, *base);
+                rw.emit(inst.clone());
+            }
+            Inst::Store { base, src, .. } => {
+                self.sync(rw, *base);
+                if self.cfg.check_store_values {
+                    self.sync_operand(rw, *src);
+                }
+                rw.emit(inst.clone());
+            }
+            Inst::FStore { base, .. } => {
+                self.sync(rw, *base);
+                rw.emit(inst.clone());
+            }
+            Inst::Call { args, rets, .. } => {
+                if self.cfg.check_call_args {
+                    for a in args.clone() {
+                        self.sync_operand(rw, a);
+                    }
+                }
+                rw.emit(inst.clone());
+                for r in rets.clone() {
+                    if r.is_int() {
+                        self.replicate(rw, r);
+                    }
+                }
+            }
+            Inst::Fpu { .. } | Inst::FMovImm { .. } | Inst::FMov { .. } | Inst::CvtIF { .. } => {
+                rw.emit(inst.clone())
+            }
+            Inst::Probe(_) => rw.emit(inst.clone()),
+        }
+    }
+
+    fn rewrite_term(&mut self, rw: &mut Rewriter, term: &Terminator) {
+        match term {
+            Terminator::Branch { cond, .. } => {
+                if self.cfg.check_branches {
+                    self.sync(rw, *cond);
+                }
+            }
+            Terminator::Ret { vals } => {
+                if self.cfg.check_ret_vals {
+                    for v in vals.clone() {
+                        self.sync_operand(rw, v);
+                    }
+                }
+            }
+            Terminator::Jump(_) | Terminator::Trap(_) => {}
+        }
+        rw.seal(term.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{verify, CmpOp, MemWidth, ModuleBuilder};
+    use sor_ir::{AluOp, Inst, Operand};
+    use sor_regalloc::{lower, LowerConfig};
+    use sor_sim::{FaultSpec, Machine, MachineConfig, Outcome, Runner};
+
+    /// Mixed kernel: a logic prefix (SWIFT-R territory) feeding an
+    /// arithmetic suffix (TRUMP territory) — the Figure 7 shape.
+    fn mixed_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.alloc_global_u64s("g", &[0xAB, 0xCD, 0, 0]);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B8, base, 0);
+        let masked = f.and(Width::W64, x, 0xFFi64); // SWIFT-R (logic)
+        let idx = f.assume(masked, 0, 255); // transition point
+        let scaled = f.mul(Width::W64, idx, 8i64); // TRUMP
+        let sum = f.add(Width::W64, scaled, 16i64); // TRUMP
+        f.store(MemWidth::B8, base, 16, sum);
+        f.emit(Operand::reg(sum));
+        // A loop to give faults time to land.
+        let i = f.movi(0);
+        let header = f.block();
+        let body = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtU, Width::W64, i, 24i64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let iv = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, iv);
+        let acc = f.xor(Width::W64, i, sum);
+        f.store(MemWidth::B8, base, 24, acc);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn hybrid_splits_protection() {
+        let m = mixed_module();
+        let t = trump_protected_set(&m.funcs[0], true);
+        assert!(!t.is_empty(), "some values must be TRUMP-protected");
+        let total = m.funcs[0].int_vreg_count();
+        assert!(
+            (t.len() as u32) < total,
+            "some values must be SWIFT-R-protected"
+        );
+        let transformed = apply_trump_swiftr(&m, &TransformConfig::default());
+        verify(&transformed).unwrap();
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let m = mixed_module();
+        for t in [
+            apply_trump_swiftr(&m, &TransformConfig::default()),
+            apply_trump_mask(&m, &TransformConfig::default()),
+        ] {
+            verify(&t).unwrap();
+            let p0 = lower(&m, &LowerConfig::default()).unwrap();
+            let p1 = lower(&t, &LowerConfig::default()).unwrap();
+            let r0 = Machine::new(&p0, &MachineConfig::default()).run(None);
+            let r1 = Machine::new(&p1, &MachineConfig::default()).run(None);
+            assert_eq!(r0.output, r1.output);
+        }
+    }
+
+    #[test]
+    fn figure7_fuse_sequence_is_emitted() {
+        // The transition from SWIFT-R to TRUMP redundancy must be the
+        // paper's Figure 7 fuse: rt = 2*r' + r'' (shl by 1, then add of two
+        // *registers* — unlike an encode, whose add reuses the original).
+        //
+        // The chain mirrors Figure 7 itself: ld → and (SWIFT-R) → bounded
+        // arithmetic (TRUMP) → st. The TRUMP suffix ends at the store, so
+        // the §6.1 demotion rule leaves it protected and a fuse is needed
+        // at the and→arith transition.
+        let m = {
+            let mut mb = ModuleBuilder::new("fig7");
+            let g = mb.alloc_global_u64s("g", &[0x1234, 0]);
+            let mut f = mb.function("main");
+            let base = f.movi(g as i64);
+            let x = f.load(MemWidth::B8, base, 0);
+            let masked = f.and(Width::W64, x, 0xFFi64); // SWIFT-R side
+            let idx = f.assume(masked, 0, 255); // transition
+            let scaled = f.mul(Width::W64, idx, 8i64); // TRUMP side
+            f.store(MemWidth::B8, base, 8, scaled);
+            f.ret(&[]);
+            let id = f.finish();
+            mb.finish(id)
+        };
+        let t = apply_trump_swiftr(&m, &TransformConfig::default());
+        let mut found_fuse = false;
+        for block in &t.funcs[0].blocks {
+            for w in block.insts.windows(2) {
+                if let (
+                    Inst::Alu {
+                        op: AluOp::Shl,
+                        dst: shl_dst,
+                        a: Operand::Reg(shl_src),
+                        b: Operand::Imm(1),
+                        ..
+                    },
+                    Inst::Alu {
+                        op: AluOp::Add,
+                        a: Operand::Reg(add_a),
+                        b: Operand::Reg(add_b),
+                        ..
+                    },
+                ) = (&w[0], &w[1])
+                {
+                    // Fuse: the add consumes the shifted first shadow and a
+                    // *different* register (the second shadow), not the
+                    // shifted value's own source (that would be an encode).
+                    if add_a == shl_dst && add_b != shl_src {
+                        found_fuse = true;
+                    }
+                }
+            }
+        }
+        assert!(found_fuse, "no Figure 7 fuse found:\n{}", t.funcs[0]);
+    }
+
+    #[test]
+    fn hybrid_recovers_like_swiftr() {
+        let m = mixed_module();
+        let t = apply_trump_swiftr(&m, &TransformConfig::default());
+        let p = lower(&t, &LowerConfig::default()).unwrap();
+        let runner = Runner::new(&p, &MachineConfig::default());
+        let len = runner.golden().dyn_instrs;
+        let (mut bad, mut total, mut recovered) = (0u64, 0u64, 0u64);
+        for at in (0..len).step_by(3) {
+            for reg in [0u8, 2, 3, 4, 5, 6] {
+                let (o, res) = runner.run_fault(FaultSpec::new(at, reg, 9));
+                total += 1;
+                if o != Outcome::UnAce {
+                    bad += 1;
+                }
+                recovered += res.probes.vote_repairs + res.probes.trump_recovers;
+            }
+        }
+        assert!(recovered > 0);
+        assert!(
+            (bad as f64) < total as f64 * 0.08,
+            "{bad}/{total} injections damaged the hybrid"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # sor-core — automatic instruction-level software-only recovery
+//!
+//! The paper's contribution: compiler transforms that make a program
+//! tolerate single-event-upset register faults with no hardware support.
+//!
+//! | Technique | Redundancy | On mismatch | Paper |
+//! |---|---|---|---|
+//! | [`Technique::Swift`] | one shadow copy | detect (trap) | §2.2, the CGO'05 baseline |
+//! | [`Technique::SwiftR`] | two shadow copies | majority vote repairs | §3 |
+//! | [`Technique::Trump`] | one AN-coded copy `3·x` | divisibility test picks the survivor | §4 |
+//! | [`Technique::Mask`] | none | provably-zero bits re-zeroed | §5 |
+//! | [`Technique::TrumpSwiftR`] | TRUMP where provable, SWIFT-R elsewhere | both | §6.1 |
+//! | [`Technique::TrumpMask`] | TRUMP + masking of unprotected values | both | §6.2 |
+//!
+//! All transforms run on virtual-register IR *before* register allocation,
+//! exactly as the paper's gcc pass did; every check/vote/recovery sequence
+//! is emitted as ordinary IR instructions, so the windows of vulnerability
+//! (§3.2) exist here for the same structural reasons as on real hardware.
+//!
+//! ```
+//! use sor_core::Technique;
+//! use sor_ir::{ModuleBuilder, Operand, Width};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut f = mb.function("main");
+//! let x = f.movi(20);
+//! let y = f.add(Width::W64, x, 22i64);
+//! f.emit(Operand::reg(y));
+//! f.ret(&[]);
+//! let id = f.finish();
+//! let module = mb.finish(id);
+//!
+//! let protected = Technique::SwiftR.apply(&module);
+//! assert!(protected.inst_count() > module.inst_count());
+//! assert!(sor_ir::verify(&protected).is_ok());
+//! ```
+
+mod config;
+mod coverage;
+mod hybrid;
+mod mask;
+mod nmr;
+mod rewrite;
+mod swift;
+mod swiftr;
+mod technique;
+mod trump;
+
+pub use config::TransformConfig;
+pub use coverage::{coverage, CoverageReport, FuncCoverage};
+pub use hybrid::{apply_trump_mask, apply_trump_swiftr};
+pub use mask::apply_mask;
+pub use swift::apply_swift;
+pub use swiftr::apply_swiftr;
+pub use technique::Technique;
+pub use trump::{apply_trump, trump_protected_set};

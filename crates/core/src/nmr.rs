@@ -1,0 +1,279 @@
+//! The shared duplication engine behind SWIFT (detect) and SWIFT-R (vote).
+//!
+//! Both techniques intertwine redundant copies of the integer computation
+//! with the original instruction stream and synchronize at the points where
+//! values can escape the protection domain: load/store addresses, store
+//! values, branch conditions, call arguments and return values (paper §2.2,
+//! §3.1). SWIFT keeps one copy and branches to a detection trap on mismatch;
+//! SWIFT-R keeps two copies and repairs by majority vote.
+
+use crate::config::TransformConfig;
+use crate::rewrite::{Rewriter, ShadowMap};
+use sor_ir::{
+    BlockId, CmpOp, Function, Inst, Module, Operand, ProbeEvent, Terminator, TrapKind, Vreg, Width,
+};
+
+/// Emits the SWIFT-R majority vote (paper Figure 3's `majority(v, v', v'')`):
+///
+/// ```text
+/// if v != v' { v = v''; v' = v'' }  // v'' is the majority
+/// ```
+///
+/// Exact under the single-event-upset model: at most one copy is ever
+/// wrong, so if `v == v'` both are correct and execution proceeds — a
+/// corrupted `v''` is harmless because it is only ever *consulted* on a
+/// mismatch, which (with the one allowed fault already spent on `v''`
+/// itself) can no longer occur. Fault-free dynamic cost: compare + branch.
+pub(crate) fn emit_vote(rw: &mut Rewriter, v: Vreg, v1: Vreg, v2: Vreg) {
+    let c = rw.vreg(sor_ir::RegClass::Int);
+    rw.emit(Inst::Cmp {
+        op: CmpOp::Ne,
+        width: Width::W64,
+        dst: c,
+        a: Operand::reg(v),
+        b: Operand::reg(v1),
+    });
+    let (repair, fall) = rw.branch_off(c);
+    rw.start_block(repair);
+    rw.emit(Inst::Mov {
+        dst: v,
+        src: Operand::reg(v2),
+    });
+    rw.emit(Inst::Mov {
+        dst: v1,
+        src: Operand::reg(v2),
+    });
+    rw.emit(Inst::Probe(ProbeEvent::VoteRepair));
+    rw.seal(Terminator::Jump(fall));
+    rw.start_block(fall);
+}
+
+/// Builds the duplicate of a pure computational instruction with every
+/// integer register redirected into the shadow space `sm`. An `assume`
+/// duplicates as a plain move: the range fact belongs to the original chain.
+pub(crate) fn dup_into(rw: &mut Rewriter, sm: &mut ShadowMap, inst: &Inst) -> Inst {
+    let mut dup = inst.clone();
+    if let Inst::Assume { dst, src, .. } = inst {
+        dup = Inst::Mov {
+            dst: *dst,
+            src: Operand::reg(*src),
+        };
+    }
+    dup.map_uses(|r| if r.is_int() { sm.shadow(rw, r) } else { r });
+    dup.map_defs(|r| if r.is_int() { sm.shadow(rw, r) } else { r });
+    dup
+}
+
+/// What to do when copies disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NmrMode {
+    /// SWIFT: one shadow, mismatch branches to a `Trap(Detected)` block.
+    Detect,
+    /// SWIFT-R: two shadows, majority vote repairs the odd one out.
+    Vote,
+}
+
+/// Applies the duplication transform to every function of `module`.
+pub(crate) fn apply(module: &Module, cfg: &TransformConfig, mode: NmrMode) -> Module {
+    let mut out = module.clone();
+    out.funcs = module
+        .funcs
+        .iter()
+        .map(|f| transform_func(f, cfg, mode))
+        .collect();
+    out
+}
+
+struct Pass<'c> {
+    cfg: &'c TransformConfig,
+    mode: NmrMode,
+    s1: ShadowMap,
+    s2: ShadowMap,
+    detect: Option<BlockId>,
+}
+
+fn transform_func(old: &Function, cfg: &TransformConfig, mode: NmrMode) -> Function {
+    let mut rw = Rewriter::new(old);
+    let mut pass = Pass {
+        cfg,
+        mode,
+        s1: ShadowMap::new(),
+        s2: ShadowMap::new(),
+        detect: None,
+    };
+
+    for (bid, block) in old.iter_blocks() {
+        rw.start_block(bid);
+        if bid.index() == 0 {
+            // Parameters arrive as single copies; replicating them here is
+            // the same unavoidable copy window as after loads (§3.2 case 2).
+            for p in old.params.clone() {
+                if p.is_int() {
+                    pass.replicate(&mut rw, p);
+                }
+            }
+        }
+        for inst in &block.insts {
+            pass.rewrite_inst(&mut rw, inst);
+        }
+        pass.rewrite_term(&mut rw, &block.term);
+    }
+    rw.finish()
+}
+
+impl Pass<'_> {
+    /// Copies `v` into its shadow(s): the post-load / post-call sync.
+    fn replicate(&mut self, rw: &mut Rewriter, v: Vreg) {
+        let s1 = self.s1.shadow(rw, v);
+        rw.emit(Inst::Mov {
+            dst: s1,
+            src: Operand::reg(v),
+        });
+        if self.mode == NmrMode::Vote {
+            let s2 = self.s2.shadow(rw, v);
+            rw.emit(Inst::Mov {
+                dst: s2,
+                src: Operand::reg(v),
+            });
+        }
+    }
+
+    /// Emits the synchronization point for `v`: a detection check or a
+    /// majority vote, depending on mode.
+    fn sync(&mut self, rw: &mut Rewriter, v: Vreg) {
+        match self.mode {
+            NmrMode::Detect => self.check(rw, v),
+            NmrMode::Vote => self.vote(rw, v),
+        }
+    }
+
+    /// SWIFT check: `br faultDet, v != v'`.
+    fn check(&mut self, rw: &mut Rewriter, v: Vreg) {
+        let s = self.s1.shadow(rw, v);
+        let c = rw.vreg(sor_ir::RegClass::Int);
+        rw.emit(Inst::Cmp {
+            op: CmpOp::Ne,
+            width: Width::W64,
+            dst: c,
+            a: Operand::reg(v),
+            b: Operand::reg(s),
+        });
+        let det = *self.detect.get_or_insert_with(|| {
+            let b = rw.new_block();
+            // The block is sealed directly; emission never enters it.
+            b
+        });
+        let fall = rw.new_block();
+        rw.seal(Terminator::Branch {
+            cond: c,
+            t: det,
+            f: fall,
+        });
+        rw.start_block(det);
+        rw.seal(Terminator::Trap(TrapKind::Detected));
+        rw.start_block(fall);
+    }
+
+    fn vote(&mut self, rw: &mut Rewriter, v: Vreg) {
+        let v1 = self.s1.shadow(rw, v);
+        let v2 = self.s2.shadow(rw, v);
+        emit_vote(rw, v, v1, v2);
+    }
+
+    fn sync_operand(&mut self, rw: &mut Rewriter, o: Operand) {
+        if let Operand::Reg(r) = o {
+            if r.is_int() {
+                self.sync(rw, r);
+            }
+        }
+    }
+
+    fn dup_compute(&mut self, rw: &mut Rewriter, inst: &Inst) {
+        let d1 = dup_into(rw, &mut self.s1, inst);
+        rw.emit(d1);
+        if self.mode == NmrMode::Vote {
+            let d2 = dup_into(rw, &mut self.s2, inst);
+            rw.emit(d2);
+        }
+    }
+
+    fn rewrite_inst(&mut self, rw: &mut Rewriter, inst: &Inst) {
+        match inst {
+            // Pure integer computation: emit original + shadow copies.
+            Inst::Alu { .. }
+            | Inst::Cmp { .. }
+            | Inst::Mov { .. }
+            | Inst::Select { .. }
+            | Inst::Assume { .. }
+            // Integer values entering from the FP domain are re-computed
+            // redundantly from the (unprotected) FP source.
+            | Inst::FCmp { .. }
+            | Inst::CvtFI { .. } => {
+                rw.emit(inst.clone());
+                self.dup_compute(rw, inst);
+            }
+            // Loads: verify the address, perform the load once (it may be
+            // uncacheable I/O — §2.2), then replicate the result.
+            Inst::Load { dst, base, .. } => {
+                self.sync(rw, *base);
+                rw.emit(inst.clone());
+                self.replicate(rw, *dst);
+            }
+            Inst::FLoad { base, .. } => {
+                self.sync(rw, *base);
+                rw.emit(inst.clone());
+            }
+            // Stores: verify address and (optionally) data, store once.
+            Inst::Store { base, src, .. } => {
+                self.sync(rw, *base);
+                if self.cfg.check_store_values {
+                    self.sync_operand(rw, *src);
+                }
+                rw.emit(inst.clone());
+            }
+            Inst::FStore { base, .. } => {
+                self.sync(rw, *base);
+                rw.emit(inst.clone());
+            }
+            // Calls: verify register inputs, call once, replicate returns.
+            Inst::Call { args, rets, .. } => {
+                if self.cfg.check_call_args {
+                    for a in args.clone() {
+                        self.sync_operand(rw, a);
+                    }
+                }
+                rw.emit(inst.clone());
+                for r in rets.clone() {
+                    if r.is_int() {
+                        self.replicate(rw, r);
+                    }
+                }
+            }
+            // Unprotected FP computation and instrumentation pass through.
+            Inst::Fpu { .. }
+            | Inst::FMovImm { .. }
+            | Inst::FMov { .. }
+            | Inst::CvtIF { .. }
+            | Inst::Probe(_) => rw.emit(inst.clone()),
+        }
+    }
+
+    fn rewrite_term(&mut self, rw: &mut Rewriter, term: &Terminator) {
+        match term {
+            Terminator::Branch { cond, .. } => {
+                if self.cfg.check_branches {
+                    self.sync(rw, *cond);
+                }
+            }
+            Terminator::Ret { vals } => {
+                if self.cfg.check_ret_vals {
+                    for v in vals.clone() {
+                        self.sync_operand(rw, v);
+                    }
+                }
+            }
+            Terminator::Jump(_) | Terminator::Trap(_) => {}
+        }
+        rw.seal(term.clone());
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared function-rewriting machinery for all transforms.
+//!
+//! A [`Rewriter`] rebuilds a function block by block. It pre-creates one new
+//! block per old block *with the same ids*, so old terminators keep their
+//! targets; check/vote sequences that need control flow allocate fresh
+//! blocks past the original range and re-point the "current" emission block.
+
+use sor_ir::{Block, BlockId, Function, Inst, RegClass, Terminator, TrapKind, Vreg};
+use std::collections::HashMap;
+
+/// Incremental builder for the transformed copy of one function.
+#[derive(Debug)]
+pub struct Rewriter {
+    func: Function,
+    cur: BlockId,
+}
+
+impl Rewriter {
+    /// Starts rewriting `old`: the new function shares name, parameters,
+    /// return count and virtual-register numbering, and has one (empty)
+    /// block per old block.
+    pub fn new(old: &Function) -> Self {
+        let mut func = Function::new(old.name.clone());
+        func.params = old.params.clone();
+        func.ret_count = old.ret_count;
+        func.set_vreg_counts(old.int_vreg_count(), old.float_vreg_count());
+        for _ in &old.blocks {
+            func.push_block(Block::new(Terminator::Trap(TrapKind::Abort)));
+        }
+        Rewriter {
+            func,
+            cur: BlockId(0),
+        }
+    }
+
+    /// Switches emission to (the rebuilt copy of) block `b`.
+    pub fn start_block(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self, class: RegClass) -> Vreg {
+        self.func.new_vreg(class)
+    }
+
+    /// Allocates a fresh (empty) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func
+            .push_block(Block::new(Terminator::Trap(TrapKind::Abort)))
+    }
+
+    /// Appends an instruction to the current block.
+    pub fn emit(&mut self, inst: Inst) {
+        let cur = self.cur;
+        self.func.block_mut(cur).insts.push(inst);
+    }
+
+    /// Seals the current block with `term` (emission must continue in some
+    /// other block afterwards).
+    pub fn seal(&mut self, term: Terminator) {
+        let cur = self.cur;
+        self.func.block_mut(cur).term = term;
+    }
+
+    /// Seals the current block with a two-way branch and moves emission to a
+    /// fresh fall-through block; returns `(taken, fallthrough)`.
+    ///
+    /// The caller fills the `taken` block (usually a repair sequence ending
+    /// in a jump back to `fallthrough`) via [`start_block`](Self::start_block)
+    /// and then resumes on the fall-through path.
+    pub fn branch_off(&mut self, cond: Vreg) -> (BlockId, BlockId) {
+        let taken = self.new_block();
+        let fall = self.new_block();
+        self.seal(Terminator::Branch {
+            cond,
+            t: taken,
+            f: fall,
+        });
+        self.cur = fall;
+        (taken, fall)
+    }
+
+    /// Finishes the rewrite.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+/// A map from original registers to their shadow copies.
+///
+/// Shadows are created lazily; a shadow for a never-written register is
+/// harmless (both sides read as zero).
+#[derive(Debug, Default)]
+pub struct ShadowMap {
+    map: HashMap<Vreg, Vreg>,
+}
+
+impl ShadowMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        ShadowMap::default()
+    }
+
+    /// The shadow of `v`, created on first request.
+    pub fn shadow(&mut self, rw: &mut Rewriter, v: Vreg) -> Vreg {
+        debug_assert_eq!(v.class(), RegClass::Int, "only integer values shadow");
+        *self.map.entry(v).or_insert_with(|| rw.vreg(RegClass::Int))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{AluOp, ModuleBuilder, Operand, Width};
+
+    #[test]
+    fn rewriter_preserves_block_ids() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let c = f.cmp(sor_ir::CmpOp::Eq, Width::W64, 1i64, 1i64);
+        let a = f.block();
+        let b = f.block();
+        f.branch(c, a, b);
+        f.switch_to(a);
+        f.ret(&[]);
+        f.switch_to(b);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let old = &m.funcs[0];
+
+        let mut rw = Rewriter::new(old);
+        for (bid, block) in old.iter_blocks() {
+            rw.start_block(bid);
+            for inst in &block.insts {
+                rw.emit(inst.clone());
+            }
+            rw.seal(block.term.clone());
+        }
+        let new = rw.finish();
+        assert_eq!(new.blocks.len(), old.blocks.len());
+        assert_eq!(&new, old, "identity rewrite must reproduce the function");
+    }
+
+    #[test]
+    fn branch_off_creates_detour() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let v = f.movi(0);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let old = &m.funcs[0];
+
+        let mut rw = Rewriter::new(old);
+        rw.start_block(BlockId(0));
+        rw.emit(old.blocks[0].insts[0].clone());
+        let (taken, fall) = rw.branch_off(v);
+        rw.start_block(taken);
+        rw.emit(Inst::Alu {
+            op: AluOp::Add,
+            width: Width::W64,
+            dst: v,
+            a: Operand::reg(v),
+            b: Operand::imm(1),
+        });
+        rw.seal(Terminator::Jump(fall));
+        rw.start_block(fall);
+        rw.seal(Terminator::Ret { vals: vec![] });
+        let new = rw.finish();
+        assert_eq!(new.blocks.len(), 3);
+        assert!(matches!(new.blocks[0].term, Terminator::Branch { .. }));
+    }
+
+    #[test]
+    fn shadow_map_is_stable() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let v = f.movi(0);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let mut rw = Rewriter::new(&m.funcs[0]);
+        let mut sm = ShadowMap::new();
+        let s1 = sm.shadow(&mut rw, v);
+        let s2 = sm.shadow(&mut rw, v);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, v);
+    }
+}

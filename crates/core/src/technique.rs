@@ -1,0 +1,165 @@
+//! The technique selector used by campaigns, benches and examples.
+
+use crate::config::TransformConfig;
+use crate::hybrid::{apply_trump_mask, apply_trump_swiftr};
+use crate::mask::apply_mask;
+use crate::swift::apply_swift;
+use crate::swiftr::apply_swiftr;
+use crate::trump::apply_trump;
+use sor_ir::Module;
+use std::fmt;
+
+/// One point in the paper's reliability/performance trade-off space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Technique {
+    /// No fault tolerance (the baseline both figures normalize against).
+    Noft,
+    /// MASK only (§5): invariant enforcement, no redundancy.
+    Mask,
+    /// TRUMP only (§4): AN-code dual redundancy with inferred recovery.
+    Trump,
+    /// TRUMP/MASK hybrid (§6.2).
+    TrumpMask,
+    /// TRUMP/SWIFT-R hybrid (§6.1).
+    TrumpSwiftR,
+    /// SWIFT-R (§3): software TMR with majority voting.
+    SwiftR,
+    /// SWIFT (§2.2): detection only — not part of Figure 8/9, kept as the
+    /// detection baseline for the extension experiments.
+    Swift,
+}
+
+impl Technique {
+    /// The six techniques of Figure 8/Figure 9, in the paper's order
+    /// (N, M, T, K, R, S).
+    pub const FIGURE8: [Technique; 6] = [
+        Technique::Noft,
+        Technique::Mask,
+        Technique::Trump,
+        Technique::TrumpMask,
+        Technique::TrumpSwiftR,
+        Technique::SwiftR,
+    ];
+
+    /// Every technique including the detection-only SWIFT baseline.
+    pub const ALL: [Technique; 7] = [
+        Technique::Noft,
+        Technique::Mask,
+        Technique::Trump,
+        Technique::TrumpMask,
+        Technique::TrumpSwiftR,
+        Technique::SwiftR,
+        Technique::Swift,
+    ];
+
+    /// Full name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::Noft => "NOFT",
+            Technique::Mask => "MASK",
+            Technique::Trump => "TRUMP",
+            Technique::TrumpMask => "TRUMP/MASK",
+            Technique::TrumpSwiftR => "TRUMP/SWIFT-R",
+            Technique::SwiftR => "SWIFT-R",
+            Technique::Swift => "SWIFT",
+        }
+    }
+
+    /// The single-letter code from Figure 8's caption.
+    pub fn letter(self) -> char {
+        match self {
+            Technique::Noft => 'N',
+            Technique::Mask => 'M',
+            Technique::Trump => 'T',
+            Technique::TrumpMask => 'K',
+            Technique::TrumpSwiftR => 'R',
+            Technique::SwiftR => 'S',
+            Technique::Swift => 'D',
+        }
+    }
+
+    /// Applies the technique with the paper's check-placement policy.
+    pub fn apply(self, module: &Module) -> Module {
+        self.apply_with(module, &TransformConfig::default())
+    }
+
+    /// Applies the technique with an explicit configuration.
+    pub fn apply_with(self, module: &Module, cfg: &TransformConfig) -> Module {
+        match self {
+            Technique::Noft => module.clone(),
+            Technique::Mask => apply_mask(module, cfg),
+            Technique::Trump => apply_trump(module, cfg),
+            Technique::TrumpMask => apply_trump_mask(module, cfg),
+            Technique::TrumpSwiftR => apply_trump_swiftr(module, cfg),
+            Technique::SwiftR => apply_swiftr(module, cfg),
+            Technique::Swift => apply_swift(module, cfg),
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{verify, MemWidth, ModuleBuilder, Operand, Width};
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.alloc_global_i32s("g", &[11, 22, 33]);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B4, base, 0);
+        let y = f.load(MemWidth::B4, base, 4);
+        let s = f.add(Width::W64, x, y);
+        let l = f.xor(Width::W64, s, 0x5Ai64);
+        f.store(MemWidth::B4, base, 8, l);
+        f.emit(Operand::reg(l));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn every_technique_verifies_and_preserves_output() {
+        let m = sample();
+        let p0 = sor_regalloc::lower(&m, &Default::default()).unwrap();
+        let golden = sor_sim::Machine::new(&p0, &Default::default()).run(None);
+        for tech in Technique::ALL {
+            let t = tech.apply(&m);
+            verify(&t).unwrap_or_else(|e| panic!("{tech}: {e}"));
+            let p = sor_regalloc::lower(&t, &Default::default()).unwrap();
+            let r = sor_sim::Machine::new(&p, &Default::default()).run(None);
+            assert_eq!(r.output, golden.output, "{tech} changed semantics");
+        }
+    }
+
+    #[test]
+    fn ordering_of_static_overhead() {
+        // NOFT ≤ MASK ≪ {TRUMP, SWIFT, SWIFT-R}. TRUMP's *static* size can
+        // exceed SWIFT-R's (its check+recovery sequence is longer than a
+        // vote, §7.2), so the redundancy techniques are only compared
+        // against the light ones here; dynamic cost ordering is asserted by
+        // the harness perf tests.
+        let m = sample();
+        let size = |t: Technique| t.apply(&m).inst_count();
+        assert!(size(Technique::Noft) <= size(Technique::Mask));
+        assert!(size(Technique::Mask) < size(Technique::Trump));
+        assert!(size(Technique::Mask) < size(Technique::SwiftR));
+        assert!(size(Technique::Swift) < size(Technique::SwiftR));
+    }
+
+    #[test]
+    fn names_and_letters_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        let mut letters = std::collections::HashSet::new();
+        for t in Technique::ALL {
+            assert!(names.insert(t.name()));
+            assert!(letters.insert(t.letter()));
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! TRUMP: Triple Redundancy Using Multiplication Protection (paper §4).
+//!
+//! Instead of two extra copies, TRUMP keeps one AN-coded copy `xt = 3·x`
+//! per protected value. AN-codes are arithmetic codes, so the shadow tracks
+//! the original through add/sub/multiply-by-constant/shift-left at the cost
+//! of one instruction per protected operation. A mismatch (`3·x != xt`)
+//! identifies the corrupted side by divisibility: a single bit flip changes
+//! a multiple of 3 into a non-multiple (since `2^k mod 3 != 0`), so
+//! `xt % 3 == 0` means the original was hit (`x := xt / 3`), otherwise the
+//! shadow was (`xt := 3·x`) — Figure 4's recovery sequence, emitted inline
+//! on the rare path of every check.
+//!
+//! Applicability (§4.3): the compiler must prove `3·x` cannot overflow and
+//! that the dependence chain only crosses AN-transparent operations. Both
+//! checks come from `sor_analysis::Ranges`; chains rooted at bounded loads
+//! (pointers, narrow data) and `assume` facts qualify, logical operations
+//! and comparisons do not.
+
+use crate::config::TransformConfig;
+use crate::rewrite::{Rewriter, ShadowMap};
+use sor_analysis::Ranges;
+use sor_ir::{
+    AluOp, CmpOp, Function, Inst, MemWidth, Module, Operand, ProbeEvent, RegClass, Terminator,
+    Vreg, Width,
+};
+use std::collections::HashSet;
+
+/// Per-function facts the hybrids and the coverage report need.
+#[derive(Debug, Clone)]
+pub(crate) struct TrumpFuncInfo {
+    /// Original virtual registers protected by TRUMP.
+    pub protected: HashSet<Vreg>,
+    /// Integer vreg count of the *original* function (everything at or above
+    /// this index in the transformed function is transform-introduced).
+    pub orig_int_vregs: u32,
+}
+
+/// Computes the TRUMP-protectable set of a function.
+///
+/// In pure mode (`hybrid = false`) a value is protected only if its whole
+/// chain is: operands of protected operations must themselves be protected.
+/// In hybrid mode operands may instead be SWIFT-R-protected (the Figure 7
+/// fuse converts two copies into one AN shadow), but a value consumed by a
+/// SWIFT-R-duplicated operation is demoted — the paper's "one transition
+/// per chain, SWIFT-R to TRUMP only" restriction (§6.1): converting TRUMP
+/// redundancy back into two copies would require an expensive division.
+pub fn trump_protected_set(func: &Function, hybrid: bool) -> HashSet<Vreg> {
+    let ranges = Ranges::new(func);
+    // Start from everything except parameters: the fixpoint only removes
+    // values at their definitions, and parameters have none — yet their
+    // range is unknown, so they can never carry an AN shadow.
+    let mut t: HashSet<Vreg> = (0..func.int_vreg_count())
+        .map(|i| Vreg::new(i, RegClass::Int))
+        .filter(|v| !func.params.contains(v))
+        .collect();
+    loop {
+        let mut changed = false;
+        for block in &func.blocks {
+            for inst in &block.insts {
+                for d in inst.defs() {
+                    if d.is_int() && t.contains(&d) && !def_capable(inst, d, &ranges, &t, hybrid) {
+                        t.remove(&d);
+                        changed = true;
+                    }
+                }
+                if hybrid && is_compute(inst) {
+                    let demoted = inst.defs().iter().any(|d| d.is_int() && !t.contains(d));
+                    if demoted {
+                        for u in inst.uses() {
+                            if u.is_int() && t.remove(&u) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return t;
+        }
+    }
+}
+
+/// Whether `inst` is duplicated wholesale by SWIFT-R (and therefore needs
+/// SWIFT-R shadows of its integer operands).
+fn is_compute(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Alu { .. }
+            | Inst::Cmp { .. }
+            | Inst::Mov { .. }
+            | Inst::Select { .. }
+            | Inst::Assume { .. }
+    )
+}
+
+fn reg_ok(o: &Operand, t: &HashSet<Vreg>, hybrid: bool) -> bool {
+    match o {
+        Operand::Imm(i) => *i >= 0 && (*i as u64) <= u64::MAX / 3,
+        // Hybrid mode can fuse a SWIFT-R operand into an AN shadow; pure
+        // TRUMP needs the operand's own shadow.
+        Operand::Reg(r) => hybrid || t.contains(r),
+    }
+}
+
+fn def_capable(inst: &Inst, dst: Vreg, ranges: &Ranges, t: &HashSet<Vreg>, hybrid: bool) -> bool {
+    // The joined range of every definition of `dst` must keep 3·x in range.
+    if !ranges.range(dst).an_encodable() {
+        return false;
+    }
+    match inst {
+        Inst::Mov { src, .. } => reg_ok(src, t, hybrid),
+        Inst::Assume { .. } => true, // roots or fuses; range already checked
+        Inst::Alu {
+            op, width, a, b, ..
+        } => {
+            let ra = ranges.operand_range(*a);
+            let rb = ranges.operand_range(*b);
+            // The shadow is computed at 64 bits, so the original operation
+            // must provably not wrap at its own width.
+            let fits = |iv: Option<sor_analysis::Interval>| match iv {
+                Some(iv) => iv.hi <= width.mask() && iv.an_encodable(),
+                None => false,
+            };
+            match op {
+                AluOp::Add => fits(ra.add(rb)) && reg_ok(a, t, hybrid) && reg_ok(b, t, hybrid),
+                AluOp::Sub => fits(ra.sub(rb)) && reg_ok(a, t, hybrid) && reg_ok(b, t, hybrid),
+                AluOp::Mul => match (a, b) {
+                    // Multiplication by a constant preserves the code:
+                    // (3x)·k = 3(xk). Register-register multiply would square
+                    // the A factor and is not AN-transparent.
+                    (Operand::Reg(_), Operand::Imm(k)) => {
+                        *k >= 0 && fits(ra.mul(rb)) && reg_ok(a, t, hybrid)
+                    }
+                    (Operand::Imm(k), Operand::Reg(_)) => {
+                        *k >= 0 && fits(ra.mul(rb)) && reg_ok(b, t, hybrid)
+                    }
+                    _ => false,
+                },
+                AluOp::Shl => match b {
+                    Operand::Imm(k) => {
+                        let k = (*k as u64 % width.bits() as u64) as u32;
+                        fits(ra.shl(k)) && reg_ok(a, t, hybrid)
+                    }
+                    Operand::Reg(_) => false,
+                },
+                // and/or/xor/shifts-right/divisions do not propagate
+                // AN-codes (Peterson & Rabin, cited as [18] in the paper).
+                _ => false,
+            }
+        }
+        // Bounded unsigned loads are chain roots: the loaded value is
+        // re-encoded from the single copy (the unavoidable window).
+        Inst::Load { width, signed, .. } => {
+            !*signed && matches!(width, MemWidth::B1 | MemWidth::B2 | MemWidth::B4)
+        }
+        _ => false,
+    }
+}
+
+/// Emits `vt = 3·v` (as shift-and-add, the paper's note in §4.2) after a
+/// chain root. Returns nothing; the shadow map now tracks `v`.
+pub(crate) fn emit_encode(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
+    let tmp = rw.vreg(RegClass::Int);
+    rw.emit(Inst::Alu {
+        op: AluOp::Shl,
+        width: Width::W64,
+        dst: tmp,
+        a: Operand::reg(v),
+        b: Operand::imm(1),
+    });
+    let vt = tmap.shadow(rw, v);
+    rw.emit(Inst::Alu {
+        op: AluOp::Add,
+        width: Width::W64,
+        dst: vt,
+        a: Operand::reg(tmp),
+        b: Operand::reg(v),
+    });
+}
+
+/// Emits the TRUMP check-and-recover sequence for `v` (Figures 4 and 5):
+/// fault-free cost is shift, add, compare, branch.
+pub(crate) fn emit_check(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
+    let vt = tmap.shadow(rw, v);
+    let tmp = rw.vreg(RegClass::Int);
+    rw.emit(Inst::Alu {
+        op: AluOp::Shl,
+        width: Width::W64,
+        dst: tmp,
+        a: Operand::reg(v),
+        b: Operand::imm(1),
+    });
+    let enc = rw.vreg(RegClass::Int);
+    rw.emit(Inst::Alu {
+        op: AluOp::Add,
+        width: Width::W64,
+        dst: enc,
+        a: Operand::reg(tmp),
+        b: Operand::reg(v),
+    });
+    let c = rw.vreg(RegClass::Int);
+    rw.emit(Inst::Cmp {
+        op: CmpOp::Ne,
+        width: Width::W64,
+        dst: c,
+        a: Operand::reg(enc),
+        b: Operand::reg(vt),
+    });
+    let (recover, fall) = rw.branch_off(c);
+
+    // Rare path: decide which copy the fault hit.
+    rw.start_block(recover);
+    let m = rw.vreg(RegClass::Int);
+    rw.emit(Inst::Alu {
+        op: AluOp::RemU,
+        width: Width::W64,
+        dst: m,
+        a: Operand::reg(vt),
+        b: Operand::imm(3),
+    });
+    let z = rw.vreg(RegClass::Int);
+    rw.emit(Inst::Cmp {
+        op: CmpOp::Eq,
+        width: Width::W64,
+        dst: z,
+        a: Operand::reg(m),
+        b: Operand::imm(0),
+    });
+    let fix_orig = rw.new_block();
+    let fix_shadow = rw.new_block();
+    rw.seal(Terminator::Branch {
+        cond: z,
+        t: fix_orig,
+        f: fix_shadow,
+    });
+    // Shadow still a codeword: the original was struck; x := xt / 3.
+    rw.start_block(fix_orig);
+    rw.emit(Inst::Alu {
+        op: AluOp::DivU,
+        width: Width::W64,
+        dst: v,
+        a: Operand::reg(vt),
+        b: Operand::imm(3),
+    });
+    rw.emit(Inst::Probe(ProbeEvent::TrumpRecover));
+    rw.seal(Terminator::Jump(fall));
+    // Shadow broken: re-encode from the original; xt := 3x.
+    rw.start_block(fix_shadow);
+    let tmp2 = rw.vreg(RegClass::Int);
+    rw.emit(Inst::Alu {
+        op: AluOp::Shl,
+        width: Width::W64,
+        dst: tmp2,
+        a: Operand::reg(v),
+        b: Operand::imm(1),
+    });
+    rw.emit(Inst::Alu {
+        op: AluOp::Add,
+        width: Width::W64,
+        dst: vt,
+        a: Operand::reg(tmp2),
+        b: Operand::reg(v),
+    });
+    rw.emit(Inst::Probe(ProbeEvent::TrumpRecover));
+    rw.seal(Terminator::Jump(fall));
+    rw.start_block(fall);
+}
+
+/// Emits the AN shadow of a protected ALU/Mov/Assume definition. `fuse`
+/// resolves a register operand to its AN shadow (pure TRUMP: the operand's
+/// shadow; hybrid: possibly a freshly fused one).
+pub(crate) fn emit_shadow_op(
+    rw: &mut Rewriter,
+    dt: Vreg,
+    inst: &Inst,
+    mut an_src: impl FnMut(&mut Rewriter, Vreg) -> Vreg,
+) {
+    let an_operand =
+        |rw: &mut Rewriter, o: &Operand, f: &mut dyn FnMut(&mut Rewriter, Vreg) -> Vreg| match o {
+            Operand::Reg(r) => Operand::reg(f(rw, *r)),
+            Operand::Imm(i) => Operand::imm(((*i as u64).wrapping_mul(3)) as i64),
+        };
+    match inst {
+        Inst::Mov { src, .. } => {
+            let s = an_operand(rw, src, &mut an_src);
+            rw.emit(Inst::Mov { dst: dt, src: s });
+        }
+        Inst::Assume { src, .. } => {
+            let s = an_src(rw, *src);
+            rw.emit(Inst::Mov {
+                dst: dt,
+                src: Operand::reg(s),
+            });
+        }
+        Inst::Alu { op, a, b, .. } => {
+            match op {
+                AluOp::Add | AluOp::Sub => {
+                    let ta = an_operand(rw, a, &mut an_src);
+                    let tb = an_operand(rw, b, &mut an_src);
+                    rw.emit(Inst::Alu {
+                        op: *op,
+                        width: Width::W64,
+                        dst: dt,
+                        a: ta,
+                        b: tb,
+                    });
+                }
+                // (3x)·k = 3(xk): the *plain* constant multiplies the shadow.
+                AluOp::Mul => {
+                    let (reg, k) = match (a, b) {
+                        (Operand::Reg(r), Operand::Imm(k)) | (Operand::Imm(k), Operand::Reg(r)) => {
+                            (*r, *k)
+                        }
+                        _ => unreachable!("capability rejected reg*reg multiply"),
+                    };
+                    let tr = an_src(rw, reg);
+                    rw.emit(Inst::Alu {
+                        op: AluOp::Mul,
+                        width: Width::W64,
+                        dst: dt,
+                        a: Operand::reg(tr),
+                        b: Operand::imm(k),
+                    });
+                }
+                AluOp::Shl => {
+                    let (reg, k) = match (a, b) {
+                        (Operand::Reg(r), Operand::Imm(k)) => (*r, *k),
+                        _ => unreachable!("capability rejected non-const shift"),
+                    };
+                    let tr = an_src(rw, reg);
+                    rw.emit(Inst::Alu {
+                        op: AluOp::Shl,
+                        width: Width::W64,
+                        dst: dt,
+                        a: Operand::reg(tr),
+                        b: Operand::imm(k),
+                    });
+                }
+                _ => unreachable!("capability admitted a non-AN op: {op}"),
+            }
+        }
+        other => unreachable!("no AN shadow form for {other}"),
+    }
+}
+
+struct TrumpPass<'c> {
+    cfg: &'c TransformConfig,
+    t: HashSet<Vreg>,
+    tmap: ShadowMap,
+}
+
+impl TrumpPass<'_> {
+    fn in_t(&self, v: Vreg) -> bool {
+        self.t.contains(&v)
+    }
+
+    fn check_if_protected(&mut self, rw: &mut Rewriter, o: Operand) {
+        if let Operand::Reg(r) = o {
+            if r.is_int() && self.in_t(r) {
+                emit_check(rw, &mut self.tmap, r);
+            }
+        }
+    }
+
+    fn rewrite_inst(&mut self, rw: &mut Rewriter, inst: &Inst) {
+        match inst {
+            Inst::Alu { dst, .. } | Inst::Mov { dst, .. } | Inst::Assume { dst, .. }
+                if self.in_t(*dst) =>
+            {
+                rw.emit(inst.clone());
+                // Pure TRUMP: a register operand is either protected (use
+                // its shadow) or the whole def would not have been capable —
+                // except `assume`, which is a sanctioned chain root.
+                if let Inst::Assume { dst, src, .. } = inst {
+                    if !self.t.contains(src) {
+                        emit_encode(rw, &mut self.tmap, *dst);
+                        return;
+                    }
+                }
+                let dt = self.tmap.shadow(rw, *dst);
+                let t = &self.t;
+                let tmap = &mut self.tmap;
+                emit_shadow_op(rw, dt, inst, |rw2, r| {
+                    debug_assert!(t.contains(&r), "pure TRUMP operand {r} unprotected");
+                    tmap.shadow(rw2, r)
+                });
+            }
+            // The data slices feeding branches are verified where they
+            // collapse into a (non-encodable) boolean: at the compare.
+            Inst::Cmp { a, b, .. } => {
+                if self.cfg.check_branches {
+                    self.check_if_protected(rw, *a);
+                    self.check_if_protected(rw, *b);
+                }
+                rw.emit(inst.clone());
+            }
+            Inst::Load { dst, base, .. } => {
+                if self.in_t(*base) {
+                    emit_check(rw, &mut self.tmap, *base);
+                }
+                rw.emit(inst.clone());
+                if self.in_t(*dst) {
+                    emit_encode(rw, &mut self.tmap, *dst);
+                }
+            }
+            Inst::FLoad { base, .. } => {
+                if self.in_t(*base) {
+                    emit_check(rw, &mut self.tmap, *base);
+                }
+                rw.emit(inst.clone());
+            }
+            Inst::Store { base, src, .. } => {
+                if self.in_t(*base) {
+                    emit_check(rw, &mut self.tmap, *base);
+                }
+                if self.cfg.check_store_values {
+                    self.check_if_protected(rw, *src);
+                }
+                rw.emit(inst.clone());
+            }
+            Inst::FStore { base, .. } => {
+                if self.in_t(*base) {
+                    emit_check(rw, &mut self.tmap, *base);
+                }
+                rw.emit(inst.clone());
+            }
+            Inst::Call { args, .. } => {
+                if self.cfg.check_call_args {
+                    for a in args.clone() {
+                        self.check_if_protected(rw, a);
+                    }
+                }
+                rw.emit(inst.clone());
+            }
+            _ => rw.emit(inst.clone()),
+        }
+    }
+
+    fn rewrite_term(&mut self, rw: &mut Rewriter, term: &Terminator) {
+        if let Terminator::Ret { vals } = term {
+            if self.cfg.check_ret_vals {
+                for v in vals.clone() {
+                    self.check_if_protected(rw, v);
+                }
+            }
+        }
+        rw.seal(term.clone());
+    }
+}
+
+/// Applies pure TRUMP, returning the transformed module and per-function
+/// protection info (consumed by TRUMP/MASK and the coverage report).
+pub(crate) fn apply_trump_with_info(
+    module: &Module,
+    cfg: &TransformConfig,
+) -> (Module, Vec<TrumpFuncInfo>) {
+    let mut out = module.clone();
+    let mut infos = Vec::with_capacity(module.funcs.len());
+    out.funcs = module
+        .funcs
+        .iter()
+        .map(|func| {
+            let t = trump_protected_set(func, false);
+            infos.push(TrumpFuncInfo {
+                protected: t.clone(),
+                orig_int_vregs: func.int_vreg_count(),
+            });
+            let mut rw = Rewriter::new(func);
+            let mut pass = TrumpPass {
+                cfg,
+                t,
+                tmap: ShadowMap::new(),
+            };
+            for (bid, block) in func.iter_blocks() {
+                rw.start_block(bid);
+                for inst in &block.insts {
+                    pass.rewrite_inst(&mut rw, inst);
+                }
+                pass.rewrite_term(&mut rw, &block.term);
+            }
+            rw.finish()
+        })
+        .collect();
+    (out, infos)
+}
+
+/// Applies the pure TRUMP transform (paper §4.2).
+///
+/// ```
+/// use sor_core::{apply_trump, trump_protected_set, TransformConfig};
+/// use sor_ir::{MemWidth, ModuleBuilder, Operand, Width};
+///
+/// let mut mb = ModuleBuilder::new("demo");
+/// let g = mb.alloc_global_i32s("g", &[7]);
+/// let mut f = mb.function("main");
+/// let base = f.movi(g as i64);
+/// let x = f.load(MemWidth::B4, base, 0); // bounded: a chain root
+/// let y = f.mul(Width::W64, x, 3i64);    // AN-transparent
+/// f.emit(Operand::reg(y));
+/// f.ret(&[]);
+/// let id = f.finish();
+/// let module = mb.finish(id);
+///
+/// // The whole chain is provably encodable...
+/// let t = trump_protected_set(&module.funcs[0], false);
+/// assert!(t.len() >= 3);
+/// // ...and the transform emits the 3x shadows and checks.
+/// let hardened = apply_trump(&module, &TransformConfig::default());
+/// assert!(sor_ir::verify(&hardened).is_ok());
+/// ```
+pub fn apply_trump(module: &Module, cfg: &TransformConfig) -> Module {
+    apply_trump_with_info(module, cfg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{verify, ModuleBuilder};
+    use sor_regalloc::{lower, LowerConfig};
+    use sor_sim::{FaultSpec, Machine, MachineConfig, Outcome, Runner};
+
+    /// An arithmetic kernel whose whole chain is provably boundable.
+    fn arith_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.alloc_global_i32s("g", &[100, 200, 300, 400]);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let mut acc = f.movi(0);
+        for i in 0..4 {
+            let x = f.load(MemWidth::B4, base, i * 4);
+            let scaled = f.mul(Width::W64, x, 5i64);
+            let t = f.add(Width::W64, acc, scaled);
+            acc = f.assume(t, 0, 1 << 40);
+        }
+        f.store(MemWidth::B8, base, 16, acc);
+        f.emit(Operand::reg(acc));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    /// A logic-heavy kernel TRUMP mostly cannot protect.
+    fn logic_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.alloc_global_u64s("g", &[0xDEAD_BEEF, 0]);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B8, base, 0);
+        let a = f.xor(Width::W64, x, 0x1234i64);
+        let b = f.or(Width::W64, a, x);
+        let c = f.shrl(Width::W64, b, 3i64);
+        f.store(MemWidth::B8, base, 8, c);
+        f.emit(Operand::reg(c));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn capability_follows_instruction_mix() {
+        let arith = arith_module();
+        let t = trump_protected_set(&arith.funcs[0], false);
+        // The accumulator chain and loads are protected.
+        assert!(t.len() >= 8, "arith chain should be protectable: {t:?}");
+
+        let logic = logic_module();
+        let t2 = trump_protected_set(&logic.funcs[0], false);
+        // xor/or/shr results are not protectable.
+        assert!(
+            t2.len() <= 2,
+            "logic chain should be mostly unprotectable: {t2:?}"
+        );
+    }
+
+    #[test]
+    fn transform_verifies_and_preserves_semantics() {
+        for m in [arith_module(), logic_module()] {
+            let t = apply_trump(&m, &TransformConfig::default());
+            verify(&t).expect("verifies");
+            let p0 = lower(&m, &LowerConfig::default()).unwrap();
+            let p1 = lower(&t, &LowerConfig::default()).unwrap();
+            let r0 = Machine::new(&p0, &MachineConfig::default()).run(None);
+            let r1 = Machine::new(&p1, &MachineConfig::default()).run(None);
+            assert_eq!(r0.output, r1.output, "module {}", m.name);
+            assert_eq!(r1.probes.trump_recovers, 0);
+        }
+    }
+
+    #[test]
+    fn trump_recovers_faults_on_protected_chain() {
+        let m = arith_module();
+        let t = apply_trump(&m, &TransformConfig::default());
+        let p = lower(&t, &LowerConfig::default()).unwrap();
+        let runner = Runner::new(&p, &MachineConfig::default());
+        let len = runner.golden().dyn_instrs;
+        let mut recovered = 0u64;
+        let mut bad = 0u64;
+        let mut total = 0u64;
+        for at in 0..len {
+            for reg in [0u8, 2, 3, 4] {
+                let (o, res) = runner.run_fault(FaultSpec::new(at, reg, 17));
+                total += 1;
+                recovered += res.probes.trump_recovers;
+                if o != Outcome::UnAce {
+                    bad += 1;
+                }
+            }
+        }
+        assert!(recovered > 0, "TRUMP recovery never fired");
+        assert!(
+            (bad as f64) < total as f64 * 0.10,
+            "{bad}/{total} fault runs were damaging"
+        );
+    }
+
+    #[test]
+    fn parameters_are_never_trump_protected() {
+        // Regression: parameters have no defining instruction, so the
+        // removal-at-defs fixpoint used to leave them in the protected set —
+        // and the transform then read an uninitialized shadow for them.
+        let mut mb = ModuleBuilder::new("t");
+        let helper = mb.declare("helper");
+        let mut main = mb.function("main");
+        let r = main.call(helper, &[Operand::imm(21)], &[sor_ir::RegClass::Int]);
+        main.emit(Operand::reg(r[0]));
+        main.ret(&[]);
+        let main_id = main.finish();
+        let mut h = mb.define(helper, "helper");
+        let p = h.param(sor_ir::RegClass::Int);
+        h.set_ret_count(1);
+        let bounded = h.assume(p, 0, 1 << 20);
+        let d = h.mul(Width::W64, bounded, 2i64);
+        h.ret(&[Operand::reg(d)]);
+        h.finish();
+        let m = mb.finish(main_id);
+
+        let helper_fn = m.func_by_name("helper").unwrap();
+        for hybrid in [false, true] {
+            let t = trump_protected_set(m.func(helper_fn), hybrid);
+            assert!(!t.contains(&p), "param protected (hybrid={hybrid})");
+            // The assume chain itself is protectable.
+            assert!(t.contains(&bounded), "assume root lost (hybrid={hybrid})");
+        }
+
+        let transformed = apply_trump(&m, &TransformConfig::default());
+        verify(&transformed).unwrap();
+        let prog = lower(&transformed, &LowerConfig::default()).unwrap();
+        let r = Machine::new(&prog, &MachineConfig::default()).run(None);
+        assert_eq!(r.output, vec![42]);
+    }
+
+    #[test]
+    fn an_code_identity_holds_through_shadow_ops() {
+        // 3x + 3y == 3(x+y), (3x)*k == 3(xk), (3x)<<n == 3(x<<n).
+        for x in [0u64, 1, 7, 1 << 20, (u64::MAX / 3) >> 8] {
+            for y in [0u64, 5, 1 << 10] {
+                assert_eq!(3 * x + 3 * y, 3 * (x + y));
+                assert_eq!((3 * x) * 9, 3 * (x * 9));
+                assert_eq!((3 * x) << 4, 3 * (x << 4));
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_never_preserves_divisibility() {
+        // The detection property behind Figure 4: for any in-range codeword
+        // 3x and any bit k (no wraparound), 3x ^ 2^k is not divisible by 3.
+        for x in [1u64, 2, 3, 1000, 123_456_789, u64::MAX / 3 / 2] {
+            let code = 3 * x;
+            for k in 0..62 {
+                let faulty = code ^ (1u64 << k);
+                if faulty <= u64::MAX / 3 * 3 {
+                    assert_ne!(faulty % 3, 0, "x={x} k={k}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! SEU fault-injection campaigns (paper §7.1).
+
+use crate::stats::OutcomeCounts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sor_core::Technique;
+use sor_ir::Program;
+use sor_regalloc::{lower, LowerConfig};
+use sor_sim::{FaultSpec, MachineConfig, Runner};
+use sor_workloads::Workload;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Injections per (workload, technique) pair — the paper used 250.
+    pub runs: u64,
+    /// RNG seed for fault-point selection.
+    pub seed: u64,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Transform configuration.
+    pub transform: sor_core::TransformConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runs: 250,
+            seed: 0x5EED,
+            threads: 0,
+            transform: sor_core::TransformConfig::default(),
+        }
+    }
+}
+
+/// The result of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Workload name.
+    pub workload: String,
+    /// Technique.
+    pub technique: Technique,
+    /// Outcome distribution.
+    pub counts: OutcomeCounts,
+    /// Golden dynamic instruction count of the transformed program.
+    pub golden_instrs: u64,
+}
+
+/// Draws the paper's fault distribution: uniform over dynamic instructions,
+/// injectable integer registers and bit positions.
+fn draw_fault(rng: &mut StdRng, golden_len: u64) -> FaultSpec {
+    let at = rng.gen_range(0..golden_len.max(1));
+    let regs: Vec<u8> = FaultSpec::injectable_regs().collect();
+    let reg = regs[rng.gen_range(0..regs.len())];
+    let bit = rng.gen_range(0..64u8);
+    FaultSpec::new(at, reg, bit)
+}
+
+/// Transforms, lowers and verifies a workload under `technique`, asserting
+/// output correctness against the native reference, then runs the campaign.
+///
+/// ```
+/// use sor_core::Technique;
+/// use sor_harness::{run_campaign, CampaignConfig};
+/// use sor_workloads::AdpcmDec;
+///
+/// let workload = AdpcmDec { samples: 40, seed: 1 };
+/// let cfg = CampaignConfig { runs: 10, threads: 1, ..Default::default() };
+/// let result = run_campaign(&workload, Technique::SwiftR, &cfg);
+/// assert_eq!(result.counts.total(), 10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the transformed program's fault-free output does not match the
+/// workload's native reference (that would invalidate the whole campaign).
+pub fn run_campaign(
+    workload: &dyn Workload,
+    technique: Technique,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let module = workload.build();
+    let transformed = technique.apply_with(&module, &cfg.transform);
+    let program = lower(&transformed, &LowerConfig::default())
+        .unwrap_or_else(|e| panic!("{}/{technique}: {e}", workload.name()));
+    let counts = inject(&program, cfg, workload.name(), technique);
+    CampaignResult {
+        workload: workload.name().to_string(),
+        technique,
+        counts: counts.0,
+        golden_instrs: counts.1,
+    }
+}
+
+fn inject(
+    program: &Program,
+    cfg: &CampaignConfig,
+    wl_name: &str,
+    technique: Technique,
+) -> (OutcomeCounts, u64) {
+    let runner = Runner::new(program, &MachineConfig::default());
+    let golden_len = runner.golden().dyn_instrs;
+
+    // Pre-draw all fault points so the distribution is independent of the
+    // thread count.
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed ^ (wl_name.len() as u64) ^ ((technique.letter() as u64) << 32),
+    );
+    let faults: Vec<FaultSpec> = (0..cfg.runs)
+        .map(|_| draw_fault(&mut rng, golden_len))
+        .collect();
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+    let chunk = faults.len().div_ceil(threads.max(1));
+    let mut total = OutcomeCounts::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ch in faults.chunks(chunk.max(1)) {
+            let runner_ref = &runner;
+            handles.push(scope.spawn(move || {
+                let mut counts = OutcomeCounts::default();
+                for &f in ch {
+                    let (outcome, res) = runner_ref.run_fault(f);
+                    counts.record(outcome, res.probes.vote_repairs + res.probes.trump_recovers);
+                }
+                counts
+            }));
+        }
+        for h in handles {
+            total += h.join().expect("campaign worker panicked");
+        }
+    });
+    (total, golden_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_workloads::AdpcmDec;
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig {
+            runs: 60,
+            seed: 42,
+            threads: 2,
+            transform: Default::default(),
+        }
+    }
+
+    #[test]
+    fn noft_campaign_classifies_everything() {
+        let w = AdpcmDec {
+            samples: 150,
+            seed: 7,
+        };
+        let r = run_campaign(&w, Technique::Noft, &small_cfg());
+        assert_eq!(r.counts.total(), 60);
+        assert!(r.counts.unace > 0, "some faults must be benign");
+        assert!(r.golden_instrs > 1000);
+    }
+
+    #[test]
+    fn swiftr_campaign_beats_noft() {
+        let w = AdpcmDec {
+            samples: 150,
+            seed: 7,
+        };
+        let noft = run_campaign(&w, Technique::Noft, &small_cfg());
+        let swiftr = run_campaign(&w, Technique::SwiftR, &small_cfg());
+        assert!(
+            swiftr.counts.pct_unace() >= noft.counts.pct_unace(),
+            "SWIFT-R {} !>= NOFT {}",
+            swiftr.counts.pct_unace(),
+            noft.counts.pct_unace()
+        );
+        assert!(swiftr.counts.recoveries > 0, "votes must have repaired");
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let w = AdpcmDec {
+            samples: 100,
+            seed: 3,
+        };
+        let mut c1 = small_cfg();
+        c1.threads = 1;
+        let mut c4 = small_cfg();
+        c4.threads = 4;
+        let a = run_campaign(&w, Technique::Trump, &c1);
+        let b = run_campaign(&w, Technique::Trump, &c4);
+        assert_eq!(a.counts, b.counts);
+    }
+}

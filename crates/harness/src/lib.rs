@@ -1,0 +1,27 @@
+//! # sor-harness — fault campaigns and figure regeneration
+//!
+//! Reproduces the paper's evaluation methodology (§7):
+//!
+//! * [`run_campaign`] — for one (workload, technique) pair: transform,
+//!   lower, run the golden execution, then inject `runs` SEUs at uniformly
+//!   random (dynamic instruction, integer register, bit) points and classify
+//!   each run as unACE / SDC / SEGV (plus hang and detected, folded per the
+//!   paper's three-bucket taxonomy). Runs are spread across threads.
+//! * [`FigureEight`] — the full reliability matrix of Figure 8: six
+//!   techniques x ten benchmarks plus the Average column.
+//! * [`FigureNine`] — normalized execution time (timing model cycles,
+//!   normalized to NOFT) per benchmark plus the GeoMean, Figure 9.
+//! * [`headline`] — the paper's summary numbers (§1/§9): average unACE per
+//!   technique, SDC+SEGV reduction vs NOFT, mean normalized runtime.
+
+mod campaign;
+mod figures;
+mod perf;
+mod report;
+mod stats;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use figures::{FigureEight, FigureNine};
+pub use perf::{measure_perf, PerfConfig, PerfResult};
+pub use report::{headline, Headline};
+pub use stats::OutcomeCounts;

@@ -1,0 +1,159 @@
+//! Basic blocks and terminators.
+
+use crate::inst::{Inst, Operand, TrapKind};
+use crate::reg::Vreg;
+use std::fmt;
+
+/// Identifier of a basic block within a function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into the function's block vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Block terminator: the single control-flow instruction ending a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition register (integer class).
+        cond: Vreg,
+        /// Successor when `cond != 0`.
+        t: BlockId,
+        /// Successor when `cond == 0`.
+        f: BlockId,
+    },
+    /// Function return.
+    Ret {
+        /// Returned values (integer or float registers, or immediates).
+        vals: Vec<Operand>,
+    },
+    /// Abnormal termination.
+    Trap(TrapKind),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { t, f, .. } => vec![*t, *f],
+            Terminator::Ret { .. } | Terminator::Trap(_) => vec![],
+        }
+    }
+
+    /// Registers read by this terminator.
+    pub fn uses(&self) -> Vec<Vreg> {
+        match self {
+            Terminator::Jump(_) | Terminator::Trap(_) => vec![],
+            Terminator::Branch { cond, .. } => vec![*cond],
+            Terminator::Ret { vals } => vals.iter().filter_map(|o| o.as_reg()).collect(),
+        }
+    }
+
+    /// Rewrites every register use through `f`.
+    pub fn map_uses(&mut self, mut f: impl FnMut(Vreg) -> Vreg) {
+        match self {
+            Terminator::Jump(_) | Terminator::Trap(_) => {}
+            Terminator::Branch { cond, .. } => *cond = f(*cond),
+            Terminator::Ret { vals } => {
+                for v in vals {
+                    if let Operand::Reg(r) = v {
+                        *r = f(*r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rewrites every successor block id through `f`.
+    pub fn map_targets(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(b) => *b = f(*b),
+            Terminator::Branch { t, f: fb, .. } => {
+                *t = f(*t);
+                *fb = f(*fb);
+            }
+            Terminator::Ret { .. } | Terminator::Trap(_) => {}
+        }
+    }
+}
+
+/// A basic block: a straight-line instruction sequence plus one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Instructions in execution order.
+    pub insts: Vec<Inst>,
+    /// The block's terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates an empty block ending in the given terminator.
+    pub fn new(term: Terminator) -> Self {
+        Block {
+            insts: Vec::new(),
+            term,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::RegClass;
+
+    fn v(i: u32) -> Vreg {
+        Vreg::new(i, RegClass::Int)
+    }
+
+    #[test]
+    fn successors() {
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        let br = Terminator::Branch {
+            cond: v(0),
+            t: BlockId(1),
+            f: BlockId(2),
+        };
+        assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Ret { vals: vec![] }.successors().is_empty());
+        assert!(Terminator::Trap(TrapKind::Abort).successors().is_empty());
+    }
+
+    #[test]
+    fn ret_uses_skip_immediates() {
+        let t = Terminator::Ret {
+            vals: vec![Operand::imm(1), Operand::reg(v(4))],
+        };
+        assert_eq!(t.uses(), vec![v(4)]);
+    }
+
+    #[test]
+    fn map_targets_rewrites_branch() {
+        let mut t = Terminator::Branch {
+            cond: v(0),
+            t: BlockId(1),
+            f: BlockId(2),
+        };
+        t.map_targets(|b| BlockId(b.0 + 10));
+        assert_eq!(t.successors(), vec![BlockId(11), BlockId(12)]);
+    }
+}

@@ -1,0 +1,651 @@
+//! Ergonomic construction of modules and functions.
+
+use crate::block::{Block, BlockId, Terminator};
+use crate::func::{FuncId, Function};
+use crate::inst::{Callee, ExtFunc, Inst, Operand, ProbeEvent, TrapKind};
+use crate::module::{layout, GlobalData, Module};
+use crate::opcode::{AluOp, CmpOp, FpOp};
+use crate::reg::{RegClass, Vreg};
+use crate::types::{MemWidth, Width};
+use std::collections::HashSet;
+
+/// Builds a [`Module`]: allocates globals and collects functions.
+///
+/// ```
+/// use sor_ir::{ModuleBuilder, Operand, Width};
+///
+/// let mut mb = ModuleBuilder::new("example");
+/// let table = mb.alloc_global_u64s("table", &[1, 2, 3]);
+/// let mut f = mb.function("main");
+/// let base = f.movi(table as i64);
+/// let x = f.load(sor_ir::MemWidth::B8, base, 8);
+/// f.emit(Operand::reg(x));
+/// f.ret(&[]);
+/// let main = f.finish();
+/// let module = mb.finish(main);
+/// assert_eq!(module.funcs.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    funcs: Vec<Option<Function>>,
+    globals: Vec<GlobalData>,
+    next_global: u64,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            funcs: Vec::new(),
+            globals: Vec::new(),
+            next_global: layout::GLOBAL_BASE,
+        }
+    }
+
+    /// Reserves `size` zero-initialized bytes of global memory, returning the
+    /// absolute address. Allocations are 16-byte aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global segment is exhausted.
+    pub fn alloc_global(&mut self, name: impl Into<String>, size: u64) -> u64 {
+        self.alloc_global_init(name, &[], size)
+    }
+
+    /// Reserves global memory initialized with `bytes` (zero-padded to
+    /// `size`), returning the absolute address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < bytes.len()` or the segment is exhausted.
+    pub fn alloc_global_init(&mut self, name: impl Into<String>, bytes: &[u8], size: u64) -> u64 {
+        assert!(
+            size >= bytes.len() as u64,
+            "global smaller than initializer"
+        );
+        let addr = self.next_global;
+        let end = addr
+            .checked_add(size)
+            .expect("global address space overflow");
+        assert!(
+            end <= layout::GLOBAL_BASE + layout::GLOBAL_MAX,
+            "global segment exhausted"
+        );
+        self.next_global = (end + 15) & !15;
+        self.globals.push(GlobalData {
+            name: name.into(),
+            addr,
+            bytes: bytes.to_vec(),
+            size,
+        });
+        addr
+    }
+
+    /// Reserves a global array of little-endian `u64`s.
+    pub fn alloc_global_u64s(&mut self, name: impl Into<String>, vals: &[u64]) -> u64 {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let size = bytes.len() as u64;
+        self.alloc_global_init(name, &bytes, size)
+    }
+
+    /// Reserves a global array of little-endian `i64`s.
+    pub fn alloc_global_i64s(&mut self, name: impl Into<String>, vals: &[i64]) -> u64 {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let size = bytes.len() as u64;
+        self.alloc_global_init(name, &bytes, size)
+    }
+
+    /// Reserves a global array of little-endian `i32`s.
+    pub fn alloc_global_i32s(&mut self, name: impl Into<String>, vals: &[i32]) -> u64 {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let size = bytes.len() as u64;
+        self.alloc_global_init(name, &bytes, size)
+    }
+
+    /// Reserves a global array of IEEE-754 doubles.
+    pub fn alloc_global_f64s(&mut self, name: impl Into<String>, vals: &[f64]) -> u64 {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let size = bytes.len() as u64;
+        self.alloc_global_init(name, &bytes, size)
+    }
+
+    /// Forward-declares a function so it can be called before it is defined.
+    pub fn declare(&mut self, _name: &str) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(None);
+        id
+    }
+
+    /// Starts defining a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was already defined.
+    pub fn define(&mut self, id: FuncId, name: impl Into<String>) -> FunctionBuilder<'_> {
+        assert!(
+            self.funcs[id.index()].is_none(),
+            "function {id} defined twice"
+        );
+        FunctionBuilder::new(self, id, name.into())
+    }
+
+    /// Declares and starts defining a function in one step.
+    pub fn function(&mut self, name: impl Into<String>) -> FunctionBuilder<'_> {
+        let name = name.into();
+        let id = self.declare(&name);
+        self.define(id, name)
+    }
+
+    /// Finalizes the module with `entry` as the start function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared function was never defined.
+    pub fn finish(self, entry: FuncId) -> Module {
+        let funcs: Vec<Function> = self
+            .funcs
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function fn{i} declared but never defined")))
+            .collect();
+        assert!(entry.index() < funcs.len(), "entry function out of range");
+        Module {
+            name: self.name,
+            funcs,
+            globals: self.globals,
+            entry,
+        }
+    }
+}
+
+/// Builds one [`Function`] inside a [`ModuleBuilder`].
+///
+/// Instructions are appended to the *current block*; terminator methods
+/// ([`jump`](Self::jump), [`branch`](Self::branch), [`ret`](Self::ret),
+/// [`trap`](Self::trap)) seal the current block. The entry block is created
+/// automatically and is current when the builder is handed out.
+#[derive(Debug)]
+pub struct FunctionBuilder<'m> {
+    mb: &'m mut ModuleBuilder,
+    id: FuncId,
+    func: Function,
+    cur: Option<BlockId>,
+    open: HashSet<BlockId>,
+}
+
+impl<'m> FunctionBuilder<'m> {
+    fn new(mb: &'m mut ModuleBuilder, id: FuncId, name: String) -> Self {
+        let mut func = Function::new(name);
+        let entry = func.push_block(Block::new(Terminator::Trap(TrapKind::Abort)));
+        let mut open = HashSet::new();
+        open.insert(entry);
+        FunctionBuilder {
+            mb,
+            id,
+            func,
+            cur: Some(entry),
+            open,
+        }
+    }
+
+    /// The id this function will have in the module.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// Adds a parameter of the given class and returns its register.
+    pub fn param(&mut self, class: RegClass) -> Vreg {
+        let v = self.func.new_vreg(class);
+        self.func.params.push(v);
+        v
+    }
+
+    /// Declares how many values the function returns.
+    pub fn set_ret_count(&mut self, n: usize) {
+        self.func.ret_count = n;
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self, class: RegClass) -> Vreg {
+        self.func.new_vreg(class)
+    }
+
+    /// Creates a new (not yet current) block and returns its id.
+    pub fn block(&mut self) -> BlockId {
+        let b = self
+            .func
+            .push_block(Block::new(Terminator::Trap(TrapKind::Abort)));
+        self.open.insert(b);
+        b
+    }
+
+    /// Makes `b` the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` was already sealed with a terminator.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(self.open.contains(&b), "block {b} is already sealed");
+        self.cur = Some(b);
+    }
+
+    /// The block instructions are currently appended to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block was just sealed.
+    pub fn current(&self) -> BlockId {
+        self.cur
+            .expect("no current block: seal happened; switch_to a new block")
+    }
+
+    fn push(&mut self, inst: Inst) {
+        let cur = self.current();
+        self.func.block_mut(cur).insts.push(inst);
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        let cur = self.current();
+        self.func.block_mut(cur).term = term;
+        self.open.remove(&cur);
+        self.cur = None;
+    }
+
+    // ---- integer instructions -------------------------------------------
+
+    /// `dst = a <op> b` into a fresh register.
+    pub fn alu(
+        &mut self,
+        op: AluOp,
+        width: Width,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.alu_to(dst, op, width, a, b);
+        dst
+    }
+
+    /// `dst = a <op> b` into an existing register.
+    pub fn alu_to(
+        &mut self,
+        dst: Vreg,
+        op: AluOp,
+        width: Width,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.push(Inst::Alu {
+            op,
+            width,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// 64-bit add into a fresh register.
+    pub fn add(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::Add, width, a, b)
+    }
+
+    /// Subtraction into a fresh register.
+    pub fn sub(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::Sub, width, a, b)
+    }
+
+    /// Multiplication into a fresh register.
+    pub fn mul(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::Mul, width, a, b)
+    }
+
+    /// Bitwise and into a fresh register.
+    pub fn and(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::And, width, a, b)
+    }
+
+    /// Bitwise or into a fresh register.
+    pub fn or(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::Or, width, a, b)
+    }
+
+    /// Bitwise xor into a fresh register.
+    pub fn xor(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::Xor, width, a, b)
+    }
+
+    /// Left shift into a fresh register.
+    pub fn shl(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::Shl, width, a, b)
+    }
+
+    /// Logical right shift into a fresh register.
+    pub fn shrl(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::ShrL, width, a, b)
+    }
+
+    /// Arithmetic right shift into a fresh register.
+    pub fn shra(&mut self, width: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Vreg {
+        self.alu(AluOp::ShrA, width, a, b)
+    }
+
+    /// Comparison into a fresh register (1 when the relation holds).
+    pub fn cmp(
+        &mut self,
+        op: CmpOp,
+        width: Width,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.push(Inst::Cmp {
+            op,
+            width,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Load-immediate into a fresh register.
+    pub fn movi(&mut self, v: i64) -> Vreg {
+        self.mov(Operand::imm(v))
+    }
+
+    /// Move into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.mov_to(dst, src);
+        dst
+    }
+
+    /// Move into an existing register.
+    pub fn mov_to(&mut self, dst: Vreg, src: impl Into<Operand>) {
+        self.push(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// Conditional select into a fresh register.
+    pub fn select(&mut self, cond: Vreg, t: impl Into<Operand>, f: impl Into<Operand>) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.push(Inst::Select {
+            dst,
+            cond,
+            t: t.into(),
+            f: f.into(),
+        });
+        dst
+    }
+
+    /// Asserts the compiler-proven fact that `src ∈ [lo, hi]` and returns a
+    /// fresh register carrying the value with that range attached.
+    pub fn assume(&mut self, src: Vreg, lo: u64, hi: u64) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.push(Inst::Assume { dst, src, lo, hi });
+        dst
+    }
+
+    /// Zero-extending load into a fresh register.
+    pub fn load(&mut self, width: MemWidth, base: Vreg, offset: i64) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.push(Inst::Load {
+            dst,
+            base,
+            offset,
+            width,
+            signed: false,
+        });
+        dst
+    }
+
+    /// Sign-extending load into a fresh register.
+    pub fn loads(&mut self, width: MemWidth, base: Vreg, offset: i64) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.push(Inst::Load {
+            dst,
+            base,
+            offset,
+            width,
+            signed: true,
+        });
+        dst
+    }
+
+    /// Store to memory.
+    pub fn store(&mut self, width: MemWidth, base: Vreg, offset: i64, src: impl Into<Operand>) {
+        self.push(Inst::Store {
+            base,
+            offset,
+            src: src.into(),
+            width,
+        });
+    }
+
+    // ---- floating point --------------------------------------------------
+
+    /// Floating-point operation into a fresh register.
+    pub fn fpu(&mut self, op: FpOp, a: Vreg, b: Vreg) -> Vreg {
+        let dst = self.vreg(RegClass::Float);
+        self.push(Inst::Fpu { op, dst, a, b });
+        dst
+    }
+
+    /// Floating-point immediate into a fresh register.
+    pub fn fmovi(&mut self, imm: f64) -> Vreg {
+        let dst = self.vreg(RegClass::Float);
+        self.push(Inst::FMovImm { dst, imm });
+        dst
+    }
+
+    /// Floating-point move into a fresh register.
+    pub fn fmov(&mut self, src: Vreg) -> Vreg {
+        let dst = self.vreg(RegClass::Float);
+        self.push(Inst::FMov { dst, src });
+        dst
+    }
+
+    /// Floating-point compare producing an integer flag.
+    pub fn fcmp(&mut self, op: CmpOp, a: Vreg, b: Vreg) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.push(Inst::FCmp { op, dst, a, b });
+        dst
+    }
+
+    /// Signed integer → double conversion.
+    pub fn cvt_if(&mut self, src: Vreg) -> Vreg {
+        let dst = self.vreg(RegClass::Float);
+        self.push(Inst::CvtIF { dst, src });
+        dst
+    }
+
+    /// Double → signed integer conversion.
+    pub fn cvt_fi(&mut self, src: Vreg) -> Vreg {
+        let dst = self.vreg(RegClass::Int);
+        self.push(Inst::CvtFI { dst, src });
+        dst
+    }
+
+    /// Double load into a fresh register.
+    pub fn fload(&mut self, base: Vreg, offset: i64) -> Vreg {
+        let dst = self.vreg(RegClass::Float);
+        self.push(Inst::FLoad { dst, base, offset });
+        dst
+    }
+
+    /// Double store.
+    pub fn fstore(&mut self, base: Vreg, offset: i64, src: Vreg) {
+        self.push(Inst::FStore { base, offset, src });
+    }
+
+    // ---- calls and probes -------------------------------------------------
+
+    /// Calls an internal function, allocating fresh registers for the
+    /// returned values (classes given by `ret_classes`).
+    pub fn call(
+        &mut self,
+        callee: FuncId,
+        args: &[Operand],
+        ret_classes: &[RegClass],
+    ) -> Vec<Vreg> {
+        let rets: Vec<Vreg> = ret_classes.iter().map(|c| self.vreg(*c)).collect();
+        self.push(Inst::Call {
+            callee: Callee::Internal(callee),
+            args: args.to_vec(),
+            rets: rets.clone(),
+        });
+        rets
+    }
+
+    /// Emits one integer to the program output (external call).
+    pub fn emit(&mut self, v: impl Into<Operand>) {
+        self.push(Inst::Call {
+            callee: Callee::External(ExtFunc::Emit),
+            args: vec![v.into()],
+            rets: vec![],
+        });
+    }
+
+    /// Emits one double to the program output (external call).
+    pub fn emitf(&mut self, v: Vreg) {
+        self.push(Inst::Call {
+            callee: Callee::External(ExtFunc::EmitF),
+            args: vec![Operand::reg(v)],
+            rets: vec![],
+        });
+    }
+
+    /// Inserts an instrumentation probe.
+    pub fn probe(&mut self, e: ProbeEvent) {
+        self.push(Inst::Probe(e));
+    }
+
+    /// Appends an already-constructed instruction.
+    pub fn push_inst(&mut self, inst: Inst) {
+        self.push(inst);
+    }
+
+    // ---- terminators -------------------------------------------------------
+
+    /// Seals the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.seal(Terminator::Jump(target));
+    }
+
+    /// Seals the current block with a two-way branch on `cond != 0`.
+    pub fn branch(&mut self, cond: Vreg, t: BlockId, f: BlockId) {
+        self.seal(Terminator::Branch { cond, t, f });
+    }
+
+    /// Seals the current block with a return.
+    pub fn ret(&mut self, vals: &[Operand]) {
+        self.seal(Terminator::Ret {
+            vals: vals.to_vec(),
+        });
+    }
+
+    /// Seals the current block with an abnormal termination.
+    pub fn trap(&mut self, kind: TrapKind) {
+        self.seal(Terminator::Trap(kind));
+    }
+
+    /// Finalizes the function and registers it in the module builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block (other than none) is still unterminated.
+    pub fn finish(self) -> FuncId {
+        assert!(
+            self.open.is_empty(),
+            "function '{}' has unterminated blocks: {:?}",
+            self.func.name,
+            self.open
+        );
+        self.mb.funcs[self.id.index()] = Some(self.func);
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_loop() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let i = f.movi(0);
+        let header = f.block();
+        let body = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtS, Width::W64, i, 10i64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i2 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i2);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unterminated blocks")]
+    fn finish_rejects_open_blocks() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.function("main");
+        let _ = f.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already sealed")]
+    fn switch_to_sealed_block_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let entry = f.current();
+        f.ret(&[]);
+        f.switch_to(entry);
+    }
+
+    #[test]
+    fn globals_are_aligned_and_disjoint() {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.alloc_global("a", 3);
+        let b = mb.alloc_global_u64s("b", &[1, 2]);
+        assert_eq!(a % 16, 0);
+        assert_eq!(b % 16, 0);
+        assert!(b >= a + 3);
+    }
+
+    #[test]
+    fn forward_declared_functions_resolve() {
+        let mut mb = ModuleBuilder::new("t");
+        let helper = mb.declare("helper");
+        let mut main = mb.function("main");
+        let r = main.call(helper, &[Operand::imm(4)], &[RegClass::Int]);
+        main.emit(r[0]);
+        main.ret(&[]);
+        let main_id = main.finish();
+
+        let mut h = mb.define(helper, "helper");
+        let p = h.param(RegClass::Int);
+        h.set_ret_count(1);
+        let doubled = h.add(Width::W64, p, p);
+        h.ret(&[Operand::reg(doubled)]);
+        h.finish();
+
+        let m = mb.finish(main_id);
+        assert_eq!(m.funcs.len(), 2);
+        // `helper` was declared first, so it holds FuncId(0).
+        assert_eq!(helper.index(), 0);
+        assert_eq!(m.funcs[helper.index()].params.len(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for IR verification and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// A structural or type error found by [`crate::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    problems: Vec<String>,
+}
+
+impl VerifyError {
+    pub(crate) fn new(problems: Vec<String>) -> Self {
+        VerifyError { problems }
+    }
+
+    /// The individual problems, one message each.
+    pub fn problems(&self) -> &[String] {
+        &self.problems
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "module verification failed ({} problems)",
+            self.problems.len()
+        )?;
+        for p in &self.problems {
+            write!(f, "\n  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for VerifyError {}
+
+/// An error produced while parsing IR text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError {
+    line: usize,
+    message: String,
+}
+
+impl IrError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        IrError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number where the error occurred.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for IrError {}

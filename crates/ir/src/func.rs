@@ -1,0 +1,163 @@
+//! Functions: parameter lists, virtual register bookkeeping and blocks.
+
+use crate::block::{Block, BlockId};
+use crate::reg::{RegClass, Vreg};
+use std::fmt;
+
+/// Identifier of a function within a module.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Index into the module's function vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A function: virtual-register code over basic blocks.
+///
+/// Block 0 is the entry block. Parameters materialize in the listed virtual
+/// registers on entry; the calling convention is applied later by the
+/// lowering pass in `sor-regalloc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Human-readable name.
+    pub name: String,
+    /// Parameter registers, in order.
+    pub params: Vec<Vreg>,
+    /// Number of values this function returns.
+    pub ret_count: usize,
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<Block>,
+    next_int: u32,
+    next_float: u32,
+}
+
+impl Function {
+    /// Creates an empty function with no blocks.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret_count: 0,
+            blocks: Vec::new(),
+            next_int: 0,
+            next_float: 0,
+        }
+    }
+
+    /// Allocates a fresh virtual register of the given class.
+    pub fn new_vreg(&mut self, class: RegClass) -> Vreg {
+        let idx = match class {
+            RegClass::Int => {
+                let i = self.next_int;
+                self.next_int += 1;
+                i
+            }
+            RegClass::Float => {
+                let i = self.next_float;
+                self.next_float += 1;
+                i
+            }
+        };
+        Vreg::new(idx, class)
+    }
+
+    /// Number of integer virtual registers allocated so far.
+    pub fn int_vreg_count(&self) -> u32 {
+        self.next_int
+    }
+
+    /// Number of float virtual registers allocated so far.
+    pub fn float_vreg_count(&self) -> u32 {
+        self.next_float
+    }
+
+    /// Raises the vreg counters to at least the given values. Used by the
+    /// parser and by transform passes that rebuild a function while keeping
+    /// the original virtual-register numbering.
+    pub fn set_vreg_counts(&mut self, int: u32, float: u32) {
+        self.next_int = self.next_int.max(int);
+        self.next_float = self.next_float.max(float);
+    }
+
+    /// Appends a block and returns its id.
+    pub fn push_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(block);
+        id
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total number of instructions, counting terminators.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len() + 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Terminator;
+
+    #[test]
+    fn vreg_allocation_is_per_class() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(RegClass::Int);
+        let b = f.new_vreg(RegClass::Float);
+        let c = f.new_vreg(RegClass::Int);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 0);
+        assert_eq!(c.index(), 1);
+        assert_eq!(f.int_vreg_count(), 2);
+        assert_eq!(f.float_vreg_count(), 1);
+    }
+
+    #[test]
+    fn block_push_returns_sequential_ids() {
+        let mut f = Function::new("t");
+        let b0 = f.push_block(Block::new(Terminator::Ret { vals: vec![] }));
+        let b1 = f.push_block(Block::new(Terminator::Jump(b0)));
+        assert_eq!(b0, BlockId(0));
+        assert_eq!(b1, BlockId(1));
+        assert_eq!(f.inst_count(), 2);
+    }
+}

@@ -1,0 +1,501 @@
+//! The executable program image: flat, physical-register code.
+//!
+//! `sor-regalloc` lowers a virtual-register [`crate::Module`] into a
+//! [`Program`]: one flat instruction array with branch targets resolved to
+//! instruction indices and all values living in the machine's physical
+//! register files. This is the form `sor-sim` executes and injects faults
+//! into — faults strike *physical* registers, exactly as the paper's
+//! injector struck the PPC970 register file.
+
+use crate::inst::{ExtFunc, ProbeEvent, TrapKind};
+use crate::module::GlobalData;
+use crate::opcode::{AluOp, CmpOp, FpOp};
+use crate::reg::Preg;
+use crate::types::{MemWidth, Width};
+use std::fmt;
+
+/// Number of integer physical registers (PPC970 has 32 GPRs).
+pub const NUM_IREGS: usize = 32;
+/// Number of floating-point physical registers.
+pub const NUM_FREGS: usize = 32;
+/// The stack pointer register (`r1`, as on PPC). Reserved by the allocator
+/// and excluded from fault injection, mirroring the paper's exclusion of the
+/// stack pointer and TOC pointer (§7.1).
+pub const SP: Preg = Preg::const_int(1);
+
+/// A physical operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum POperand {
+    /// A physical register read.
+    Reg(Preg),
+    /// An immediate value.
+    Imm(i64),
+}
+
+impl fmt::Display for POperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            POperand::Reg(r) => write!(f, "{r}"),
+            POperand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A value source for call arguments and return values: a register, an
+/// immediate, or a spill slot in the current frame (memory-passed values
+/// under the caller-save ABI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PArg {
+    /// Read from a physical register.
+    Reg(Preg),
+    /// An immediate value.
+    Imm(i64),
+    /// Read 8 bytes from `[sp + 8*slot]` in the current frame. The register
+    /// class tells the machine which value domain the bits belong to.
+    Slot(u32, crate::reg::RegClass),
+}
+
+/// A value destination for incoming parameters: a register or a spill slot
+/// in the (just-allocated) frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PLoc {
+    /// Write to a physical register.
+    Reg(Preg),
+    /// Write 8 bytes to `[sp + 8*slot]`.
+    Slot(u32, crate::reg::RegClass),
+}
+
+/// One instruction of the executable image.
+///
+/// Control flow is resolved: jump/branch targets and call entry points are
+/// indices into [`Program::insts`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PInst {
+    /// Integer ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Operation width.
+        width: Width,
+        /// Destination register.
+        dst: Preg,
+        /// First source.
+        a: POperand,
+        /// Second source.
+        b: POperand,
+    },
+    /// Integer comparison producing 0/1.
+    Cmp {
+        /// Relation.
+        op: CmpOp,
+        /// Source interpretation width.
+        width: Width,
+        /// Destination register.
+        dst: Preg,
+        /// First source.
+        a: POperand,
+        /// Second source.
+        b: POperand,
+    },
+    /// Move / load-immediate.
+    Mov {
+        /// Destination register.
+        dst: Preg,
+        /// Source.
+        src: POperand,
+    },
+    /// Conditional select.
+    Select {
+        /// Destination register.
+        dst: Preg,
+        /// Condition register.
+        cond: Preg,
+        /// Value when non-zero.
+        t: POperand,
+        /// Value when zero.
+        f: POperand,
+    },
+    /// Integer load.
+    Load {
+        /// Destination register.
+        dst: Preg,
+        /// Base address register.
+        base: Preg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend when true.
+        signed: bool,
+    },
+    /// Integer store.
+    Store {
+        /// Base address register.
+        base: Preg,
+        /// Byte offset.
+        offset: i64,
+        /// Stored value.
+        src: POperand,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Floating-point operation.
+    Fpu {
+        /// Operation.
+        op: FpOp,
+        /// Destination register (float file).
+        dst: Preg,
+        /// First source.
+        a: Preg,
+        /// Second source.
+        b: Preg,
+    },
+    /// Floating-point immediate (IEEE-754 bits).
+    FMovImm {
+        /// Destination register (float file).
+        dst: Preg,
+        /// Raw bits of the double.
+        bits: u64,
+    },
+    /// Floating-point move.
+    FMov {
+        /// Destination register (float file).
+        dst: Preg,
+        /// Source register (float file).
+        src: Preg,
+    },
+    /// Floating-point comparison producing an integer flag.
+    FCmp {
+        /// Relation.
+        op: CmpOp,
+        /// Destination register (integer file).
+        dst: Preg,
+        /// First source (float file).
+        a: Preg,
+        /// Second source (float file).
+        b: Preg,
+    },
+    /// Signed integer → double conversion.
+    CvtIF {
+        /// Destination (float file).
+        dst: Preg,
+        /// Source (integer file).
+        src: Preg,
+    },
+    /// Double → signed integer conversion.
+    CvtFI {
+        /// Destination (integer file).
+        dst: Preg,
+        /// Source (float file).
+        src: Preg,
+    },
+    /// Double load.
+    FLoad {
+        /// Destination (float file).
+        dst: Preg,
+        /// Base address register.
+        base: Preg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Double store.
+    FStore {
+        /// Base address register.
+        base: Preg,
+        /// Byte offset.
+        offset: i64,
+        /// Stored value (float file).
+        src: Preg,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump(usize),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition register.
+        cond: Preg,
+        /// Target when non-zero.
+        t: usize,
+        /// Target when zero.
+        f: usize,
+    },
+    /// Call to an internal function at `target` (its `Enter` instruction).
+    ///
+    /// Argument transfer is performed by the machine as part of the
+    /// call/return protocol (the ABI plumbing), modeled as fault-immune like
+    /// the paper's uninjected TOC/stack-pointer machinery.
+    CallInt {
+        /// Entry instruction index of the callee.
+        target: usize,
+        /// Argument sources, read in the caller's frame.
+        args: Vec<PArg>,
+        /// Return destinations, written in the caller's frame on return.
+        rets: Vec<PLoc>,
+    },
+    /// Call to an external routine (output emission).
+    CallExt {
+        /// The routine.
+        func: ExtFunc,
+        /// Argument sources.
+        args: Vec<PArg>,
+    },
+    /// Function prologue: allocates the frame and receives arguments.
+    Enter {
+        /// Frame size in bytes (spill slots).
+        frame_size: u32,
+        /// Locations that receive the incoming arguments.
+        params: Vec<PLoc>,
+    },
+    /// Function epilogue/return: frees the frame and returns values.
+    Ret {
+        /// Returned values, read before the frame is freed.
+        vals: Vec<PArg>,
+        /// Frame size to free (must match the `Enter`).
+        frame_size: u32,
+    },
+    /// Abnormal termination.
+    Trap(TrapKind),
+    /// Instrumentation probe (no architectural effect).
+    Probe(ProbeEvent),
+}
+
+impl PInst {
+    /// Whether this instruction accesses data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            PInst::Load { .. } | PInst::Store { .. } | PInst::FLoad { .. } | PInst::FStore { .. }
+        )
+    }
+}
+
+/// An executable program image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name (from the source module).
+    pub name: String,
+    /// Flat instruction array.
+    pub insts: Vec<PInst>,
+    /// Index of the entry function's `Enter` instruction.
+    pub entry: usize,
+    /// Initialized global data.
+    pub globals: Vec<GlobalData>,
+    /// Bytes of global segment the program uses.
+    pub global_extent: u64,
+}
+
+impl Program {
+    /// Number of instructions in the image.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+impl fmt::Display for PInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PInst::Alu {
+                op,
+                width,
+                dst,
+                a,
+                b,
+            } => write!(f, "{dst} = {op}.{width} {a}, {b}"),
+            PInst::Cmp {
+                op,
+                width,
+                dst,
+                a,
+                b,
+            } => write!(f, "{dst} = {op}.{width} {a}, {b}"),
+            PInst::Mov { dst, src } => write!(f, "{dst} = mov {src}"),
+            PInst::Select {
+                dst,
+                cond,
+                t,
+                f: fv,
+            } => {
+                write!(f, "{dst} = select {cond}, {t}, {fv}")
+            }
+            PInst::Load {
+                dst,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
+                let s = if *signed { "s" } else { "u" };
+                write!(f, "{dst} = load.{width}.{s} {base}{offset:+}")
+            }
+            PInst::Store {
+                base,
+                offset,
+                src,
+                width,
+            } => write!(f, "store.{width} {base}{offset:+}, {src}"),
+            PInst::Fpu { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            PInst::FMovImm { dst, bits } => {
+                write!(f, "{dst} = fmovi {} ; {:?}", bits, f64::from_bits(*bits))
+            }
+            PInst::FMov { dst, src } => write!(f, "{dst} = fmov {src}"),
+            PInst::FCmp { op, dst, a, b } => write!(f, "{dst} = f{op} {a}, {b}"),
+            PInst::CvtIF { dst, src } => write!(f, "{dst} = cvtif {src}"),
+            PInst::CvtFI { dst, src } => write!(f, "{dst} = cvtfi {src}"),
+            PInst::FLoad { dst, base, offset } => write!(f, "{dst} = fload {base}{offset:+}"),
+            PInst::FStore { base, offset, src } => write!(f, "fstore {base}{offset:+}, {src}"),
+            PInst::Jump(t) => write!(f, "jump @{t}"),
+            PInst::Branch { cond, t, f: fb } => write!(f, "branch {cond}, @{t}, @{fb}"),
+            PInst::CallInt { target, args, rets } => {
+                write!(f, "call @{target}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    match a {
+                        PArg::Reg(p) => write!(f, "{p}")?,
+                        PArg::Imm(v) => write!(f, "{v}")?,
+                        PArg::Slot(s, _) => write!(f, "[sp+{}]", s * 8)?,
+                    }
+                }
+                f.write_str(")")?;
+                if !rets.is_empty() {
+                    f.write_str(" -> (")?;
+                    for (i, r) in rets.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        match r {
+                            PLoc::Reg(p) => write!(f, "{p}")?,
+                            PLoc::Slot(s, _) => write!(f, "[sp+{}]", s * 8)?,
+                        }
+                    }
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            PInst::CallExt { func, args } => {
+                write!(f, "call @{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    match a {
+                        PArg::Reg(p) => write!(f, "{p}")?,
+                        PArg::Imm(v) => write!(f, "{v}")?,
+                        PArg::Slot(s, _) => write!(f, "[sp+{}]", s * 8)?,
+                    }
+                }
+                f.write_str(")")
+            }
+            PInst::Enter { frame_size, params } => {
+                write!(f, "enter frame={frame_size}")?;
+                if !params.is_empty() {
+                    f.write_str(" params=(")?;
+                    for (i, p) in params.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        match p {
+                            PLoc::Reg(r) => write!(f, "{r}")?,
+                            PLoc::Slot(s, _) => write!(f, "[sp+{}]", s * 8)?,
+                        }
+                    }
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            PInst::Ret { vals, frame_size } => {
+                write!(f, "ret frame={frame_size}")?;
+                for (i, v) in vals.iter().enumerate() {
+                    if i == 0 {
+                        f.write_str(" ")?;
+                    } else {
+                        f.write_str(", ")?;
+                    }
+                    match v {
+                        PArg::Reg(p) => write!(f, "{p}")?,
+                        PArg::Imm(x) => write!(f, "{x}")?,
+                        PArg::Slot(s, _) => write!(f, "[sp+{}]", s * 8)?,
+                    }
+                }
+                Ok(())
+            }
+            PInst::Trap(TrapKind::Detected) => f.write_str("trap detected"),
+            PInst::Trap(TrapKind::Abort) => f.write_str("trap abort"),
+            PInst::Probe(e) => write!(f, "probe {}", e.name()),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    /// A disassembly listing: one instruction per line with its index,
+    /// entry point marked.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program {} ({} instructions)",
+            self.name,
+            self.insts.len()
+        )?;
+        for (i, inst) in self.insts.iter().enumerate() {
+            let marker = if i == self.entry { ">" } else { " " };
+            writeln!(f, "{marker}{i:>6}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp_is_r1() {
+        assert_eq!(SP, Preg::int(1));
+        assert!(SP.is_int());
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = Program {
+            name: "t".into(),
+            insts: vec![
+                PInst::Enter {
+                    frame_size: 0,
+                    params: vec![],
+                },
+                PInst::Mov {
+                    dst: Preg::int(2),
+                    src: POperand::Imm(7),
+                },
+                PInst::Ret {
+                    vals: vec![],
+                    frame_size: 0,
+                },
+            ],
+            entry: 0,
+            globals: vec![],
+            global_extent: 0,
+        };
+        let text = p.to_string();
+        assert!(text.contains(">     0: enter frame=0"), "{text}");
+        assert!(text.contains("r2 = mov 7"), "{text}");
+    }
+
+    #[test]
+    fn memory_classification() {
+        let ld = PInst::Load {
+            dst: Preg::int(2),
+            base: Preg::int(3),
+            offset: 0,
+            width: MemWidth::B8,
+            signed: false,
+        };
+        assert!(ld.is_memory());
+        assert!(!PInst::Jump(0).is_memory());
+    }
+}

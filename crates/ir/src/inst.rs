@@ -1,0 +1,528 @@
+//! Instruction definitions.
+
+use crate::func::FuncId;
+use crate::opcode::{AluOp, CmpOp, FpOp};
+use crate::reg::{RegClass, Vreg};
+use crate::types::{MemWidth, Width};
+use std::fmt;
+
+/// An instruction operand: either a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual register read.
+    Reg(Vreg),
+    /// A 64-bit immediate (sign interpretation depends on the operation).
+    Imm(i64),
+}
+
+impl Operand {
+    /// Convenience constructor for a register operand.
+    pub fn reg(v: Vreg) -> Self {
+        Operand::Reg(v)
+    }
+
+    /// Convenience constructor for an immediate operand.
+    pub fn imm(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+
+    /// The register if this operand is one.
+    pub fn as_reg(self) -> Option<Vreg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Vreg> for Operand {
+    fn from(v: Vreg) -> Self {
+        Operand::Reg(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Call target: another function in the module or an external routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A function defined in the same module.
+    Internal(FuncId),
+    /// An external routine outside the protection domain (the paper's
+    /// "system call / external library" case, §2.2).
+    External(ExtFunc),
+}
+
+/// External routines available to simulated programs.
+///
+/// These stand in for the paper's system calls: code outside the protection
+/// domain whose *inputs* the transforms must validate but whose body cannot
+/// be duplicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtFunc {
+    /// Appends one 64-bit integer to the program's output stream.
+    Emit,
+    /// Appends the bit pattern of one 64-bit float to the output stream.
+    EmitF,
+}
+
+impl ExtFunc {
+    /// Name used by the printer and parser.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtFunc::Emit => "emit",
+            ExtFunc::EmitF => "emitf",
+        }
+    }
+
+    /// Number of arguments the routine takes.
+    pub fn arg_count(self) -> usize {
+        1
+    }
+
+    /// Argument register classes.
+    pub fn arg_classes(self) -> &'static [RegClass] {
+        match self {
+            ExtFunc::Emit => &[RegClass::Int],
+            ExtFunc::EmitF => &[RegClass::Float],
+        }
+    }
+}
+
+/// Zero-cost instrumentation events counted by the simulator.
+///
+/// Probes never affect architectural state, dynamic instruction counts or
+/// timing; the recovery transforms place them on their rare repair paths so
+/// campaigns can report how often recovery actually fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeEvent {
+    /// A SWIFT-R majority vote found a disagreeing copy and repaired it.
+    VoteRepair,
+    /// A TRUMP check mismatched and the AN-code recovery sequence ran.
+    TrumpRecover,
+}
+
+impl ProbeEvent {
+    /// Name used by the printer and parser.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeEvent::VoteRepair => "vote_repair",
+            ProbeEvent::TrumpRecover => "trump_recover",
+        }
+    }
+}
+
+/// Abnormal program termination kinds raised by `Terminator::Trap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// A SWIFT detection check fired: a fault was detected but cannot be
+    /// recovered (detection-only technique).
+    Detected,
+    /// Program-initiated abort (assertion failure in workload code).
+    Abort,
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Integer ALU operation: `dst = a <op> b`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Operation width (W32 wraps mod 2^32 and zero-extends).
+        width: Width,
+        /// Destination (integer class).
+        dst: Vreg,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Integer comparison: `dst = (a <op> b) ? 1 : 0`.
+    Cmp {
+        /// Relation.
+        op: CmpOp,
+        /// Width at which sources are interpreted.
+        width: Width,
+        /// Destination (integer class).
+        dst: Vreg,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Integer move / load-immediate: `dst = src`.
+    Mov {
+        /// Destination (integer class).
+        dst: Vreg,
+        /// Source register or immediate.
+        src: Operand,
+    },
+    /// Conditional select: `dst = cond != 0 ? t : f`.
+    Select {
+        /// Destination (integer class).
+        dst: Vreg,
+        /// Condition register.
+        cond: Vreg,
+        /// Value when the condition is non-zero.
+        t: Operand,
+        /// Value when the condition is zero.
+        f: Operand,
+    },
+    /// Compiler-proven range fact: `dst = src`, with the guarantee that the
+    /// value lies in `[lo, hi]` (unsigned). Semantically a move; the range is
+    /// consumed by the TRUMP applicability analysis, standing in for the trip
+    /// count / type information a production compiler derives (§4.3).
+    Assume {
+        /// Destination (integer class).
+        dst: Vreg,
+        /// Source register.
+        src: Vreg,
+        /// Inclusive unsigned lower bound.
+        lo: u64,
+        /// Inclusive unsigned upper bound.
+        hi: u64,
+    },
+    /// Memory load: `dst = [base + offset]`.
+    Load {
+        /// Destination (integer class).
+        dst: Vreg,
+        /// Base address register (integer class).
+        base: Vreg,
+        /// Constant byte offset.
+        offset: i64,
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend narrow loads when true, zero-extend when false.
+        signed: bool,
+    },
+    /// Memory store: `[base + offset] = src`.
+    Store {
+        /// Base address register (integer class).
+        base: Vreg,
+        /// Constant byte offset.
+        offset: i64,
+        /// Stored value.
+        src: Operand,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Floating-point ALU operation: `dst = a <op> b`.
+    Fpu {
+        /// Operation.
+        op: FpOp,
+        /// Destination (float class).
+        dst: Vreg,
+        /// First source (float class).
+        a: Vreg,
+        /// Second source (float class).
+        b: Vreg,
+    },
+    /// Floating-point immediate: `dst = imm`.
+    FMovImm {
+        /// Destination (float class).
+        dst: Vreg,
+        /// Immediate value.
+        imm: f64,
+    },
+    /// Floating-point move: `dst = src`.
+    FMov {
+        /// Destination (float class).
+        dst: Vreg,
+        /// Source (float class).
+        src: Vreg,
+    },
+    /// Floating-point comparison producing an integer flag.
+    FCmp {
+        /// Relation (Lt*/Le* compare ordered less / less-equal).
+        op: CmpOp,
+        /// Destination (integer class).
+        dst: Vreg,
+        /// First source (float class).
+        a: Vreg,
+        /// Second source (float class).
+        b: Vreg,
+    },
+    /// Signed integer to double conversion.
+    CvtIF {
+        /// Destination (float class).
+        dst: Vreg,
+        /// Source (integer class).
+        src: Vreg,
+    },
+    /// Double to signed integer conversion (truncating; saturates at the
+    /// i64 range like Rust's `as`).
+    CvtFI {
+        /// Destination (integer class).
+        dst: Vreg,
+        /// Source (float class).
+        src: Vreg,
+    },
+    /// Floating-point load of a 64-bit double: `dst = [base + offset]`.
+    FLoad {
+        /// Destination (float class).
+        dst: Vreg,
+        /// Base address register (integer class).
+        base: Vreg,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// Floating-point store of a 64-bit double: `[base + offset] = src`.
+    FStore {
+        /// Base address register (integer class).
+        base: Vreg,
+        /// Constant byte offset.
+        offset: i64,
+        /// Stored value (float class).
+        src: Vreg,
+    },
+    /// Function call.
+    Call {
+        /// Target function.
+        callee: Callee,
+        /// Arguments (integer or float registers, or immediates).
+        args: Vec<Operand>,
+        /// Return value destinations.
+        rets: Vec<Vreg>,
+    },
+    /// Instrumentation probe (no architectural effect, zero cost).
+    Probe(ProbeEvent),
+}
+
+impl Inst {
+    /// Registers written by this instruction.
+    pub fn defs(&self) -> Vec<Vreg> {
+        match self {
+            Inst::Alu { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Assume { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Fpu { dst, .. }
+            | Inst::FMovImm { dst, .. }
+            | Inst::FMov { dst, .. }
+            | Inst::FCmp { dst, .. }
+            | Inst::CvtIF { dst, .. }
+            | Inst::CvtFI { dst, .. }
+            | Inst::FLoad { dst, .. } => vec![*dst],
+            Inst::Store { .. } | Inst::FStore { .. } | Inst::Probe(_) => vec![],
+            Inst::Call { rets, .. } => rets.clone(),
+        }
+    }
+
+    /// Registers read by this instruction.
+    pub fn uses(&self) -> Vec<Vreg> {
+        fn op(out: &mut Vec<Vreg>, o: &Operand) {
+            if let Operand::Reg(r) = o {
+                out.push(*r);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Inst::Alu { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                op(&mut out, a);
+                op(&mut out, b);
+            }
+            Inst::Mov { src, .. } => op(&mut out, src),
+            Inst::Select { cond, t, f, .. } => {
+                out.push(*cond);
+                op(&mut out, t);
+                op(&mut out, f);
+            }
+            Inst::Assume { src, .. } => out.push(*src),
+            Inst::Load { base, .. } => out.push(*base),
+            Inst::Store { base, src, .. } => {
+                out.push(*base);
+                op(&mut out, src);
+            }
+            Inst::Fpu { a, b, .. } => {
+                out.push(*a);
+                out.push(*b);
+            }
+            Inst::FMovImm { .. } | Inst::Probe(_) => {}
+            Inst::FMov { src, .. } | Inst::CvtIF { src, .. } | Inst::CvtFI { src, .. } => {
+                out.push(*src)
+            }
+            Inst::FCmp { a, b, .. } => {
+                out.push(*a);
+                out.push(*b);
+            }
+            Inst::FLoad { base, .. } => out.push(*base),
+            Inst::FStore { base, src, .. } => {
+                out.push(*base);
+                out.push(*src);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    op(&mut out, a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rewrites every register use through `f` (definitions are untouched).
+    pub fn map_uses(&mut self, mut f: impl FnMut(Vreg) -> Vreg) {
+        fn op<F: FnMut(Vreg) -> Vreg>(o: &mut Operand, f: &mut F) {
+            if let Operand::Reg(r) = o {
+                *r = f(*r);
+            }
+        }
+        match self {
+            Inst::Alu { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                op(a, &mut f);
+                op(b, &mut f);
+            }
+            Inst::Mov { src, .. } => op(src, &mut f),
+            Inst::Select { cond, t, f: fo, .. } => {
+                *cond = f(*cond);
+                op(t, &mut f);
+                op(fo, &mut f);
+            }
+            Inst::Assume { src, .. } => *src = f(*src),
+            Inst::Load { base, .. } => *base = f(*base),
+            Inst::Store { base, src, .. } => {
+                *base = f(*base);
+                op(src, &mut f);
+            }
+            Inst::Fpu { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Inst::FMovImm { .. } | Inst::Probe(_) => {}
+            Inst::FMov { src, .. } | Inst::CvtIF { src, .. } | Inst::CvtFI { src, .. } => {
+                *src = f(*src)
+            }
+            Inst::FCmp { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Inst::FLoad { base, .. } => *base = f(*base),
+            Inst::FStore { base, src, .. } => {
+                *base = f(*base);
+                *src = f(*src);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    op(a, &mut f);
+                }
+            }
+        }
+    }
+
+    /// Rewrites every register definition through `f`.
+    pub fn map_defs(&mut self, mut f: impl FnMut(Vreg) -> Vreg) {
+        match self {
+            Inst::Alu { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Assume { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Fpu { dst, .. }
+            | Inst::FMovImm { dst, .. }
+            | Inst::FMov { dst, .. }
+            | Inst::FCmp { dst, .. }
+            | Inst::CvtIF { dst, .. }
+            | Inst::CvtFI { dst, .. }
+            | Inst::FLoad { dst, .. } => *dst = f(*dst),
+            Inst::Store { .. } | Inst::FStore { .. } | Inst::Probe(_) => {}
+            Inst::Call { rets, .. } => {
+                for r in rets {
+                    *r = f(*r);
+                }
+            }
+        }
+    }
+
+    /// Whether this instruction touches memory (loads or stores).
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::FLoad { .. } | Inst::FStore { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::RegClass;
+
+    fn v(i: u32) -> Vreg {
+        Vreg::new(i, RegClass::Int)
+    }
+
+    #[test]
+    fn defs_and_uses_of_alu() {
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            width: Width::W64,
+            dst: v(0),
+            a: Operand::reg(v(1)),
+            b: Operand::imm(3),
+        };
+        assert_eq!(i.defs(), vec![v(0)]);
+        assert_eq!(i.uses(), vec![v(1)]);
+    }
+
+    #[test]
+    fn store_has_no_defs() {
+        let i = Inst::Store {
+            base: v(1),
+            offset: 8,
+            src: Operand::reg(v(2)),
+            width: MemWidth::B8,
+        };
+        assert!(i.defs().is_empty());
+        assert_eq!(i.uses(), vec![v(1), v(2)]);
+        assert!(i.is_memory());
+    }
+
+    #[test]
+    fn map_uses_rewrites_all_reads() {
+        let mut i = Inst::Select {
+            dst: v(0),
+            cond: v(1),
+            t: Operand::reg(v(2)),
+            f: Operand::imm(9),
+        };
+        i.map_uses(|r| v(r.index() + 10));
+        assert_eq!(i.uses(), vec![v(11), v(12)]);
+        assert_eq!(i.defs(), vec![v(0)]);
+    }
+
+    #[test]
+    fn map_defs_rewrites_call_rets() {
+        let mut i = Inst::Call {
+            callee: Callee::External(ExtFunc::Emit),
+            args: vec![Operand::reg(v(5))],
+            rets: vec![v(6)],
+        };
+        i.map_defs(|_| v(9));
+        assert_eq!(i.defs(), vec![v(9)]);
+        assert_eq!(i.uses(), vec![v(5)]);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = v(4).into();
+        assert_eq!(o.as_reg(), Some(v(4)));
+        let o: Operand = 7i64.into();
+        assert_eq!(o.as_reg(), None);
+    }
+}

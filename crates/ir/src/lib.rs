@@ -1,0 +1,56 @@
+//! # sor-ir — the compiler IR substrate
+//!
+//! A typed, register-machine intermediate representation modeled on the
+//! pre-register-allocation backend IR the DSN 2006 paper's gcc pass operated
+//! on. Programs are [`Module`]s of [`Function`]s made of [`Block`]s of
+//! three-address [`Inst`]ructions over an unbounded supply of virtual
+//! registers ([`Vreg`]). Integer and floating-point registers live in
+//! separate classes, mirroring the PPC970's split register files (the paper
+//! neither protects nor injects faults into FP registers).
+//!
+//! The reliability transforms in `sor-core` rewrite modules at this level;
+//! `sor-regalloc` then lowers a module to a flat, physical-register
+//! [`Program`] image that `sor-sim` executes.
+//!
+//! ```
+//! use sor_ir::{ModuleBuilder, Width, Operand};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let out = mb.alloc_global("out", 8);
+//! let mut f = mb.function("main");
+//! let x = f.movi(21);
+//! let y = f.add(Width::W64, x, Operand::imm(21));
+//! let addr = f.movi(out as i64);
+//! f.store(sor_ir::MemWidth::B8, addr, 0, Operand::reg(y));
+//! f.ret(&[]);
+//! let main = f.finish();
+//! let module = mb.finish(main);
+//! assert!(sor_ir::verify(&module).is_ok());
+//! ```
+
+mod block;
+mod builder;
+mod error;
+mod func;
+mod image;
+mod inst;
+mod module;
+mod opcode;
+mod parser;
+mod printer;
+mod reg;
+mod types;
+mod verify;
+
+pub use block::{Block, BlockId, Terminator};
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use error::{IrError, VerifyError};
+pub use func::{FuncId, Function};
+pub use image::{PArg, PInst, PLoc, POperand, Program, NUM_FREGS, NUM_IREGS, SP};
+pub use inst::{Callee, ExtFunc, Inst, Operand, ProbeEvent, TrapKind};
+pub use module::{layout, GlobalData, Module};
+pub use opcode::{AluOp, CmpOp, FpOp};
+pub use parser::parse_module;
+pub use reg::{Preg, RegClass, Vreg};
+pub use types::{MemWidth, Width};
+pub use verify::verify;

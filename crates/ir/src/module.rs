@@ -1,0 +1,133 @@
+//! Modules: the unit of compilation, transformation and lowering.
+
+use crate::func::{FuncId, Function};
+
+/// Address-space layout of the simulated machine.
+///
+/// These constants are shared between the module's global allocator and the
+/// simulator's memory map. Everything outside the three mapped segments
+/// (globals, stack, output MMIO) raises a SEGV, which is what makes random
+/// single-bit address corruption overwhelmingly segfault rather than
+/// silently corrupt data — the effect behind the paper's high NOFT SEGV rate.
+pub mod layout {
+    /// First valid global/heap address. The low region is an unmapped null
+    /// guard so that near-null dereferences fault.
+    pub const GLOBAL_BASE: u64 = 0x1000_0000;
+    /// Maximum size of the global/heap segment in bytes.
+    pub const GLOBAL_MAX: u64 = 0x0800_0000;
+    /// Lowest stack address (the stack grows down from `STACK_TOP`).
+    pub const STACK_BASE: u64 = 0x6FF0_0000;
+    /// Initial stack pointer.
+    pub const STACK_TOP: u64 = 0x7000_0000;
+    /// Base of the memory-mapped output region: 8-byte stores to this page
+    /// append to the program's output stream.
+    pub const OUT_BASE: u64 = 0xF000_0000;
+    /// Size of the output MMIO page.
+    pub const OUT_SIZE: u64 = 0x1000;
+}
+
+/// A chunk of initialized global memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalData {
+    /// Symbolic name (diagnostics only).
+    pub name: String,
+    /// Absolute address within the global segment.
+    pub addr: u64,
+    /// Initial contents; the segment beyond `bytes` is zero up to `size`.
+    pub bytes: Vec<u8>,
+    /// Total reserved size in bytes (≥ `bytes.len()`).
+    pub size: u64,
+}
+
+/// A module: functions plus initialized global data plus an entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Human-readable name.
+    pub name: String,
+    /// All functions; indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// Initialized global data regions (non-overlapping).
+    pub globals: Vec<GlobalData>,
+    /// The function executed when the program starts.
+    pub entry: FuncId,
+}
+
+impl Module {
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(Function::inst_count).sum()
+    }
+
+    /// Bytes of global memory the module needs, measured from
+    /// [`layout::GLOBAL_BASE`].
+    pub fn global_extent(&self) -> u64 {
+        self.globals
+            .iter()
+            .map(|g| g.addr + g.size - layout::GLOBAL_BASE)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, Terminator};
+
+    #[test]
+    fn func_by_name_finds_functions() {
+        let mut main = Function::new("main");
+        main.push_block(Block::new(Terminator::Ret { vals: vec![] }));
+        let m = Module {
+            name: "t".into(),
+            funcs: vec![main, Function::new("helper")],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        assert_eq!(m.func_by_name("helper"), Some(FuncId(1)));
+        assert_eq!(m.func_by_name("nope"), None);
+        assert_eq!(m.func(FuncId(0)).name, "main");
+    }
+
+    #[test]
+    fn global_extent_measures_from_base() {
+        let m = Module {
+            name: "t".into(),
+            funcs: vec![],
+            globals: vec![GlobalData {
+                name: "g".into(),
+                addr: layout::GLOBAL_BASE + 0x100,
+                bytes: vec![],
+                size: 64,
+            }],
+            entry: FuncId(0),
+        };
+        assert_eq!(m.global_extent(), 0x100 + 64);
+    }
+}

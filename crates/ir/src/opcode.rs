@@ -1,0 +1,226 @@
+//! Opcode definitions for integer, comparison and floating-point operations.
+
+use std::fmt;
+
+/// Two-source integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division. Division by zero raises a machine fault (SEGV-class
+    /// abnormal termination, as on PPC with trapping div).
+    DivU,
+    /// Signed division (round toward zero).
+    DivS,
+    /// Unsigned remainder.
+    RemU,
+    /// Signed remainder.
+    RemS,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left (shift amount taken modulo the width).
+    Shl,
+    /// Logical shift right.
+    ShrL,
+    /// Arithmetic shift right.
+    ShrA,
+}
+
+impl AluOp {
+    /// All ALU opcodes, for exhaustive tests and random program generation.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::DivU,
+        AluOp::DivS,
+        AluOp::RemU,
+        AluOp::RemS,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::ShrL,
+        AluOp::ShrA,
+    ];
+
+    /// Mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::DivU => "divu",
+            AluOp::DivS => "divs",
+            AluOp::RemU => "remu",
+            AluOp::RemS => "rems",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::ShrL => "shrl",
+            AluOp::ShrA => "shra",
+        }
+    }
+
+    /// Whether the operation can raise a division fault at runtime.
+    pub fn can_trap(self) -> bool {
+        matches!(self, AluOp::DivU | AluOp::DivS | AluOp::RemU | AluOp::RemS)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison operations; the destination receives 1 when the relation holds
+/// and 0 otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Signed less-than.
+    LtS,
+    /// Unsigned less-than.
+    LtU,
+    /// Signed less-or-equal.
+    LeS,
+    /// Unsigned less-or-equal.
+    LeU,
+}
+
+impl CmpOp {
+    /// All comparison opcodes.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::LtS,
+        CmpOp::LtU,
+        CmpOp::LeS,
+        CmpOp::LeU,
+    ];
+
+    /// Mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "cmpeq",
+            CmpOp::Ne => "cmpne",
+            CmpOp::LtS => "cmplts",
+            CmpOp::LtU => "cmpltu",
+            CmpOp::LeS => "cmples",
+            CmpOp::LeU => "cmpleu",
+        }
+    }
+
+    /// Evaluates the comparison on two 64-bit values (already width-adjusted).
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::LtS => (a as i64) < (b as i64),
+            CmpOp::LtU => a < b,
+            CmpOp::LeS => (a as i64) <= (b as i64),
+            CmpOp::LeU => a <= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Two-source floating-point operations (IEEE-754 double).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl FpOp {
+    /// All FP opcodes.
+    pub const ALL: [FpOp; 4] = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div];
+
+    /// Mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "fadd",
+            FpOp::Sub => "fsub",
+            FpOp::Mul => "fmul",
+            FpOp::Div => "fdiv",
+        }
+    }
+
+    /// Evaluates the operation.
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpOp::Add => a + b,
+            FpOp::Sub => a - b,
+            FpOp::Mul => a * b,
+            FpOp::Div => a / b,
+        }
+    }
+}
+
+impl fmt::Display for FpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_covers_signedness() {
+        let neg = (-1i64) as u64;
+        assert!(CmpOp::LtS.eval(neg, 1));
+        assert!(!CmpOp::LtU.eval(neg, 1));
+        assert!(CmpOp::LeS.eval(5, 5));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(CmpOp::Eq.eval(7, 7));
+        assert!(CmpOp::LeU.eval(1, neg));
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in AluOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        for op in CmpOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        for op in FpOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+    }
+
+    #[test]
+    fn only_divisions_trap() {
+        for op in AluOp::ALL {
+            let expect = matches!(op, AluOp::DivU | AluOp::DivS | AluOp::RemU | AluOp::RemS);
+            assert_eq!(op.can_trap(), expect, "{op}");
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! Parser for the textual IR form produced by the printer.
+//!
+//! The grammar is exactly what `Module`'s `Display` implementation emits, so
+//! `parse_module(&module.to_string())` round-trips. The parser is used by
+//! tests, examples and debugging workflows ("dump a transformed module, edit
+//! it, re-run it").
+
+use crate::block::{Block, BlockId, Terminator};
+use crate::error::IrError;
+use crate::func::{FuncId, Function};
+use crate::inst::{Callee, ExtFunc, Inst, Operand, ProbeEvent, TrapKind};
+use crate::module::{GlobalData, Module};
+use crate::opcode::{AluOp, CmpOp, FpOp};
+use crate::reg::{RegClass, Vreg};
+use crate::types::{MemWidth, Width};
+
+/// Parses a module from its textual form.
+///
+/// # Errors
+///
+/// Returns an [`IrError`] with the offending line number on any syntax
+/// error. The result is *not* verified; run [`crate::verify`] separately.
+pub fn parse_module(text: &str) -> Result<Module, IrError> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, IrError>;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.split(';').next().unwrap_or("").trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> PResult<(usize, &'a str)> {
+        let l = self
+            .peek()
+            .ok_or_else(|| IrError::new(self.lines.last().map_or(0, |l| l.0), "unexpected end"))?;
+        self.pos += 1;
+        Ok(l)
+    }
+
+    fn parse(&mut self) -> PResult<Module> {
+        let (ln, l) = self.next()?;
+        let name = l
+            .strip_prefix("module ")
+            .ok_or_else(|| IrError::new(ln, "expected 'module <name>'"))?
+            .to_string();
+        let (ln, l) = self.next()?;
+        let entry_txt = l
+            .strip_prefix("entry fn")
+            .ok_or_else(|| IrError::new(ln, "expected 'entry fnN'"))?;
+        let entry = FuncId(
+            entry_txt
+                .parse()
+                .map_err(|_| IrError::new(ln, "bad entry id"))?,
+        );
+
+        let mut globals = Vec::new();
+        while let Some((ln, l)) = self.peek() {
+            if !l.starts_with("global ") {
+                break;
+            }
+            self.pos += 1;
+            globals.push(parse_global(ln, l)?);
+        }
+
+        let mut funcs = Vec::new();
+        while self.peek().is_some() {
+            funcs.push(self.parse_func()?);
+        }
+        Ok(Module {
+            name,
+            funcs,
+            globals,
+            entry,
+        })
+    }
+
+    fn parse_func(&mut self) -> PResult<Function> {
+        let (ln, l) = self.next()?;
+        let rest = l
+            .strip_prefix("func ")
+            .ok_or_else(|| IrError::new(ln, "expected 'func'"))?;
+        let open = rest
+            .find('(')
+            .ok_or_else(|| IrError::new(ln, "missing '('"))?;
+        let close = rest
+            .rfind(')')
+            .ok_or_else(|| IrError::new(ln, "missing ')'"))?;
+        let name = rest[..open].to_string();
+        let mut func = Function::new(name);
+        let params_txt = &rest[open + 1..close];
+        for p in params_txt
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            let (reg, _class) = p
+                .split_once(':')
+                .ok_or_else(|| IrError::new(ln, "bad param"))?;
+            let v = parse_vreg(ln, reg.trim())?;
+            func.params.push(v);
+        }
+        let tail = rest[close + 1..].trim();
+        let rets_txt = tail
+            .strip_prefix("rets ")
+            .and_then(|t| t.strip_suffix('{'))
+            .ok_or_else(|| IrError::new(ln, "expected 'rets N {'"))?;
+        func.ret_count = rets_txt
+            .trim()
+            .parse()
+            .map_err(|_| IrError::new(ln, "bad ret count"))?;
+
+        let mut max_int = func
+            .params
+            .iter()
+            .filter(|p| p.is_int())
+            .map(|p| p.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut max_float = func
+            .params
+            .iter()
+            .filter(|p| !p.is_int())
+            .map(|p| p.index() + 1)
+            .max()
+            .unwrap_or(0);
+
+        // Blocks until '}'.
+        loop {
+            let (ln, l) = self.next()?;
+            if l == "}" {
+                break;
+            }
+            let label = l
+                .strip_suffix(':')
+                .and_then(|s| s.strip_prefix('b'))
+                .ok_or_else(|| IrError::new(ln, "expected block label 'bN:'"))?;
+            let _id: u32 = label.parse().map_err(|_| IrError::new(ln, "bad label"))?;
+            let mut block = Block::new(Terminator::Trap(TrapKind::Abort));
+            loop {
+                let (ln, l) = self.next()?;
+                if let Some(term) = parse_terminator(ln, l)? {
+                    block.term = term;
+                    break;
+                }
+                let inst = parse_inst(ln, l)?;
+                for d in inst.defs().iter().chain(inst.uses().iter()) {
+                    if d.is_int() {
+                        max_int = max_int.max(d.index() + 1);
+                    } else {
+                        max_float = max_float.max(d.index() + 1);
+                    }
+                }
+                block.insts.push(inst);
+            }
+            for u in block.term.uses() {
+                if u.is_int() {
+                    max_int = max_int.max(u.index() + 1);
+                } else {
+                    max_float = max_float.max(u.index() + 1);
+                }
+            }
+            func.push_block(block);
+        }
+        func.set_vreg_counts(max_int, max_float);
+        Ok(func)
+    }
+}
+
+fn parse_global(ln: usize, l: &str) -> PResult<GlobalData> {
+    // global NAME @ 0xADDR size N init HEX|-
+    let rest = l.strip_prefix("global ").unwrap();
+    let mut it = rest.split_whitespace();
+    let name = it
+        .next()
+        .ok_or_else(|| IrError::new(ln, "missing global name"))?
+        .to_string();
+    let at = it.next();
+    if at != Some("@") {
+        return Err(IrError::new(ln, "expected '@'"));
+    }
+    let addr_txt = it.next().ok_or_else(|| IrError::new(ln, "missing addr"))?;
+    let addr = u64::from_str_radix(addr_txt.trim_start_matches("0x"), 16)
+        .map_err(|_| IrError::new(ln, "bad address"))?;
+    if it.next() != Some("size") {
+        return Err(IrError::new(ln, "expected 'size'"));
+    }
+    let size: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| IrError::new(ln, "bad size"))?;
+    if it.next() != Some("init") {
+        return Err(IrError::new(ln, "expected 'init'"));
+    }
+    let hex = it.next().ok_or_else(|| IrError::new(ln, "missing init"))?;
+    let bytes = if hex == "-" {
+        Vec::new()
+    } else {
+        if hex.len() % 2 != 0 {
+            return Err(IrError::new(ln, "odd hex initializer"));
+        }
+        (0..hex.len() / 2)
+            .map(|i| u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| IrError::new(ln, "bad hex initializer"))?
+    };
+    Ok(GlobalData {
+        name,
+        addr,
+        bytes,
+        size,
+    })
+}
+
+fn parse_vreg(ln: usize, s: &str) -> PResult<Vreg> {
+    if let Some(n) = s.strip_prefix("vf") {
+        let idx = n.parse().map_err(|_| IrError::new(ln, "bad vreg"))?;
+        Ok(Vreg::new(idx, RegClass::Float))
+    } else if let Some(n) = s.strip_prefix('v') {
+        let idx = n.parse().map_err(|_| IrError::new(ln, "bad vreg"))?;
+        Ok(Vreg::new(idx, RegClass::Int))
+    } else {
+        Err(IrError::new(ln, format!("expected register, got '{s}'")))
+    }
+}
+
+fn parse_operand(ln: usize, s: &str) -> PResult<Operand> {
+    let s = s.trim();
+    if s.starts_with('v') {
+        Ok(Operand::Reg(parse_vreg(ln, s)?))
+    } else {
+        s.parse::<i64>()
+            .map(Operand::Imm)
+            .map_err(|_| IrError::new(ln, format!("bad operand '{s}'")))
+    }
+}
+
+fn parse_block_id(ln: usize, s: &str) -> PResult<BlockId> {
+    s.trim()
+        .strip_prefix('b')
+        .and_then(|n| n.parse().ok())
+        .map(BlockId)
+        .ok_or_else(|| IrError::new(ln, format!("bad block id '{s}'")))
+}
+
+fn parse_width(ln: usize, s: &str) -> PResult<Width> {
+    match s {
+        "w32" => Ok(Width::W32),
+        "w64" => Ok(Width::W64),
+        _ => Err(IrError::new(ln, format!("bad width '{s}'"))),
+    }
+}
+
+fn parse_mem_width(ln: usize, s: &str) -> PResult<MemWidth> {
+    match s {
+        "b1" => Ok(MemWidth::B1),
+        "b2" => Ok(MemWidth::B2),
+        "b4" => Ok(MemWidth::B4),
+        "b8" => Ok(MemWidth::B8),
+        _ => Err(IrError::new(ln, format!("bad mem width '{s}'"))),
+    }
+}
+
+fn alu_from_mnemonic(s: &str) -> Option<AluOp> {
+    AluOp::ALL.into_iter().find(|o| o.mnemonic() == s)
+}
+
+fn cmp_from_mnemonic(s: &str) -> Option<CmpOp> {
+    CmpOp::ALL.into_iter().find(|o| o.mnemonic() == s)
+}
+
+fn fp_from_mnemonic(s: &str) -> Option<FpOp> {
+    FpOp::ALL.into_iter().find(|o| o.mnemonic() == s)
+}
+
+/// Splits `base+off` / `base-off` into the base register text and offset.
+fn parse_addr(ln: usize, s: &str) -> PResult<(Vreg, i64)> {
+    let s = s.trim();
+    let split = s[1..]
+        .find(['+', '-'])
+        .map(|i| i + 1)
+        .ok_or_else(|| IrError::new(ln, format!("bad address '{s}'")))?;
+    let base = parse_vreg(ln, &s[..split])?;
+    let off: i64 = s[split..]
+        .parse()
+        .map_err(|_| IrError::new(ln, format!("bad offset in '{s}'")))?;
+    Ok((base, off))
+}
+
+fn comma_args(s: &str) -> Vec<&str> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_terminator(ln: usize, l: &str) -> PResult<Option<Terminator>> {
+    if let Some(rest) = l.strip_prefix("jump ") {
+        return Ok(Some(Terminator::Jump(parse_block_id(ln, rest)?)));
+    }
+    if let Some(rest) = l.strip_prefix("branch ") {
+        let args = comma_args(rest);
+        if args.len() != 3 {
+            return Err(IrError::new(ln, "branch needs cond, t, f"));
+        }
+        return Ok(Some(Terminator::Branch {
+            cond: parse_vreg(ln, args[0])?,
+            t: parse_block_id(ln, args[1])?,
+            f: parse_block_id(ln, args[2])?,
+        }));
+    }
+    if l == "ret" {
+        return Ok(Some(Terminator::Ret { vals: vec![] }));
+    }
+    if let Some(rest) = l.strip_prefix("ret ") {
+        let vals = comma_args(rest)
+            .into_iter()
+            .map(|a| parse_operand(ln, a))
+            .collect::<PResult<_>>()?;
+        return Ok(Some(Terminator::Ret { vals }));
+    }
+    if l == "trap detected" {
+        return Ok(Some(Terminator::Trap(TrapKind::Detected)));
+    }
+    if l == "trap abort" {
+        return Ok(Some(Terminator::Trap(TrapKind::Abort)));
+    }
+    Ok(None)
+}
+
+fn parse_call(ln: usize, l: &str) -> PResult<Inst> {
+    let rest = l.strip_prefix("call ").unwrap();
+    let open = rest
+        .find('(')
+        .ok_or_else(|| IrError::new(ln, "missing '(' in call"))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| IrError::new(ln, "missing ')' in call"))?;
+    let target = &rest[..open];
+    let callee = if let Some(ext) = target.strip_prefix('@') {
+        match ext {
+            "emit" => Callee::External(ExtFunc::Emit),
+            "emitf" => Callee::External(ExtFunc::EmitF),
+            _ => return Err(IrError::new(ln, format!("unknown external '{ext}'"))),
+        }
+    } else if let Some(id) = target.strip_prefix("fn") {
+        Callee::Internal(FuncId(
+            id.parse().map_err(|_| IrError::new(ln, "bad fn id"))?,
+        ))
+    } else {
+        return Err(IrError::new(ln, format!("bad call target '{target}'")));
+    };
+    let args = comma_args(&rest[open + 1..close])
+        .into_iter()
+        .map(|a| parse_operand(ln, a))
+        .collect::<PResult<_>>()?;
+    let tail = rest[close + 1..].trim();
+    let rets = if tail.is_empty() {
+        vec![]
+    } else {
+        let inner = tail
+            .strip_prefix("-> (")
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| IrError::new(ln, "bad call return list"))?;
+        comma_args(inner)
+            .into_iter()
+            .map(|r| parse_vreg(ln, r))
+            .collect::<PResult<_>>()?
+    };
+    Ok(Inst::Call { callee, args, rets })
+}
+
+fn parse_inst(ln: usize, l: &str) -> PResult<Inst> {
+    // Op-first forms.
+    if l.starts_with("store.") {
+        let (head, rest) = l
+            .split_once(' ')
+            .ok_or_else(|| IrError::new(ln, "bad store"))?;
+        let width = parse_mem_width(ln, head.strip_prefix("store.").unwrap())?;
+        let args = comma_args(rest);
+        if args.len() != 2 {
+            return Err(IrError::new(ln, "store needs addr, src"));
+        }
+        let (base, offset) = parse_addr(ln, args[0])?;
+        return Ok(Inst::Store {
+            base,
+            offset,
+            src: parse_operand(ln, args[1])?,
+            width,
+        });
+    }
+    if let Some(rest) = l.strip_prefix("fstore ") {
+        let args = comma_args(rest);
+        if args.len() != 2 {
+            return Err(IrError::new(ln, "fstore needs addr, src"));
+        }
+        let (base, offset) = parse_addr(ln, args[0])?;
+        return Ok(Inst::FStore {
+            base,
+            offset,
+            src: parse_vreg(ln, args[1])?,
+        });
+    }
+    if l.starts_with("call ") {
+        return parse_call(ln, l);
+    }
+    if let Some(rest) = l.strip_prefix("probe ") {
+        let e = match rest.trim() {
+            "vote_repair" => ProbeEvent::VoteRepair,
+            "trump_recover" => ProbeEvent::TrumpRecover,
+            other => return Err(IrError::new(ln, format!("unknown probe '{other}'"))),
+        };
+        return Ok(Inst::Probe(e));
+    }
+
+    // `dst = op ...` forms.
+    let (dst_txt, rhs) = l
+        .split_once('=')
+        .ok_or_else(|| IrError::new(ln, format!("unrecognized instruction '{l}'")))?;
+    let dst = parse_vreg(ln, dst_txt.trim())?;
+    let rhs = rhs.trim();
+    let (op_txt, rest) = rhs.split_once(' ').unwrap_or((rhs, ""));
+
+    // mov / select / assume / conversions / fp moves.
+    match op_txt {
+        "mov" => {
+            return Ok(Inst::Mov {
+                dst,
+                src: parse_operand(ln, rest)?,
+            })
+        }
+        "select" => {
+            let args = comma_args(rest);
+            if args.len() != 3 {
+                return Err(IrError::new(ln, "select needs cond, t, f"));
+            }
+            return Ok(Inst::Select {
+                dst,
+                cond: parse_vreg(ln, args[0])?,
+                t: parse_operand(ln, args[1])?,
+                f: parse_operand(ln, args[2])?,
+            });
+        }
+        "assume" => {
+            // vX = assume vY, [lo, hi]
+            let (src_txt, range) = rest
+                .split_once(',')
+                .ok_or_else(|| IrError::new(ln, "bad assume"))?;
+            let src = parse_vreg(ln, src_txt.trim())?;
+            let range = range
+                .trim()
+                .strip_prefix('[')
+                .and_then(|r| r.strip_suffix(']'))
+                .ok_or_else(|| IrError::new(ln, "bad assume range"))?;
+            let (lo, hi) = range
+                .split_once(',')
+                .ok_or_else(|| IrError::new(ln, "bad assume range"))?;
+            return Ok(Inst::Assume {
+                dst,
+                src,
+                lo: lo.trim().parse().map_err(|_| IrError::new(ln, "bad lo"))?,
+                hi: hi.trim().parse().map_err(|_| IrError::new(ln, "bad hi"))?,
+            });
+        }
+        "fmovi" => {
+            let bits: u64 = rest
+                .trim()
+                .parse()
+                .map_err(|_| IrError::new(ln, "bad fmovi bits"))?;
+            return Ok(Inst::FMovImm {
+                dst,
+                imm: f64::from_bits(bits),
+            });
+        }
+        "fmov" => {
+            return Ok(Inst::FMov {
+                dst,
+                src: parse_vreg(ln, rest.trim())?,
+            })
+        }
+        "cvtif" => {
+            return Ok(Inst::CvtIF {
+                dst,
+                src: parse_vreg(ln, rest.trim())?,
+            })
+        }
+        "cvtfi" => {
+            return Ok(Inst::CvtFI {
+                dst,
+                src: parse_vreg(ln, rest.trim())?,
+            })
+        }
+        "fload" => {
+            let (base, offset) = parse_addr(ln, rest)?;
+            return Ok(Inst::FLoad { dst, base, offset });
+        }
+        _ => {}
+    }
+
+    // fcmp*: printer writes "f" + cmp mnemonic, e.g. fcmpeq.
+    if let Some(cmp_txt) = op_txt.strip_prefix("fcmp") {
+        if let Some(op) = cmp_from_mnemonic(&format!("cmp{cmp_txt}")) {
+            let args = comma_args(rest);
+            if args.len() != 2 {
+                return Err(IrError::new(ln, "fcmp needs two sources"));
+            }
+            return Ok(Inst::FCmp {
+                op,
+                dst,
+                a: parse_vreg(ln, args[0])?,
+                b: parse_vreg(ln, args[1])?,
+            });
+        }
+    }
+
+    // fp binary ops.
+    if let Some(op) = fp_from_mnemonic(op_txt) {
+        let args = comma_args(rest);
+        if args.len() != 2 {
+            return Err(IrError::new(ln, "fp op needs two sources"));
+        }
+        return Ok(Inst::Fpu {
+            op,
+            dst,
+            a: parse_vreg(ln, args[0])?,
+            b: parse_vreg(ln, args[1])?,
+        });
+    }
+
+    // load.<w>.<s>
+    if let Some(tail) = op_txt.strip_prefix("load.") {
+        let (w_txt, s_txt) = tail
+            .split_once('.')
+            .ok_or_else(|| IrError::new(ln, "bad load opcode"))?;
+        let width = parse_mem_width(ln, w_txt)?;
+        let signed = match s_txt {
+            "s" => true,
+            "u" => false,
+            _ => return Err(IrError::new(ln, "bad load signedness")),
+        };
+        let (base, offset) = parse_addr(ln, rest)?;
+        return Ok(Inst::Load {
+            dst,
+            base,
+            offset,
+            width,
+            signed,
+        });
+    }
+
+    // alu.<w> / cmp.<w>
+    if let Some((mn, w_txt)) = op_txt.split_once('.') {
+        let width = parse_width(ln, w_txt)?;
+        let args = comma_args(rest);
+        if args.len() != 2 {
+            return Err(IrError::new(ln, "binary op needs two sources"));
+        }
+        let a = parse_operand(ln, args[0])?;
+        let b = parse_operand(ln, args[1])?;
+        if let Some(op) = alu_from_mnemonic(mn) {
+            return Ok(Inst::Alu {
+                op,
+                width,
+                dst,
+                a,
+                b,
+            });
+        }
+        if let Some(op) = cmp_from_mnemonic(mn) {
+            return Ok(Inst::Cmp {
+                op,
+                width,
+                dst,
+                a,
+                b,
+            });
+        }
+    }
+
+    Err(IrError::new(ln, format!("unrecognized instruction '{l}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::verify::verify;
+
+    fn roundtrip(m: &Module) {
+        let text = m.to_string();
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(&parsed, m, "roundtrip mismatch:\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_a_rich_module() {
+        let mut mb = ModuleBuilder::new("rich");
+        let g = mb.alloc_global_u64s("tbl", &[3, 1, 4, 1, 5]);
+        let helper = mb.declare("helper");
+
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B8, base, 8);
+        let y = f.alu(AluOp::Add, Width::W64, x, 3i64);
+        let c = f.cmp(CmpOp::LtU, Width::W32, y, x);
+        let s = f.select(c, y, 0i64);
+        let a = f.assume(s, 0, 4095);
+        let fa = f.fmovi(1.5);
+        let fb = f.fmov(fa);
+        let fc = f.fpu(FpOp::Mul, fa, fb);
+        let flag = f.fcmp(CmpOp::LtS, fa, fc);
+        let cv = f.cvt_if(flag);
+        let back = f.cvt_fi(cv);
+        f.fstore(base, 0, fc);
+        let fl = f.fload(base, 0);
+        f.emitf(fl);
+        f.store(MemWidth::B4, base, -4, back);
+        let r = f.call(helper, &[Operand::reg(a)], &[RegClass::Int]);
+        f.emit(r[0]);
+        f.probe(ProbeEvent::VoteRepair);
+        let exit = f.block();
+        let other = f.block();
+        f.branch(c, exit, other);
+        f.switch_to(other);
+        f.trap(TrapKind::Detected);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let main_id = f.finish();
+
+        let mut h = mb.define(helper, "helper");
+        let p = h.param(RegClass::Int);
+        h.set_ret_count(1);
+        let d = h.alu(AluOp::Mul, Width::W64, p, 2i64);
+        h.ret(&[Operand::reg(d)]);
+        h.finish();
+
+        let m = mb.finish(main_id);
+        verify(&m).unwrap();
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_module("nonsense").is_err());
+        let err = parse_module(
+            "module x\nentry fn0\nfunc main() rets 0 {\nb0:\n  v0 = fresnel v1\n  ret\n}\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unrecognized instruction"));
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse_module("module x\nentry zzz").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Textual form of the IR (consumed back by [`crate::parse_module`]).
+
+use crate::block::Terminator;
+use crate::func::Function;
+use crate::inst::{Callee, Inst, TrapKind};
+use crate::module::Module;
+use crate::reg::RegClass;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alu {
+                op,
+                width,
+                dst,
+                a,
+                b,
+            } => write!(f, "{dst} = {op}.{width} {a}, {b}"),
+            Inst::Cmp {
+                op,
+                width,
+                dst,
+                a,
+                b,
+            } => write!(f, "{dst} = {op}.{width} {a}, {b}"),
+            Inst::Mov { dst, src } => write!(f, "{dst} = mov {src}"),
+            Inst::Select {
+                dst,
+                cond,
+                t,
+                f: fv,
+            } => {
+                write!(f, "{dst} = select {cond}, {t}, {fv}")
+            }
+            Inst::Assume { dst, src, lo, hi } => {
+                write!(f, "{dst} = assume {src}, [{lo}, {hi}]")
+            }
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
+                let s = if *signed { "s" } else { "u" };
+                write!(f, "{dst} = load.{width}.{s} {base}{offset:+}")
+            }
+            Inst::Store {
+                base,
+                offset,
+                src,
+                width,
+            } => write!(f, "store.{width} {base}{offset:+}, {src}"),
+            Inst::Fpu { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            Inst::FMovImm { dst, imm } => write!(f, "{dst} = fmovi {}", imm.to_bits()),
+            Inst::FMov { dst, src } => write!(f, "{dst} = fmov {src}"),
+            Inst::FCmp { op, dst, a, b } => write!(f, "{dst} = f{op} {a}, {b}"),
+            Inst::CvtIF { dst, src } => write!(f, "{dst} = cvtif {src}"),
+            Inst::CvtFI { dst, src } => write!(f, "{dst} = cvtfi {src}"),
+            Inst::FLoad { dst, base, offset } => write!(f, "{dst} = fload {base}{offset:+}"),
+            Inst::FStore { base, offset, src } => write!(f, "fstore {base}{offset:+}, {src}"),
+            Inst::Call { callee, args, rets } => {
+                match callee {
+                    Callee::Internal(id) => write!(f, "call {id}(")?,
+                    Callee::External(e) => write!(f, "call @{}(", e.name())?,
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")?;
+                if !rets.is_empty() {
+                    f.write_str(" -> (")?;
+                    for (i, r) in rets.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{r}")?;
+                    }
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Inst::Probe(e) => write!(f, "probe {}", e.name()),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::Branch { cond, t, f: fb } => write!(f, "branch {cond}, {t}, {fb}"),
+            Terminator::Ret { vals } => {
+                f.write_str("ret")?;
+                for (i, v) in vals.iter().enumerate() {
+                    if i == 0 {
+                        f.write_str(" ")?;
+                    } else {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            Terminator::Trap(k) => match k {
+                TrapKind::Detected => f.write_str("trap detected"),
+                TrapKind::Abort => f.write_str("trap abort"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            let cls = match p.class() {
+                RegClass::Int => "int",
+                RegClass::Float => "float",
+            };
+            write!(f, "{p}: {cls}")?;
+        }
+        writeln!(f, ") rets {} {{", self.ret_count)?;
+        for (id, b) in self.iter_blocks() {
+            writeln!(f, "{id}:")?;
+            for inst in &b.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", b.term)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {}", self.name)?;
+        writeln!(f, "entry {}", self.entry)?;
+        for g in &self.globals {
+            write!(f, "global {} @ {:#x} size {} init ", g.name, g.addr, g.size)?;
+            if g.bytes.is_empty() {
+                f.write_str("-")?;
+            } else {
+                for b in &g.bytes {
+                    write!(f, "{b:02x}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        for func in &self.funcs {
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+    use crate::opcode::{AluOp, CmpOp};
+    use crate::types::{MemWidth, Width};
+
+    #[test]
+    fn instruction_text_forms() {
+        let mut mb = ModuleBuilder::new("p");
+        let mut f = mb.function("main");
+        let a = f.movi(5);
+        let b = f.alu(AluOp::Add, Width::W64, a, 3i64);
+        let c = f.cmp(CmpOp::LtU, Width::W32, b, a);
+        let _ = f.select(c, a, 0i64);
+        let d = f.load(MemWidth::B4, a, -8);
+        f.store(MemWidth::B8, a, 16, d);
+        f.emit(Operand::reg(d));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let text = m.to_string();
+        assert!(text.contains("v0 = mov 5"), "{text}");
+        assert!(text.contains("v1 = add.w64 v0, 3"), "{text}");
+        assert!(text.contains("v2 = cmpltu.w32 v1, v0"), "{text}");
+        assert!(text.contains("v4 = load.b4.u v0-8"), "{text}");
+        assert!(text.contains("store.b8 v0+16, v4"), "{text}");
+        assert!(text.contains("call @emit(v4)"), "{text}");
+    }
+}

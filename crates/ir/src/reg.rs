@@ -1,0 +1,178 @@
+//! Virtual and physical register identifiers.
+
+use std::fmt;
+
+/// The register class a value lives in.
+///
+/// The paper's transforms only duplicate and inject faults into the integer
+/// register file; floating-point values pass through unprotected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// 64-bit general-purpose integer register.
+    Int,
+    /// 64-bit IEEE-754 floating-point register.
+    Float,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => f.write_str("int"),
+            RegClass::Float => f.write_str("float"),
+        }
+    }
+}
+
+/// A virtual register: unbounded supply, used by the IR before register
+/// allocation. The class is encoded in the id so that instructions stay
+/// compact and the class is always available without a side table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vreg(u32);
+
+const FLOAT_BIT: u32 = 1 << 31;
+
+impl Vreg {
+    /// Creates a virtual register from a dense index and a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 31 bits.
+    pub fn new(index: u32, class: RegClass) -> Self {
+        assert!(index < FLOAT_BIT, "vreg index out of range: {index}");
+        match class {
+            RegClass::Int => Vreg(index),
+            RegClass::Float => Vreg(index | FLOAT_BIT),
+        }
+    }
+
+    /// The dense per-class index of this register.
+    pub fn index(self) -> u32 {
+        self.0 & !FLOAT_BIT
+    }
+
+    /// The register class this register belongs to.
+    pub fn class(self) -> RegClass {
+        if self.0 & FLOAT_BIT == 0 {
+            RegClass::Int
+        } else {
+            RegClass::Float
+        }
+    }
+
+    /// Whether this is an integer-class register.
+    pub fn is_int(self) -> bool {
+        self.class() == RegClass::Int
+    }
+}
+
+impl fmt::Display for Vreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "v{}", self.index()),
+            RegClass::Float => write!(f, "vf{}", self.index()),
+        }
+    }
+}
+
+impl fmt::Debug for Vreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A physical register after allocation: an index into either the integer or
+/// the floating-point register file of the simulated machine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Preg {
+    class: RegClass,
+    index: u8,
+}
+
+impl Preg {
+    /// Creates a physical register reference.
+    pub fn new(index: u8, class: RegClass) -> Self {
+        Preg { class, index }
+    }
+
+    /// Const constructor for well-known integer registers (e.g. the SP).
+    pub const fn const_int(index: u8) -> Self {
+        Preg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Integer physical register `r<index>`.
+    pub fn int(index: u8) -> Self {
+        Preg::new(index, RegClass::Int)
+    }
+
+    /// Floating-point physical register `f<index>`.
+    pub fn float(index: u8) -> Self {
+        Preg::new(index, RegClass::Float)
+    }
+
+    /// Index within the register file of [`Preg::class`].
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// The register file this register belongs to.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// Whether this is an integer-class register.
+    pub fn is_int(self) -> bool {
+        self.class == RegClass::Int
+    }
+}
+
+impl fmt::Display for Preg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Float => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+impl fmt::Debug for Preg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vreg_roundtrips_index_and_class() {
+        let a = Vreg::new(17, RegClass::Int);
+        assert_eq!(a.index(), 17);
+        assert_eq!(a.class(), RegClass::Int);
+        let b = Vreg::new(17, RegClass::Float);
+        assert_eq!(b.index(), 17);
+        assert_eq!(b.class(), RegClass::Float);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn vreg_display_distinguishes_classes() {
+        assert_eq!(Vreg::new(3, RegClass::Int).to_string(), "v3");
+        assert_eq!(Vreg::new(3, RegClass::Float).to_string(), "vf3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vreg_index_overflow_panics() {
+        let _ = Vreg::new(1 << 31, RegClass::Int);
+    }
+
+    #[test]
+    fn preg_display() {
+        assert_eq!(Preg::int(1).to_string(), "r1");
+        assert_eq!(Preg::float(30).to_string(), "f30");
+    }
+}

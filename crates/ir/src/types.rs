@@ -1,0 +1,105 @@
+//! Operation widths and memory access widths.
+
+use std::fmt;
+
+/// Width of an integer ALU operation.
+///
+/// `W32` operations compute modulo 2^32 and zero-extend the result into the
+/// 64-bit register, mirroring how 32-bit C arithmetic executes on a 64-bit
+/// machine. The distinction matters for the TRUMP transform: 32-bit-typed
+/// chains give the range analysis the "C ints on a 64-bit architecture do
+/// not use many bits" headroom the paper relies on (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 32-bit operation (wraps modulo 2^32, result zero-extended).
+    W32,
+    /// Full 64-bit operation (wraps modulo 2^64).
+    W64,
+}
+
+impl Width {
+    /// Number of value bits for this width.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+
+    /// All-ones mask covering the value bits of this width.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W32 => u32::MAX as u64,
+            Width::W64 => u64::MAX,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Width::W32 => f.write_str("w32"),
+            Width::W64 => f.write_str("w64"),
+        }
+    }
+}
+
+/// Width of a memory access in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    B1,
+    /// Two bytes.
+    B2,
+    /// Four bytes.
+    B4,
+    /// Eight bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+
+    /// The largest value an unsigned load of this width can produce.
+    pub fn unsigned_max(self) -> u64 {
+        match self {
+            MemWidth::B8 => u64::MAX,
+            w => (1u64 << (w.bytes() * 8)) - 1,
+        }
+    }
+}
+
+impl fmt::Display for MemWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::W32.mask(), 0xFFFF_FFFF);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+        assert_eq!(Width::W32.bits(), 32);
+    }
+
+    #[test]
+    fn mem_width_bounds() {
+        assert_eq!(MemWidth::B1.unsigned_max(), 255);
+        assert_eq!(MemWidth::B2.unsigned_max(), 65535);
+        assert_eq!(MemWidth::B4.unsigned_max(), u32::MAX as u64);
+        assert_eq!(MemWidth::B8.unsigned_max(), u64::MAX);
+        assert_eq!(MemWidth::B4.bytes(), 4);
+    }
+}

@@ -1,0 +1,325 @@
+//! Module verifier: structural and register-class checks.
+//!
+//! The transforms in `sor-core` rewrite modules wholesale; running the
+//! verifier before and after each transform catches malformed rewrites long
+//! before they would show up as baffling simulator misbehavior.
+
+use crate::block::Terminator;
+use crate::error::VerifyError;
+use crate::inst::{Callee, Inst, Operand};
+use crate::module::{layout, Module};
+use crate::reg::{RegClass, Vreg};
+
+/// Verifies a module, returning every problem found.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] listing each violated invariant: out-of-range
+/// block targets, register-class mismatches, malformed calls, overlapping
+/// globals, out-of-range virtual registers and entry-point problems.
+pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    let mut problems = Vec::new();
+
+    if module.entry.index() >= module.funcs.len() {
+        problems.push(format!("entry {} out of range", module.entry));
+    }
+
+    // Globals: inside the segment and non-overlapping.
+    let mut ranges: Vec<(u64, u64, &str)> = Vec::new();
+    for g in &module.globals {
+        if g.addr < layout::GLOBAL_BASE
+            || g.addr + g.size > layout::GLOBAL_BASE + layout::GLOBAL_MAX
+        {
+            problems.push(format!("global '{}' outside the global segment", g.name));
+        }
+        if (g.bytes.len() as u64) > g.size {
+            problems.push(format!("global '{}' initializer exceeds size", g.name));
+        }
+        ranges.push((g.addr, g.addr + g.size, &g.name));
+    }
+    ranges.sort();
+    for w in ranges.windows(2) {
+        if w[0].1 > w[1].0 {
+            problems.push(format!("globals '{}' and '{}' overlap", w[0].2, w[1].2));
+        }
+    }
+
+    for (fi, func) in module.funcs.iter().enumerate() {
+        let fname = &func.name;
+        if func.blocks.is_empty() {
+            problems.push(format!("function '{fname}' has no blocks"));
+            continue;
+        }
+        let nblocks = func.blocks.len() as u32;
+        let check_reg = |v: Vreg, want: RegClass, what: &str, problems: &mut Vec<String>| {
+            if v.class() != want {
+                problems.push(format!(
+                    "fn{fi} '{fname}': {what} {v} should be {want}-class"
+                ));
+            }
+            let count = match v.class() {
+                RegClass::Int => func.int_vreg_count(),
+                RegClass::Float => func.float_vreg_count(),
+            };
+            if v.index() >= count {
+                problems.push(format!("fn{fi} '{fname}': {what} {v} is out of range"));
+            }
+        };
+        let check_op = |o: Operand, want: RegClass, what: &str, problems: &mut Vec<String>| {
+            if let Operand::Reg(r) = o {
+                check_reg(r, want, what, problems);
+            }
+        };
+
+        for (bi, block) in func.blocks.iter().enumerate() {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Alu { dst, a, b, .. } | Inst::Cmp { dst, a, b, .. } => {
+                        check_reg(*dst, RegClass::Int, "dst", &mut problems);
+                        check_op(*a, RegClass::Int, "src", &mut problems);
+                        check_op(*b, RegClass::Int, "src", &mut problems);
+                    }
+                    Inst::Mov { dst, src } => {
+                        check_reg(*dst, RegClass::Int, "dst", &mut problems);
+                        check_op(*src, RegClass::Int, "src", &mut problems);
+                    }
+                    Inst::Select { dst, cond, t, f } => {
+                        check_reg(*dst, RegClass::Int, "dst", &mut problems);
+                        check_reg(*cond, RegClass::Int, "cond", &mut problems);
+                        check_op(*t, RegClass::Int, "src", &mut problems);
+                        check_op(*f, RegClass::Int, "src", &mut problems);
+                    }
+                    Inst::Assume { dst, src, lo, hi } => {
+                        check_reg(*dst, RegClass::Int, "dst", &mut problems);
+                        check_reg(*src, RegClass::Int, "src", &mut problems);
+                        if lo > hi {
+                            problems.push(format!(
+                                "fn{fi} '{fname}': assume range [{lo}, {hi}] is empty"
+                            ));
+                        }
+                    }
+                    Inst::Load { dst, base, .. } => {
+                        check_reg(*dst, RegClass::Int, "dst", &mut problems);
+                        check_reg(*base, RegClass::Int, "base", &mut problems);
+                    }
+                    Inst::Store { base, src, .. } => {
+                        check_reg(*base, RegClass::Int, "base", &mut problems);
+                        check_op(*src, RegClass::Int, "src", &mut problems);
+                    }
+                    Inst::Fpu { dst, a, b, .. } => {
+                        check_reg(*dst, RegClass::Float, "dst", &mut problems);
+                        check_reg(*a, RegClass::Float, "src", &mut problems);
+                        check_reg(*b, RegClass::Float, "src", &mut problems);
+                    }
+                    Inst::FMovImm { dst, .. } => {
+                        check_reg(*dst, RegClass::Float, "dst", &mut problems)
+                    }
+                    Inst::FMov { dst, src } => {
+                        check_reg(*dst, RegClass::Float, "dst", &mut problems);
+                        check_reg(*src, RegClass::Float, "src", &mut problems);
+                    }
+                    Inst::FCmp { dst, a, b, .. } => {
+                        check_reg(*dst, RegClass::Int, "dst", &mut problems);
+                        check_reg(*a, RegClass::Float, "src", &mut problems);
+                        check_reg(*b, RegClass::Float, "src", &mut problems);
+                    }
+                    Inst::CvtIF { dst, src } => {
+                        check_reg(*dst, RegClass::Float, "dst", &mut problems);
+                        check_reg(*src, RegClass::Int, "src", &mut problems);
+                    }
+                    Inst::CvtFI { dst, src } => {
+                        check_reg(*dst, RegClass::Int, "dst", &mut problems);
+                        check_reg(*src, RegClass::Float, "src", &mut problems);
+                    }
+                    Inst::FLoad { dst, base, .. } => {
+                        check_reg(*dst, RegClass::Float, "dst", &mut problems);
+                        check_reg(*base, RegClass::Int, "base", &mut problems);
+                    }
+                    Inst::FStore { base, src, .. } => {
+                        check_reg(*base, RegClass::Int, "base", &mut problems);
+                        check_reg(*src, RegClass::Float, "src", &mut problems);
+                    }
+                    Inst::Call { callee, args, rets } => match callee {
+                        Callee::Internal(id) => {
+                            if id.index() >= module.funcs.len() {
+                                problems.push(format!(
+                                    "fn{fi} '{fname}': call target {id} out of range"
+                                ));
+                            } else {
+                                let target = &module.funcs[id.index()];
+                                if args.len() != target.params.len() {
+                                    problems.push(format!(
+                                        "fn{fi} '{fname}': call to '{}' passes {} args, expects {}",
+                                        target.name,
+                                        args.len(),
+                                        target.params.len()
+                                    ));
+                                }
+                                for (a, p) in args.iter().zip(&target.params) {
+                                    check_op(*a, p.class(), "call arg", &mut problems);
+                                }
+                                if rets.len() != target.ret_count {
+                                    problems.push(format!(
+                                        "fn{fi} '{fname}': call to '{}' binds {} rets, expects {}",
+                                        target.name,
+                                        rets.len(),
+                                        target.ret_count
+                                    ));
+                                }
+                            }
+                        }
+                        Callee::External(e) => {
+                            if args.len() != e.arg_count() {
+                                problems.push(format!(
+                                    "fn{fi} '{fname}': @{} takes {} args",
+                                    e.name(),
+                                    e.arg_count()
+                                ));
+                            }
+                            for (a, c) in args.iter().zip(e.arg_classes()) {
+                                check_op(*a, *c, "ext call arg", &mut problems);
+                            }
+                            if !rets.is_empty() {
+                                problems.push(format!(
+                                    "fn{fi} '{fname}': @{} returns nothing",
+                                    e.name()
+                                ));
+                            }
+                        }
+                    },
+                    Inst::Probe(_) => {}
+                }
+            }
+            match &block.term {
+                Terminator::Jump(t) => {
+                    if t.0 >= nblocks {
+                        problems.push(format!("fn{fi} '{fname}' b{bi}: jump target {t} OOR"));
+                    }
+                }
+                Terminator::Branch { cond, t, f } => {
+                    check_reg(*cond, RegClass::Int, "branch cond", &mut problems);
+                    if t.0 >= nblocks || f.0 >= nblocks {
+                        problems.push(format!("fn{fi} '{fname}' b{bi}: branch target OOR"));
+                    }
+                }
+                Terminator::Ret { vals } => {
+                    if vals.len() != func.ret_count {
+                        problems.push(format!(
+                            "fn{fi} '{fname}' b{bi}: ret with {} values, function declares {}",
+                            vals.len(),
+                            func.ret_count
+                        ));
+                    }
+                }
+                Terminator::Trap(_) => {}
+            }
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError::new(problems))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockId};
+    use crate::builder::ModuleBuilder;
+    use crate::func::{FuncId, Function};
+    use crate::opcode::AluOp;
+    use crate::types::Width;
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let mut mb = ModuleBuilder::new("ok");
+        let mut f = mb.function("main");
+        let a = f.movi(1);
+        let b = f.add(Width::W64, a, 2i64);
+        f.emit(Operand::reg(b));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        assert!(verify(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_jump() {
+        let mut func = Function::new("main");
+        func.push_block(Block::new(Terminator::Jump(BlockId(7))));
+        let m = Module {
+            name: "bad".into(),
+            funcs: vec![func],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        let err = verify(&m).unwrap_err();
+        assert!(err.to_string().contains("jump target"));
+    }
+
+    #[test]
+    fn rejects_class_mismatch() {
+        let mut func = Function::new("main");
+        let fv = func.new_vreg(RegClass::Float);
+        let iv = func.new_vreg(RegClass::Int);
+        let mut block = Block::new(Terminator::Ret { vals: vec![] });
+        block.insts.push(Inst::Alu {
+            op: AluOp::Add,
+            width: Width::W64,
+            dst: fv,
+            a: Operand::reg(iv),
+            b: Operand::imm(0),
+        });
+        func.push_block(block);
+        let m = Module {
+            name: "bad".into(),
+            funcs: vec![func],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        let err = verify(&m).unwrap_err();
+        assert!(err.to_string().contains("should be int-class"));
+    }
+
+    #[test]
+    fn rejects_undefined_vreg() {
+        let mut func = Function::new("main");
+        let mut block = Block::new(Terminator::Ret { vals: vec![] });
+        block.insts.push(Inst::Mov {
+            dst: Vreg::new(5, RegClass::Int),
+            src: Operand::imm(0),
+        });
+        func.push_block(block);
+        let m = Module {
+            name: "bad".into(),
+            funcs: vec![func],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut mb = ModuleBuilder::new("bad");
+        let helper = mb.declare("helper");
+        let mut main = mb.function("main");
+        // Manually push a malformed call: helper takes one param.
+        main.push_inst(Inst::Call {
+            callee: Callee::Internal(helper),
+            args: vec![],
+            rets: vec![],
+        });
+        main.ret(&[]);
+        let main_id = main.finish();
+        let mut h = mb.define(helper, "helper");
+        let _p = h.param(RegClass::Int);
+        h.ret(&[]);
+        h.finish();
+        let m = mb.finish(main_id);
+        let err = verify(&m).unwrap_err();
+        assert!(err.to_string().contains("passes 0 args"));
+    }
+}

@@ -1,0 +1,425 @@
+//! Live intervals and linear-scan register assignment.
+
+use sor_analysis::{Cfg, Liveness};
+use sor_ir::{Callee, Function, Inst, Operand, Preg, RegClass, Vreg};
+use std::collections::HashMap;
+
+/// Where a virtual register lives after allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// A physical register.
+    Reg(Preg),
+    /// An 8-byte spill slot in the function frame (`[sp + 8*slot]`).
+    Slot(u32),
+    /// Rematerialized constant: the value is re-created with a
+    /// load-immediate at each use instead of occupying a register or slot.
+    /// Chosen for values whose only definition is a `mov <imm>` (table base
+    /// addresses, loop-invariant constants) — what gcc's allocator does.
+    Remat(i64),
+}
+
+/// The allocation result for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    assignment: HashMap<Vreg, Loc>,
+    num_slots: u32,
+}
+
+impl Allocation {
+    /// The location of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` never appeared in the function.
+    pub fn loc(&self, v: Vreg) -> Loc {
+        *self
+            .assignment
+            .get(&v)
+            .unwrap_or_else(|| panic!("vreg {v} has no location"))
+    }
+
+    /// Number of 8-byte spill slots in the frame.
+    pub fn num_slots(&self) -> u32 {
+        self.num_slots
+    }
+
+    /// Frame size in bytes.
+    pub fn frame_size(&self) -> u32 {
+        self.num_slots * 8
+    }
+
+    /// Number of spilled virtual registers (memory slots, not remats).
+    pub fn spill_count(&self) -> usize {
+        self.assignment
+            .values()
+            .filter(|l| matches!(l, Loc::Slot(_)))
+            .count()
+    }
+
+    /// Number of rematerialized values.
+    pub fn remat_count(&self) -> usize {
+        self.assignment
+            .values()
+            .filter(|l| matches!(l, Loc::Remat(_)))
+            .count()
+    }
+}
+
+/// Allocatable integer registers: everything except the SP (`r1`) and the
+/// three reload scratch registers `r29`–`r31`.
+pub(crate) fn int_pool(limit: Option<u8>) -> Vec<Preg> {
+    let mut pool: Vec<Preg> = (0..29u8).filter(|&i| i != 1).map(Preg::int).collect();
+    if let Some(l) = limit {
+        pool.truncate(l as usize);
+    }
+    pool
+}
+
+/// Allocatable float registers: everything except scratch `f30`/`f31`.
+pub(crate) fn float_pool() -> Vec<Preg> {
+    (0..30u8).map(Preg::float).collect()
+}
+
+/// Integer reload scratch registers.
+pub(crate) const INT_SCRATCH: [u8; 3] = [29, 30, 31];
+/// Float reload scratch registers.
+pub(crate) const FLOAT_SCRATCH: [u8; 2] = [30, 31];
+
+#[derive(Debug, Clone, Copy)]
+struct IntervalData {
+    start: usize,
+    end: usize,
+}
+
+/// Computes live intervals and runs linear scan.
+///
+/// `int_limit` optionally caps the integer pool (register-pressure
+/// experiments).
+pub(crate) fn allocate(func: &Function, int_limit: Option<u8>) -> Allocation {
+    let cfg = Cfg::new(func);
+    let live = Liveness::new(func, &cfg);
+
+    // --- numbering: point 0 is the function's Enter; instructions follow in
+    // block index order, terminators included.
+    let mut point = 0usize;
+    let mut block_first = Vec::with_capacity(func.blocks.len());
+    let mut block_last = Vec::with_capacity(func.blocks.len());
+    let mut call_points = Vec::new();
+    let mut intervals: HashMap<Vreg, IntervalData> = HashMap::new();
+    let touch = |v: Vreg, p: usize, intervals: &mut HashMap<Vreg, IntervalData>| {
+        let e = intervals
+            .entry(v)
+            .or_insert(IntervalData { start: p, end: p });
+        e.start = e.start.min(p);
+        e.end = e.end.max(p);
+    };
+    for p in &func.params {
+        touch(*p, 0, &mut intervals);
+    }
+    point += 1; // the Enter
+    for (id, block) in func.iter_blocks() {
+        block_first.push(point);
+        for inst in &block.insts {
+            for u in inst.uses() {
+                touch(u, point, &mut intervals);
+            }
+            for d in inst.defs() {
+                touch(d, point, &mut intervals);
+            }
+            if matches!(
+                inst,
+                Inst::Call {
+                    callee: Callee::Internal(_),
+                    ..
+                }
+            ) {
+                call_points.push(point);
+            }
+            point += 1;
+        }
+        for u in block.term.uses() {
+            touch(u, point, &mut intervals);
+        }
+        block_last.push(point);
+        point += 1;
+        let _ = id;
+    }
+    // Extend intervals across blocks where the value is live.
+    for (id, _) in func.iter_blocks() {
+        let i = id.index();
+        for v in live.live_in(id) {
+            touch(*v, block_first[i], &mut intervals);
+        }
+        for v in live.live_out(id) {
+            touch(*v, block_last[i], &mut intervals);
+        }
+    }
+
+    // --- rematerializable values: defined exactly once, by `mov imm`.
+    let mut def_count: HashMap<Vreg, u32> = HashMap::new();
+    let mut remat_imm: HashMap<Vreg, i64> = HashMap::new();
+    for block in &func.blocks {
+        for inst in &block.insts {
+            for d in inst.defs() {
+                *def_count.entry(d).or_default() += 1;
+            }
+            if let Inst::Mov {
+                dst,
+                src: Operand::Imm(i),
+            } = inst
+            {
+                remat_imm.insert(*dst, *i);
+            }
+        }
+    }
+    let remat: HashMap<Vreg, i64> = remat_imm
+        .into_iter()
+        .filter(|(v, _)| def_count.get(v) == Some(&1) && !func.params.contains(v))
+        .collect();
+
+    // --- force-spill values live across internal calls (caller-save ABI).
+    let mut assignment: HashMap<Vreg, Loc> = HashMap::new();
+    let mut next_slot = 0u32;
+    let mut forced: Vec<Vreg> = intervals
+        .iter()
+        .filter(|(_, iv)| call_points.iter().any(|&c| iv.start < c && c < iv.end))
+        .map(|(v, _)| *v)
+        .collect();
+    forced.sort(); // determinism
+    for v in forced {
+        if let Some(&imm) = remat.get(&v) {
+            assignment.insert(v, Loc::Remat(imm));
+        } else {
+            assignment.insert(v, Loc::Slot(next_slot));
+            next_slot += 1;
+        }
+    }
+
+    // --- linear scan per class.
+    for class in [RegClass::Int, RegClass::Float] {
+        let pool = match class {
+            RegClass::Int => int_pool(int_limit),
+            RegClass::Float => float_pool(),
+        };
+        let mut order: Vec<(Vreg, IntervalData)> = intervals
+            .iter()
+            .filter(|(v, _)| v.class() == class && !assignment.contains_key(v))
+            .map(|(v, iv)| (*v, *iv))
+            .collect();
+        order.sort_by_key(|(v, iv)| (iv.start, v.index()));
+
+        let mut free: Vec<Preg> = pool.clone();
+        free.reverse(); // pop from the low-numbered end
+                        // (vreg, end, preg) sorted by end ascending.
+        let mut active: Vec<(Vreg, usize, Preg)> = Vec::new();
+
+        let spill = |v: Vreg, next_slot: &mut u32, assignment: &mut HashMap<Vreg, Loc>| {
+            if let Some(&imm) = remat.get(&v) {
+                assignment.insert(v, Loc::Remat(imm));
+            } else {
+                assignment.insert(v, Loc::Slot(*next_slot));
+                *next_slot += 1;
+            }
+        };
+        for (v, iv) in order {
+            // Expire intervals that ended strictly before this one starts.
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].1 < iv.start {
+                    free.push(active[i].2);
+                    active.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(p) = free.pop() {
+                assignment.insert(v, Loc::Reg(p));
+                let pos = active.partition_point(|a| a.1 <= iv.end);
+                active.insert(pos, (v, iv.end, p));
+            } else {
+                // Under pressure, evict a rematerializable interval first
+                // (its "reload" is a 1-cycle immediate); otherwise spill
+                // whatever ends last — it blocks the most.
+                let remat_victim = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (vv, vend, _))| remat.contains_key(vv) && *vend > iv.end)
+                    .max_by_key(|(_, (_, vend, _))| *vend)
+                    .map(|(i, _)| i);
+                if let Some(i) = remat_victim {
+                    let (vv, _, vp) = active.remove(i);
+                    spill(vv, &mut next_slot, &mut assignment);
+                    assignment.insert(v, Loc::Reg(vp));
+                    let pos = active.partition_point(|a| a.1 <= iv.end);
+                    active.insert(pos, (v, iv.end, vp));
+                    continue;
+                }
+                let victim = active.last().copied();
+                match victim {
+                    Some((vv, vend, vp)) if vend > iv.end => {
+                        spill(vv, &mut next_slot, &mut assignment);
+                        active.pop();
+                        assignment.insert(v, Loc::Reg(vp));
+                        let pos = active.partition_point(|a| a.1 <= iv.end);
+                        active.insert(pos, (v, iv.end, vp));
+                    }
+                    _ => {
+                        spill(v, &mut next_slot, &mut assignment);
+                    }
+                }
+            }
+        }
+    }
+
+    Allocation {
+        assignment,
+        num_slots: next_slot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{CmpOp, ModuleBuilder, Operand, Width};
+
+    #[test]
+    fn small_function_needs_no_spills() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let a = f.movi(1);
+        let b = f.add(Width::W64, a, 2i64);
+        f.emit(Operand::reg(b));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let alloc = allocate(&m.funcs[0], None);
+        assert_eq!(alloc.spill_count(), 0);
+        assert_eq!(alloc.frame_size(), 0);
+        assert!(matches!(alloc.loc(a), Loc::Reg(_)));
+    }
+
+    #[test]
+    fn distinct_live_values_get_distinct_registers() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let vals: Vec<_> = (0..10).map(|i| f.movi(i)).collect();
+        // Keep them all live until the end.
+        let mut acc = f.movi(0);
+        for v in &vals {
+            acc = f.add(Width::W64, acc, *v);
+        }
+        for v in &vals {
+            acc = f.add(Width::W64, acc, *v);
+        }
+        f.emit(Operand::reg(acc));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let alloc = allocate(&m.funcs[0], None);
+        let mut regs = std::collections::HashSet::new();
+        for v in &vals {
+            match alloc.loc(*v) {
+                Loc::Reg(p) => assert!(regs.insert(p), "register {p} reused while live"),
+                Loc::Slot(_) | Loc::Remat(_) => {} // spilling is allowed, just not aliasing
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_forces_spills_with_tiny_pool() {
+        // Non-constant values (sums) cannot be rematerialized, so pressure
+        // must produce real memory spills.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let seed = f.movi(3);
+        let vals: Vec<_> = (0..8).map(|i| f.add(Width::W64, seed, i as i64)).collect();
+        let mut acc = f.movi(0);
+        for v in &vals {
+            acc = f.add(Width::W64, acc, *v);
+        }
+        for v in &vals {
+            acc = f.add(Width::W64, acc, *v);
+        }
+        f.emit(Operand::reg(acc));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let alloc = allocate(&m.funcs[0], Some(4));
+        assert!(alloc.spill_count() > 0);
+        assert!(alloc.frame_size() >= 8);
+    }
+
+    #[test]
+    fn constants_are_rematerialized_not_spilled() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let vals: Vec<_> = (0..8).map(|i| f.movi(i)).collect();
+        let mut acc = f.movi(0);
+        for v in &vals {
+            acc = f.add(Width::W64, acc, *v);
+        }
+        for v in &vals {
+            acc = f.add(Width::W64, acc, *v);
+        }
+        f.emit(Operand::reg(acc));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let alloc = allocate(&m.funcs[0], Some(4));
+        // Pressure exists, but every victim is a single-def constant.
+        assert_eq!(alloc.spill_count(), 0);
+        assert!(alloc.remat_count() > 0);
+    }
+
+    #[test]
+    fn values_live_across_calls_are_spilled() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("callee");
+        let mut f = mb.function("main");
+        let keep = f.movi(7);
+        let r = f.call(callee, &[], &[RegClass::Int]);
+        let s = f.add(Width::W64, keep, r[0]);
+        f.emit(Operand::reg(s));
+        f.ret(&[]);
+        let main_id = f.finish();
+        let mut c = mb.define(callee, "callee");
+        c.set_ret_count(1);
+        c.ret(&[Operand::imm(1)]);
+        c.finish();
+        let m = mb.finish(main_id);
+        let alloc = allocate(&m.funcs[main_id.index()], None);
+        assert!(
+            matches!(alloc.loc(keep), Loc::Slot(_) | Loc::Remat(_)),
+            "a value live across a call must not stay in a register under a \
+             caller-save ABI (a single-def constant may rematerialize)"
+        );
+        // The call's return value is defined at the call, not across it.
+        assert!(matches!(alloc.loc(r[0]), Loc::Reg(_)));
+    }
+
+    #[test]
+    fn loop_carried_values_keep_one_location() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let i = f.movi(0);
+        let header = f.block();
+        let body = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtS, Width::W64, i, 10i64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i2 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i2);
+        f.jump(header);
+        f.switch_to(exit);
+        f.emit(Operand::reg(i));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let alloc = allocate(&m.funcs[0], None);
+        // Must have a stable location; with plenty of registers, a register.
+        assert!(matches!(alloc.loc(i), Loc::Reg(_)));
+    }
+}

@@ -1,0 +1,27 @@
+//! # sor-regalloc — register allocation and lowering
+//!
+//! Lowers a virtual-register [`sor_ir::Module`] to an executable
+//! [`sor_ir::Program`] image:
+//!
+//! 1. build live intervals per function (linear-scan style, single interval
+//!    per virtual register, extended across loops via liveness);
+//! 2. force-spill every value live across an internal call (pure caller-save
+//!    ABI, like compiling with no callee-saved registers);
+//! 3. run linear scan over 28 allocatable integer registers (`r0`,
+//!    `r2`–`r28`) and 30 float registers; `r1` is the stack pointer,
+//!    `r29`–`r31` / `f30`–`f31` are reload scratch;
+//! 4. rewrite each function, inserting spill loads/stores around uses and
+//!    defs of spilled values, and resolve branches/calls to instruction
+//!    indices.
+//!
+//! The paper's transforms run *before* this pass, so — exactly as in the
+//! paper — spill code is **unprotected**: a fault can strike a scratch
+//! register between a reload and its use. This reproduces the paper's "we
+//! were unable to protect all uses of the stack pointer" caveat (§7.1); the
+//! stack pointer itself is excluded from injection.
+
+mod alloc;
+mod lower;
+
+pub use alloc::{Allocation, Loc};
+pub use lower::{lower, LowerConfig, LowerError};

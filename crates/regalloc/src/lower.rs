@@ -1,0 +1,619 @@
+//! Rewrites allocated functions into the flat [`Program`] image.
+
+use crate::alloc::{allocate, Allocation, Loc, FLOAT_SCRATCH, INT_SCRATCH};
+use sor_ir::{
+    verify, Block, Callee, FuncId, Function, Inst, MemWidth, Module, Operand, PArg, PInst, PLoc,
+    POperand, Preg, Program, RegClass, Terminator, Vreg, SP,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Options for [`lower`].
+#[derive(Debug, Clone)]
+pub struct LowerConfig {
+    /// Run the IR verifier on the input module first (cheap, recommended).
+    pub verify_input: bool,
+    /// Cap the allocatable integer register pool (register-pressure
+    /// experiments). `None` uses all 28 allocatable registers.
+    pub int_reg_limit: Option<u8>,
+}
+
+impl Default for LowerConfig {
+    fn default() -> Self {
+        LowerConfig {
+            verify_input: true,
+            int_reg_limit: None,
+        }
+    }
+}
+
+/// An error produced during lowering.
+#[derive(Debug, Clone)]
+pub struct LowerError {
+    message: String,
+}
+
+impl LowerError {
+    fn new(message: impl Into<String>) -> Self {
+        LowerError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering failed: {}", self.message)
+    }
+}
+
+impl Error for LowerError {}
+
+/// Lowers `module` to an executable program image.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use sor_ir::{ModuleBuilder, Operand, Width};
+/// use sor_regalloc::{lower, LowerConfig};
+///
+/// let mut mb = ModuleBuilder::new("demo");
+/// let mut f = mb.function("main");
+/// let x = f.movi(6);
+/// let y = f.mul(Width::W64, x, 7i64);
+/// f.emit(Operand::reg(y));
+/// f.ret(&[]);
+/// let id = f.finish();
+/// let module = mb.finish(id);
+///
+/// let program = lower(&module, &LowerConfig::default())?;
+/// assert!(program.len() > 0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if the module fails verification (when
+/// `cfg.verify_input` is set).
+pub fn lower(module: &Module, cfg: &LowerConfig) -> Result<Program, LowerError> {
+    if cfg.verify_input {
+        verify(module).map_err(|e| LowerError::new(e.to_string()))?;
+    }
+
+    let mut insts: Vec<PInst> = Vec::with_capacity(module.inst_count() * 2);
+    let mut func_entry: Vec<usize> = Vec::with_capacity(module.funcs.len());
+    // (position, callee) pairs to patch once every entry point is known.
+    let mut call_fixups: Vec<(usize, FuncId)> = Vec::new();
+
+    for func in &module.funcs {
+        let alloc = allocate(func, cfg.int_reg_limit);
+        func_entry.push(insts.len());
+        lower_func(func, &alloc, &mut insts, &mut call_fixups);
+    }
+    for (pos, callee) in call_fixups {
+        let target = func_entry[callee.index()];
+        match &mut insts[pos] {
+            PInst::CallInt { target: t, .. } => *t = target,
+            other => unreachable!("call fixup pointing at {other:?}"),
+        }
+    }
+
+    Ok(Program {
+        name: module.name.clone(),
+        insts,
+        entry: func_entry[module.entry.index()],
+        globals: module.globals.clone(),
+        global_extent: module.global_extent(),
+    })
+}
+
+/// Reloads spilled `uses` into scratch registers, returning the vreg → preg
+/// map for this instruction.
+struct UseCtx {
+    map: HashMap<Vreg, Preg>,
+    int_scratch_used: usize,
+    float_scratch_used: usize,
+}
+
+fn slot_offset(slot: u32) -> i64 {
+    (slot as i64) * 8
+}
+
+fn prepare_uses(uses: &[Vreg], alloc: &Allocation, out: &mut Vec<PInst>) -> UseCtx {
+    let mut ctx = UseCtx {
+        map: HashMap::new(),
+        int_scratch_used: 0,
+        float_scratch_used: 0,
+    };
+    for &v in uses {
+        if ctx.map.contains_key(&v) {
+            continue;
+        }
+        match alloc.loc(v) {
+            Loc::Reg(p) => {
+                ctx.map.insert(v, p);
+            }
+            Loc::Slot(s) => {
+                let scratch = match v.class() {
+                    RegClass::Int => {
+                        let p = Preg::int(INT_SCRATCH[ctx.int_scratch_used]);
+                        ctx.int_scratch_used += 1;
+                        out.push(PInst::Load {
+                            dst: p,
+                            base: SP,
+                            offset: slot_offset(s),
+                            width: MemWidth::B8,
+                            signed: false,
+                        });
+                        p
+                    }
+                    RegClass::Float => {
+                        let p = Preg::float(FLOAT_SCRATCH[ctx.float_scratch_used]);
+                        ctx.float_scratch_used += 1;
+                        out.push(PInst::FLoad {
+                            dst: p,
+                            base: SP,
+                            offset: slot_offset(s),
+                        });
+                        p
+                    }
+                };
+                ctx.map.insert(v, scratch);
+            }
+            // Rematerialized constant: recreate it in a scratch register.
+            Loc::Remat(imm) => {
+                let p = Preg::int(INT_SCRATCH[ctx.int_scratch_used]);
+                ctx.int_scratch_used += 1;
+                out.push(PInst::Mov {
+                    dst: p,
+                    src: POperand::Imm(imm),
+                });
+                ctx.map.insert(v, p);
+            }
+        }
+    }
+    ctx
+}
+
+impl UseCtx {
+    fn reg(&self, v: Vreg) -> Preg {
+        self.map[&v]
+    }
+
+    fn operand(&self, o: Operand) -> POperand {
+        match o {
+            Operand::Reg(r) => POperand::Reg(self.reg(r)),
+            Operand::Imm(i) => POperand::Imm(i),
+        }
+    }
+
+    /// Destination register for `d`; spilled defs land in a scratch register
+    /// that is stored to the slot right after the instruction.
+    fn def(&self, d: Vreg, alloc: &Allocation) -> (Preg, Option<u32>) {
+        match alloc.loc(d) {
+            Loc::Reg(p) => (p, None),
+            Loc::Slot(s) => {
+                let p = match d.class() {
+                    RegClass::Int => {
+                        Preg::int(INT_SCRATCH[self.int_scratch_used % INT_SCRATCH.len()])
+                    }
+                    RegClass::Float => {
+                        Preg::float(FLOAT_SCRATCH[self.float_scratch_used % FLOAT_SCRATCH.len()])
+                    }
+                };
+                (p, Some(s))
+            }
+            // The defining `mov imm` of a rematerialized value is dropped;
+            // writing the scratch register is harmless and keeps the
+            // lowering uniform (no store follows).
+            Loc::Remat(_) => (
+                Preg::int(INT_SCRATCH[self.int_scratch_used % INT_SCRATCH.len()]),
+                None,
+            ),
+        }
+    }
+}
+
+fn spill_store(dst: Preg, slot: u32, out: &mut Vec<PInst>) {
+    match dst.class() {
+        RegClass::Int => out.push(PInst::Store {
+            base: SP,
+            offset: slot_offset(slot),
+            src: POperand::Reg(dst),
+            width: MemWidth::B8,
+        }),
+        RegClass::Float => out.push(PInst::FStore {
+            base: SP,
+            offset: slot_offset(slot),
+            src: dst,
+        }),
+    }
+}
+
+fn parg(o: Operand, alloc: &Allocation) -> PArg {
+    match o {
+        Operand::Imm(i) => PArg::Imm(i),
+        Operand::Reg(r) => match alloc.loc(r) {
+            Loc::Reg(p) => PArg::Reg(p),
+            Loc::Slot(s) => PArg::Slot(s, r.class()),
+            Loc::Remat(i) => PArg::Imm(i),
+        },
+    }
+}
+
+fn ploc(v: Vreg, alloc: &Allocation) -> PLoc {
+    match alloc.loc(v) {
+        Loc::Reg(p) => PLoc::Reg(p),
+        Loc::Slot(s) => PLoc::Slot(s, v.class()),
+        // Values written through a PLoc (params, call returns) are never
+        // remat candidates (remat requires the single def to be `mov imm`).
+        Loc::Remat(_) => unreachable!("rematerialized value used as a write target"),
+    }
+}
+
+fn lower_func(
+    func: &Function,
+    alloc: &Allocation,
+    insts: &mut Vec<PInst>,
+    call_fixups: &mut Vec<(usize, FuncId)>,
+) {
+    // Prologue.
+    insts.push(PInst::Enter {
+        frame_size: alloc.frame_size(),
+        params: func.params.iter().map(|p| ploc(*p, alloc)).collect(),
+    });
+
+    let nblocks = func.blocks.len();
+    let mut block_pos = vec![0usize; nblocks];
+    // (position, block index) to patch.
+    let mut jump_fixups: Vec<(usize, usize)> = Vec::new();
+
+    for (bi, block) in func.blocks.iter().enumerate() {
+        block_pos[bi] = insts.len();
+        for inst in &block.insts {
+            lower_inst(inst, alloc, insts, call_fixups);
+        }
+        lower_term(block, alloc, insts, &mut jump_fixups);
+    }
+
+    for (pos, target_block) in jump_fixups {
+        let target = block_pos[target_block];
+        match &mut insts[pos] {
+            PInst::Jump(t) => *t = target,
+            PInst::Branch { t, f, .. } => {
+                if *t == usize::MAX {
+                    *t = target;
+                } else {
+                    *f = target;
+                }
+            }
+            other => unreachable!("jump fixup pointing at {other:?}"),
+        }
+    }
+}
+
+fn lower_inst(
+    inst: &Inst,
+    alloc: &Allocation,
+    out: &mut Vec<PInst>,
+    call_fixups: &mut Vec<(usize, FuncId)>,
+) {
+    match inst {
+        Inst::Call { callee, args, rets } => {
+            let pargs: Vec<PArg> = args.iter().map(|a| parg(*a, alloc)).collect();
+            match callee {
+                Callee::Internal(id) => {
+                    let pos = out.len();
+                    out.push(PInst::CallInt {
+                        target: usize::MAX,
+                        args: pargs,
+                        rets: rets.iter().map(|r| ploc(*r, alloc)).collect(),
+                    });
+                    call_fixups.push((pos, *id));
+                }
+                Callee::External(e) => {
+                    out.push(PInst::CallExt {
+                        func: *e,
+                        args: pargs,
+                    });
+                }
+            }
+            return;
+        }
+        Inst::Probe(e) => {
+            out.push(PInst::Probe(*e));
+            return;
+        }
+        _ => {}
+    }
+
+    let uses = inst.uses();
+    let ctx = prepare_uses(&uses, alloc, out);
+    let mut pending_spill: Option<(Preg, u32)> = None;
+    let mut def = |d: Vreg| -> Preg {
+        let (p, slot) = ctx.def(d, alloc);
+        if let Some(s) = slot {
+            pending_spill = Some((p, s));
+        }
+        p
+    };
+
+    let lowered = match inst {
+        Inst::Alu {
+            op,
+            width,
+            dst,
+            a,
+            b,
+        } => PInst::Alu {
+            op: *op,
+            width: *width,
+            dst: def(*dst),
+            a: ctx.operand(*a),
+            b: ctx.operand(*b),
+        },
+        Inst::Cmp {
+            op,
+            width,
+            dst,
+            a,
+            b,
+        } => PInst::Cmp {
+            op: *op,
+            width: *width,
+            dst: def(*dst),
+            a: ctx.operand(*a),
+            b: ctx.operand(*b),
+        },
+        Inst::Mov { dst, src } => PInst::Mov {
+            dst: def(*dst),
+            src: ctx.operand(*src),
+        },
+        // An `assume` is semantically a move; the range fact was consumed at
+        // analysis time.
+        Inst::Assume { dst, src, .. } => PInst::Mov {
+            dst: def(*dst),
+            src: POperand::Reg(ctx.reg(*src)),
+        },
+        Inst::Select { dst, cond, t, f } => PInst::Select {
+            dst: def(*dst),
+            cond: ctx.reg(*cond),
+            t: ctx.operand(*t),
+            f: ctx.operand(*f),
+        },
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            width,
+            signed,
+        } => PInst::Load {
+            dst: def(*dst),
+            base: ctx.reg(*base),
+            offset: *offset,
+            width: *width,
+            signed: *signed,
+        },
+        Inst::Store {
+            base,
+            offset,
+            src,
+            width,
+        } => PInst::Store {
+            base: ctx.reg(*base),
+            offset: *offset,
+            src: ctx.operand(*src),
+            width: *width,
+        },
+        Inst::Fpu { op, dst, a, b } => PInst::Fpu {
+            op: *op,
+            dst: def(*dst),
+            a: ctx.reg(*a),
+            b: ctx.reg(*b),
+        },
+        Inst::FMovImm { dst, imm } => PInst::FMovImm {
+            dst: def(*dst),
+            bits: imm.to_bits(),
+        },
+        Inst::FMov { dst, src } => PInst::FMov {
+            dst: def(*dst),
+            src: ctx.reg(*src),
+        },
+        Inst::FCmp { op, dst, a, b } => PInst::FCmp {
+            op: *op,
+            dst: def(*dst),
+            a: ctx.reg(*a),
+            b: ctx.reg(*b),
+        },
+        Inst::CvtIF { dst, src } => PInst::CvtIF {
+            dst: def(*dst),
+            src: ctx.reg(*src),
+        },
+        Inst::CvtFI { dst, src } => PInst::CvtFI {
+            dst: def(*dst),
+            src: ctx.reg(*src),
+        },
+        Inst::FLoad { dst, base, offset } => PInst::FLoad {
+            dst: def(*dst),
+            base: ctx.reg(*base),
+            offset: *offset,
+        },
+        Inst::FStore { base, offset, src } => PInst::FStore {
+            base: ctx.reg(*base),
+            offset: *offset,
+            src: ctx.reg(*src),
+        },
+        Inst::Call { .. } | Inst::Probe(_) => unreachable!("handled above"),
+    };
+    out.push(lowered);
+    if let Some((p, s)) = pending_spill {
+        spill_store(p, s, out);
+    }
+}
+
+fn lower_term(
+    block: &Block,
+    alloc: &Allocation,
+    out: &mut Vec<PInst>,
+    jump_fixups: &mut Vec<(usize, usize)>,
+) {
+    match &block.term {
+        Terminator::Jump(b) => {
+            let pos = out.len();
+            out.push(PInst::Jump(usize::MAX));
+            jump_fixups.push((pos, b.index()));
+        }
+        Terminator::Branch { cond, t, f } => {
+            let ctx = prepare_uses(&[*cond], alloc, out);
+            let pos = out.len();
+            out.push(PInst::Branch {
+                cond: ctx.reg(*cond),
+                t: usize::MAX,
+                f: usize::MAX,
+            });
+            // Two fixups against the same instruction: the first patches `t`
+            // (still MAX), the second patches `f`.
+            jump_fixups.push((pos, t.index()));
+            jump_fixups.push((pos, f.index()));
+        }
+        Terminator::Ret { vals } => {
+            out.push(PInst::Ret {
+                vals: vals.iter().map(|v| parg(*v, alloc)).collect(),
+                frame_size: alloc.frame_size(),
+            });
+        }
+        Terminator::Trap(k) => out.push(PInst::Trap(*k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{ModuleBuilder, Width};
+
+    fn simple_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let a = f.movi(1);
+        let b = f.add(Width::W64, a, 2i64);
+        f.emit(Operand::reg(b));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn lowers_simple_module() {
+        let p = lower(&simple_module(), &LowerConfig::default()).unwrap();
+        assert!(matches!(p.insts[p.entry], PInst::Enter { .. }));
+        assert!(p.insts.iter().any(|i| matches!(i, PInst::CallExt { .. })));
+        assert!(p.insts.iter().any(|i| matches!(i, PInst::Ret { .. })));
+    }
+
+    #[test]
+    fn branch_targets_are_patched() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let c = f.cmp(sor_ir::CmpOp::Eq, Width::W64, 1i64, 1i64);
+        let a = f.block();
+        let b = f.block();
+        f.branch(c, a, b);
+        f.switch_to(a);
+        f.ret(&[]);
+        f.switch_to(b);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let p = lower(&m, &LowerConfig::default()).unwrap();
+        let br = p
+            .insts
+            .iter()
+            .find_map(|i| match i {
+                PInst::Branch { t, f, .. } => Some((*t, *f)),
+                _ => None,
+            })
+            .expect("branch present");
+        assert_ne!(br.0, usize::MAX);
+        assert_ne!(br.1, usize::MAX);
+        assert_ne!(br.0, br.1);
+        assert!(br.0 < p.insts.len() && br.1 < p.insts.len());
+    }
+
+    #[test]
+    fn spilled_defs_get_stores() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        // Sums are not remat candidates, so they spill to real slots.
+        let seed = f.movi(1);
+        let vals: Vec<_> = (0..12).map(|i| f.add(Width::W64, seed, i as i64)).collect();
+        let mut acc = f.movi(0);
+        for v in &vals {
+            acc = f.add(Width::W64, acc, *v);
+        }
+        for v in &vals {
+            acc = f.add(Width::W64, acc, *v);
+        }
+        f.emit(Operand::reg(acc));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let cfg = LowerConfig {
+            int_reg_limit: Some(4),
+            ..LowerConfig::default()
+        };
+        let p = lower(&m, &cfg).unwrap();
+        // Spill traffic uses SP-relative stores.
+        let spill_stores = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, PInst::Store { base, .. } if *base == SP))
+            .count();
+        assert!(spill_stores > 0, "expected spill stores under pressure");
+        match &p.insts[p.entry] {
+            PInst::Enter { frame_size, .. } => assert!(*frame_size > 0),
+            other => panic!("entry is {other:?}"),
+        }
+    }
+
+    #[test]
+    fn internal_calls_are_resolved_to_enter() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("callee");
+        let mut f = mb.function("main");
+        let r = f.call(callee, &[Operand::imm(3)], &[RegClass::Int]);
+        f.emit(Operand::reg(r[0]));
+        f.ret(&[]);
+        let main_id = f.finish();
+        let mut c = mb.define(callee, "callee");
+        let p = c.param(RegClass::Int);
+        c.set_ret_count(1);
+        let d = c.add(Width::W64, p, p);
+        c.ret(&[Operand::reg(d)]);
+        c.finish();
+        let m = mb.finish(main_id);
+        let prog = lower(&m, &LowerConfig::default()).unwrap();
+        let target = prog
+            .insts
+            .iter()
+            .find_map(|i| match i {
+                PInst::CallInt { target, .. } => Some(*target),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(prog.insts[target], PInst::Enter { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_module() {
+        let mut func = Function::new("main");
+        func.push_block(Block::new(Terminator::Jump(sor_ir::BlockId(9))));
+        let m = Module {
+            name: "bad".into(),
+            funcs: vec![func],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        assert!(lower(&m, &LowerConfig::default()).is_err());
+    }
+}

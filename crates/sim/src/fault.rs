@@ -1,0 +1,73 @@
+//! The single-event-upset fault specification.
+
+use sor_ir::{NUM_IREGS, SP};
+use std::fmt;
+
+/// One SEU: flip `bit` of integer register `reg` immediately before the
+/// dynamic instruction with index `at_instr` executes (paper §7.1).
+///
+/// Only integer registers are targeted: the paper neither injected into nor
+/// protected floating-point registers, and excluded the stack pointer and
+/// TOC pointer from injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Dynamic instruction index (0-based) at which the flip happens.
+    pub at_instr: u64,
+    /// Integer register file index, `0..32`, never the SP.
+    pub reg: u8,
+    /// Bit position, `0..64`.
+    pub bit: u8,
+}
+
+impl FaultSpec {
+    /// Creates a fault spec, validating the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range or the SP, or `bit >= 64`.
+    pub fn new(at_instr: u64, reg: u8, bit: u8) -> Self {
+        assert!((reg as usize) < NUM_IREGS, "register {reg} out of range");
+        assert_ne!(reg, SP.index(), "the stack pointer is never injected");
+        assert!(bit < 64, "bit {bit} out of range");
+        FaultSpec { at_instr, reg, bit }
+    }
+
+    /// Registers eligible for injection (everything but the SP).
+    pub fn injectable_regs() -> impl Iterator<Item = u8> {
+        (0..NUM_IREGS as u8).filter(|&r| r != SP.index())
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flip r{} bit {} before dynamic instruction {}",
+            self.reg, self.bit, self.at_instr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injectable_regs_exclude_sp() {
+        let regs: Vec<u8> = FaultSpec::injectable_regs().collect();
+        assert_eq!(regs.len(), NUM_IREGS - 1);
+        assert!(!regs.contains(&SP.index()));
+    }
+
+    #[test]
+    #[should_panic(expected = "stack pointer")]
+    fn sp_is_rejected() {
+        let _ = FaultSpec::new(0, SP.index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_64_is_rejected() {
+        let _ = FaultSpec::new(0, 2, 64);
+    }
+}

@@ -1,0 +1,35 @@
+//! # sor-sim — the architectural simulator
+//!
+//! Executes [`sor_ir::Program`] images and injects single-event-upset (SEU)
+//! faults, replacing the paper's PPC970 hardware and binary-instrumentation
+//! injector.
+//!
+//! * [`Machine`] — functional execution over 32 integer + 32 float physical
+//!   registers and a segmented memory (null guard / globals / stack /
+//!   memory-mapped output). Any access outside a mapped segment terminates
+//!   the run as a SEGV, division by zero and stack overflow likewise.
+//! * [`FaultSpec`] — one bit-flip in one integer register before one dynamic
+//!   instruction, the paper's §7.1 fault model. The stack pointer is never
+//!   targeted (the paper excluded SP and TOC).
+//! * [`Timing`] — an in-order, issue-width-limited scoreboard with an L1-D
+//!   cache model. It reproduces the two effects the paper's performance
+//!   numbers hinge on: spare ILP absorbing independent redundant
+//!   instructions, and memory-bound code hiding the transform overhead.
+//! * [`Runner`] / [`Outcome`] — golden-vs-faulty comparison and the paper's
+//!   unACE / SDC / SEGV classification.
+
+mod cache;
+mod fault;
+mod machine;
+mod mem;
+mod outcome;
+mod runner;
+mod timing;
+
+pub use cache::{Cache, CacheConfig};
+pub use fault::FaultSpec;
+pub use machine::{Machine, MachineConfig, ProbeCounts, RunResult, RunStatus};
+pub use mem::{MemError, Memory};
+pub use outcome::{classify, Outcome};
+pub use runner::Runner;
+pub use timing::{Latencies, Timing, TimingConfig};

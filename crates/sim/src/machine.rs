@@ -1,0 +1,733 @@
+//! The functional machine: executes program images instruction by
+//! instruction, optionally injecting one SEU and/or driving the timing model.
+
+use crate::fault::FaultSpec;
+use crate::mem::Memory;
+use crate::timing::{Timing, TimingConfig};
+use sor_ir::{
+    layout, AluOp, CmpOp, ExtFunc, FpOp, MemWidth, PArg, PInst, PLoc, POperand, Preg, ProbeEvent,
+    Program, RegClass, TrapKind, Width, NUM_FREGS, NUM_IREGS,
+};
+
+/// Machine parameters.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Dynamic instruction budget; exceeding it ends the run as
+    /// [`RunStatus::OutOfFuel`] (a hang under the SEU model).
+    pub fuel: u64,
+    /// Enable the cycle-accurate-ish timing model (performance runs only;
+    /// fault campaigns run functional-only for speed).
+    pub timing: Option<TimingConfig>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            fuel: 50_000_000,
+            timing: None,
+        }
+    }
+}
+
+/// Counts of instrumentation probes that fired during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounts {
+    /// SWIFT-R majority votes that repaired a disagreeing copy.
+    pub vote_repairs: u64,
+    /// TRUMP AN-code recovery sequences executed.
+    pub trump_recovers: u64,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunStatus {
+    /// The entry function returned normally.
+    Completed,
+    /// Segmentation fault, division fault or stack overflow.
+    Segv,
+    /// A SWIFT detection check fired (detected, unrecoverable).
+    Detected,
+    /// The program aborted deliberately.
+    Aborted,
+    /// The dynamic instruction budget was exhausted (hang).
+    OutOfFuel,
+}
+
+/// Everything observable about one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Terminal status.
+    pub status: RunStatus,
+    /// Values the program emitted (MMIO stores and `emit` calls, in order).
+    pub output: Vec<u64>,
+    /// Dynamic instructions executed (probes excluded).
+    pub dyn_instrs: u64,
+    /// Probe counters.
+    pub probes: ProbeCounts,
+    /// Whether the armed fault actually fired.
+    pub injected: bool,
+    /// Cycles, when the timing model was enabled.
+    pub cycles: Option<u64>,
+    /// L1-D hits, when the timing model was enabled.
+    pub cache_hits: Option<u64>,
+    /// L1-D misses, when the timing model was enabled.
+    pub cache_misses: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Val {
+    I(u64),
+    F(f64),
+}
+
+#[derive(Debug)]
+struct Frame {
+    ret_pc: usize,
+    ret_dsts: Vec<PLoc>,
+}
+
+enum Step {
+    Next,
+    Goto(usize),
+    Done(RunStatus),
+}
+
+/// The machine: one run over one program image.
+#[derive(Debug)]
+pub struct Machine<'p> {
+    prog: &'p Program,
+    fuel: u64,
+    iregs: [u64; NUM_IREGS],
+    fregs: [f64; NUM_FREGS],
+    pc: usize,
+    mem: Memory,
+    out: Vec<u64>,
+    frames: Vec<Frame>,
+    pending_args: Vec<Val>,
+    dyn_count: u64,
+    probes: ProbeCounts,
+    timing: Option<Timing>,
+    lat: crate::timing::Latencies,
+    injected: bool,
+}
+
+const SP_IDX: usize = 1;
+/// Recursion guard independent of frame sizes.
+const MAX_FRAMES: usize = 1 << 16;
+
+impl<'p> Machine<'p> {
+    /// Prepares a machine to run `prog`.
+    pub fn new(prog: &'p Program, cfg: &MachineConfig) -> Self {
+        let init: Vec<(u64, &[u8])> = prog
+            .globals
+            .iter()
+            .map(|g| (g.addr, g.bytes.as_slice()))
+            .collect();
+        let mut iregs = [0u64; NUM_IREGS];
+        iregs[SP_IDX] = layout::STACK_TOP;
+        Machine {
+            prog,
+            fuel: cfg.fuel,
+            iregs,
+            fregs: [0.0; NUM_FREGS],
+            pc: prog.entry,
+            mem: Memory::new(prog.global_extent, &init),
+            out: Vec::new(),
+            frames: Vec::new(),
+            pending_args: Vec::new(),
+            dyn_count: 0,
+            probes: ProbeCounts::default(),
+            timing: cfg.timing.as_ref().map(Timing::new),
+            lat: cfg
+                .timing
+                .as_ref()
+                .map(|t| t.lat.clone())
+                .unwrap_or_default(),
+            injected: false,
+        }
+    }
+
+    /// Runs to termination, optionally injecting `fault`.
+    pub fn run(mut self, fault: Option<FaultSpec>) -> RunResult {
+        let status = loop {
+            if self.dyn_count >= self.fuel {
+                break RunStatus::OutOfFuel;
+            }
+            if let Some(f) = fault {
+                if !self.injected && self.dyn_count == f.at_instr {
+                    self.iregs[f.reg as usize] ^= 1u64 << f.bit;
+                    self.injected = true;
+                }
+            }
+            match self.step() {
+                Step::Next => self.pc += 1,
+                Step::Goto(t) => self.pc = t,
+                Step::Done(s) => break s,
+            }
+        };
+        RunResult {
+            status,
+            output: self.out,
+            dyn_instrs: self.dyn_count,
+            probes: self.probes,
+            injected: self.injected,
+            cycles: self.timing.as_ref().map(Timing::cycles),
+            cache_hits: self.timing.as_ref().map(Timing::cache_hits),
+            cache_misses: self.timing.as_ref().map(Timing::cache_misses),
+        }
+    }
+
+    #[inline]
+    fn reg_i(&self, p: Preg) -> u64 {
+        debug_assert_eq!(p.class(), RegClass::Int);
+        self.iregs[p.index() as usize]
+    }
+
+    #[inline]
+    fn reg_f(&self, p: Preg) -> f64 {
+        debug_assert_eq!(p.class(), RegClass::Float);
+        self.fregs[p.index() as usize]
+    }
+
+    #[inline]
+    fn ival(&self, o: POperand) -> u64 {
+        match o {
+            POperand::Reg(r) => self.reg_i(r),
+            POperand::Imm(i) => i as u64,
+        }
+    }
+
+    #[inline]
+    fn set_i(&mut self, p: Preg, v: u64) {
+        debug_assert_eq!(p.class(), RegClass::Int);
+        self.iregs[p.index() as usize] = v;
+    }
+
+    #[inline]
+    fn set_f(&mut self, p: Preg, v: f64) {
+        debug_assert_eq!(p.class(), RegClass::Float);
+        self.fregs[p.index() as usize] = v;
+    }
+
+    fn sp(&self) -> u64 {
+        self.iregs[SP_IDX]
+    }
+
+    #[inline]
+    fn tick(&mut self, srcs: &[Preg], dst: Option<Preg>, latency: u64) {
+        if let Some(t) = &mut self.timing {
+            t.issue(srcs, dst, latency);
+        }
+    }
+
+    fn read_parg(&mut self, a: &PArg) -> Result<Val, ()> {
+        Ok(match a {
+            PArg::Imm(i) => Val::I(*i as u64),
+            PArg::Reg(p) => match p.class() {
+                RegClass::Int => Val::I(self.reg_i(*p)),
+                RegClass::Float => Val::F(self.reg_f(*p)),
+            },
+            PArg::Slot(s, class) => {
+                let addr = self.sp() + 8 * *s as u64;
+                let bits = self.mem.read(addr, 8).map_err(|_| ())?;
+                match class {
+                    RegClass::Int => Val::I(bits),
+                    RegClass::Float => Val::F(f64::from_bits(bits)),
+                }
+            }
+        })
+    }
+
+    fn write_ploc(&mut self, l: &PLoc, v: Val) -> Result<(), ()> {
+        match l {
+            PLoc::Reg(p) => match v {
+                Val::I(x) => self.set_i(*p, x),
+                Val::F(x) => self.set_f(*p, x),
+            },
+            PLoc::Slot(s, _class) => {
+                let addr = self.sp() + 8 * *s as u64;
+                let bits = match v {
+                    Val::I(x) => x,
+                    Val::F(x) => x.to_bits(),
+                };
+                self.mem.write(addr, 8, bits).map_err(|_| ())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn op_src(o: POperand, buf: &mut [Preg; 3], n: &mut usize) {
+        if let POperand::Reg(r) = o {
+            buf[*n] = r;
+            *n += 1;
+        }
+    }
+
+    fn step(&mut self) -> Step {
+        let inst = &self.prog.insts[self.pc];
+        // Probes are free instrumentation: no count, no timing.
+        if let PInst::Probe(e) = inst {
+            match e {
+                ProbeEvent::VoteRepair => self.probes.vote_repairs += 1,
+                ProbeEvent::TrumpRecover => self.probes.trump_recovers += 1,
+            }
+            return Step::Next;
+        }
+        self.dyn_count += 1;
+
+        match inst {
+            PInst::Alu {
+                op,
+                width,
+                dst,
+                a,
+                b,
+            } => {
+                let x = self.ival(*a);
+                let y = self.ival(*b);
+                let r = match alu_eval(*op, *width, x, y) {
+                    Some(r) => r,
+                    None => return Step::Done(RunStatus::Segv), // division fault
+                };
+                let mut srcs = [*dst; 3];
+                let mut n = 0;
+                Self::op_src(*a, &mut srcs, &mut n);
+                Self::op_src(*b, &mut srcs, &mut n);
+                let lat = match op {
+                    AluOp::Mul => self.lat.mul,
+                    AluOp::DivU | AluOp::DivS | AluOp::RemU | AluOp::RemS => self.lat.div,
+                    _ => self.lat.alu,
+                };
+                self.tick(&srcs[..n], Some(*dst), lat);
+                self.set_i(*dst, r);
+                Step::Next
+            }
+            PInst::Cmp {
+                op,
+                width,
+                dst,
+                a,
+                b,
+            } => {
+                let x = self.ival(*a);
+                let y = self.ival(*b);
+                let (x, y) = match width {
+                    Width::W32 => (x as u32 as u64, y as u32 as u64),
+                    Width::W64 => (x, y),
+                };
+                let r = match (width, op) {
+                    (Width::W32, CmpOp::LtS) => ((x as u32 as i32) < (y as u32 as i32)) as u64,
+                    (Width::W32, CmpOp::LeS) => ((x as u32 as i32) <= (y as u32 as i32)) as u64,
+                    _ => op.eval(x, y) as u64,
+                };
+                let mut srcs = [*dst; 3];
+                let mut n = 0;
+                Self::op_src(*a, &mut srcs, &mut n);
+                Self::op_src(*b, &mut srcs, &mut n);
+                self.tick(&srcs[..n], Some(*dst), self.lat.alu);
+                self.set_i(*dst, r);
+                Step::Next
+            }
+            PInst::Mov { dst, src } => {
+                let v = self.ival(*src);
+                let mut srcs = [*dst; 3];
+                let mut n = 0;
+                Self::op_src(*src, &mut srcs, &mut n);
+                self.tick(&srcs[..n], Some(*dst), self.lat.alu);
+                self.set_i(*dst, v);
+                Step::Next
+            }
+            PInst::Select { dst, cond, t, f } => {
+                let c = self.reg_i(*cond);
+                let v = if c != 0 { self.ival(*t) } else { self.ival(*f) };
+                let mut srcs = [*cond; 3];
+                let mut n = 1;
+                Self::op_src(*t, &mut srcs, &mut n);
+                if n < 3 {
+                    Self::op_src(*f, &mut srcs, &mut n);
+                }
+                self.tick(&srcs[..n], Some(*dst), self.lat.alu);
+                self.set_i(*dst, v);
+                Step::Next
+            }
+            PInst::Load {
+                dst,
+                base,
+                offset,
+                width,
+                signed,
+            } => {
+                let addr = self.reg_i(*base).wrapping_add(*offset as u64);
+                if addr >= layout::OUT_BASE && addr < layout::OUT_BASE + layout::OUT_SIZE {
+                    return Step::Done(RunStatus::Segv); // output page is write-only
+                }
+                let raw = match self.mem.read(addr, width.bytes()) {
+                    Ok(v) => v,
+                    Err(_) => return Step::Done(RunStatus::Segv),
+                };
+                let v = if *signed {
+                    sign_extend(raw, *width)
+                } else {
+                    raw
+                };
+                let extra = match &mut self.timing {
+                    Some(t) => t.mem_access(addr),
+                    None => 0,
+                };
+                self.tick(&[*base], Some(*dst), self.lat.load + extra);
+                self.set_i(*dst, v);
+                Step::Next
+            }
+            PInst::Store {
+                base,
+                offset,
+                src,
+                width,
+            } => {
+                let addr = self.reg_i(*base).wrapping_add(*offset as u64);
+                let v = self.ival(*src);
+                if addr >= layout::OUT_BASE
+                    && addr + width.bytes() <= layout::OUT_BASE + layout::OUT_SIZE
+                {
+                    self.out.push(v & width.unsigned_max());
+                } else if self.mem.write(addr, width.bytes(), v).is_err() {
+                    return Step::Done(RunStatus::Segv);
+                } else if let Some(t) = &mut self.timing {
+                    t.mem_access(addr);
+                }
+                let mut srcs = [*base; 3];
+                let mut n = 1;
+                Self::op_src(*src, &mut srcs, &mut n);
+                self.tick(&srcs[..n], None, 1);
+                Step::Next
+            }
+            PInst::Fpu { op, dst, a, b } => {
+                let r = op.eval(self.reg_f(*a), self.reg_f(*b));
+                let lat = match op {
+                    FpOp::Add | FpOp::Sub | FpOp::Mul => self.lat.fp,
+                    FpOp::Div => self.lat.fdiv,
+                };
+                self.tick(&[*a, *b], Some(*dst), lat);
+                self.set_f(*dst, r);
+                Step::Next
+            }
+            PInst::FMovImm { dst, bits } => {
+                self.tick(&[], Some(*dst), self.lat.alu);
+                self.set_f(*dst, f64::from_bits(*bits));
+                Step::Next
+            }
+            PInst::FMov { dst, src } => {
+                let v = self.reg_f(*src);
+                self.tick(&[*src], Some(*dst), self.lat.alu);
+                self.set_f(*dst, v);
+                Step::Next
+            }
+            PInst::FCmp { op, dst, a, b } => {
+                let x = self.reg_f(*a);
+                let y = self.reg_f(*b);
+                let r = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::LtS | CmpOp::LtU => x < y,
+                    CmpOp::LeS | CmpOp::LeU => x <= y,
+                };
+                self.tick(&[*a, *b], Some(*dst), self.lat.fp);
+                self.set_i(*dst, r as u64);
+                Step::Next
+            }
+            PInst::CvtIF { dst, src } => {
+                let v = self.reg_i(*src) as i64 as f64;
+                self.tick(&[*src], Some(*dst), self.lat.fp);
+                self.set_f(*dst, v);
+                Step::Next
+            }
+            PInst::CvtFI { dst, src } => {
+                let v = self.reg_f(*src) as i64 as u64;
+                self.tick(&[*src], Some(*dst), self.lat.fp);
+                self.set_i(*dst, v);
+                Step::Next
+            }
+            PInst::FLoad { dst, base, offset } => {
+                let addr = self.reg_i(*base).wrapping_add(*offset as u64);
+                if addr >= layout::OUT_BASE {
+                    return Step::Done(RunStatus::Segv);
+                }
+                let raw = match self.mem.read(addr, 8) {
+                    Ok(v) => v,
+                    Err(_) => return Step::Done(RunStatus::Segv),
+                };
+                let extra = match &mut self.timing {
+                    Some(t) => t.mem_access(addr),
+                    None => 0,
+                };
+                self.tick(&[*base], Some(*dst), self.lat.load + extra);
+                self.set_f(*dst, f64::from_bits(raw));
+                Step::Next
+            }
+            PInst::FStore { base, offset, src } => {
+                let addr = self.reg_i(*base).wrapping_add(*offset as u64);
+                let bits = self.reg_f(*src).to_bits();
+                if addr >= layout::OUT_BASE && addr + 8 <= layout::OUT_BASE + layout::OUT_SIZE {
+                    self.out.push(bits);
+                } else if self.mem.write(addr, 8, bits).is_err() {
+                    return Step::Done(RunStatus::Segv);
+                } else if let Some(t) = &mut self.timing {
+                    t.mem_access(addr);
+                }
+                self.tick(&[*base, *src], None, 1);
+                Step::Next
+            }
+            PInst::Jump(t) => {
+                // Unconditional jumps are resolved in the front end; they
+                // cost an issue slot but no redirect.
+                self.tick(&[], None, 1);
+                Step::Goto(*t)
+            }
+            PInst::Branch { cond, t, f } => {
+                let c = self.reg_i(*cond);
+                let taken = c != 0;
+                if let Some(tm) = &mut self.timing {
+                    tm.issue(&[*cond], None, 1);
+                    if taken {
+                        tm.taken_branch();
+                    }
+                }
+                Step::Goto(if taken { *t } else { *f })
+            }
+            PInst::CallInt { target, args, rets } => {
+                if self.frames.len() >= MAX_FRAMES {
+                    return Step::Done(RunStatus::Segv);
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.read_parg(a) {
+                        Ok(v) => vals.push(v),
+                        Err(()) => return Step::Done(RunStatus::Segv),
+                    }
+                }
+                self.pending_args = vals;
+                self.frames.push(Frame {
+                    ret_pc: self.pc + 1,
+                    ret_dsts: rets.clone(),
+                });
+                self.tick(&[], None, 2);
+                Step::Goto(*target)
+            }
+            PInst::CallExt { func, args } => {
+                let mut srcs = [Preg::int(0); 3];
+                let mut n = 0;
+                for a in args {
+                    if let PArg::Reg(p) = a {
+                        if n < 3 {
+                            srcs[n] = *p;
+                            n += 1;
+                        }
+                    }
+                }
+                let v = match self.read_parg(&args[0]) {
+                    Ok(v) => v,
+                    Err(()) => return Step::Done(RunStatus::Segv),
+                };
+                match (func, v) {
+                    (ExtFunc::Emit, Val::I(x)) => self.out.push(x),
+                    (ExtFunc::EmitF, Val::F(x)) => self.out.push(x.to_bits()),
+                    // Class mismatches cannot be produced by the lowering
+                    // pass; treat them as a fault if they ever appear.
+                    _ => return Step::Done(RunStatus::Segv),
+                }
+                self.tick(&srcs[..n], None, 1);
+                Step::Next
+            }
+            PInst::Enter { frame_size, params } => {
+                let new_sp = self.sp().wrapping_sub(*frame_size as u64);
+                if new_sp < layout::STACK_BASE || new_sp > layout::STACK_TOP {
+                    return Step::Done(RunStatus::Segv);
+                }
+                self.iregs[SP_IDX] = new_sp;
+                let vals = std::mem::take(&mut self.pending_args);
+                if vals.len() != params.len() {
+                    return Step::Done(RunStatus::Segv);
+                }
+                for (l, v) in params.iter().zip(vals) {
+                    if self.write_ploc(l, v).is_err() {
+                        return Step::Done(RunStatus::Segv);
+                    }
+                }
+                self.tick(&[], None, 2);
+                Step::Next
+            }
+            PInst::Ret { vals, frame_size } => {
+                let mut out_vals = Vec::with_capacity(vals.len());
+                for v in vals {
+                    match self.read_parg(v) {
+                        Ok(x) => out_vals.push(x),
+                        Err(()) => return Step::Done(RunStatus::Segv),
+                    }
+                }
+                self.iregs[SP_IDX] = self.sp().wrapping_add(*frame_size as u64);
+                self.tick(&[], None, 2);
+                match self.frames.pop() {
+                    None => Step::Done(RunStatus::Completed),
+                    Some(frame) => {
+                        if out_vals.len() != frame.ret_dsts.len() {
+                            return Step::Done(RunStatus::Segv);
+                        }
+                        for (l, v) in frame.ret_dsts.iter().zip(out_vals) {
+                            if self.write_ploc(l, v).is_err() {
+                                return Step::Done(RunStatus::Segv);
+                            }
+                        }
+                        Step::Goto(frame.ret_pc)
+                    }
+                }
+            }
+            PInst::Trap(TrapKind::Detected) => Step::Done(RunStatus::Detected),
+            PInst::Trap(TrapKind::Abort) => Step::Done(RunStatus::Aborted),
+            PInst::Probe(_) => unreachable!("handled before counting"),
+        }
+    }
+}
+
+fn sign_extend(raw: u64, width: MemWidth) -> u64 {
+    match width {
+        MemWidth::B1 => raw as u8 as i8 as i64 as u64,
+        MemWidth::B2 => raw as u16 as i16 as i64 as u64,
+        MemWidth::B4 => raw as u32 as i32 as i64 as u64,
+        MemWidth::B8 => raw,
+    }
+}
+
+/// Evaluates an ALU operation; `None` signals a division fault.
+fn alu_eval(op: AluOp, width: Width, a: u64, b: u64) -> Option<u64> {
+    match width {
+        Width::W64 => {
+            let r = match op {
+                AluOp::Add => a.wrapping_add(b),
+                AluOp::Sub => a.wrapping_sub(b),
+                AluOp::Mul => a.wrapping_mul(b),
+                AluOp::DivU => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a / b
+                }
+                AluOp::DivS => {
+                    if b == 0 {
+                        return None;
+                    }
+                    (a as i64).wrapping_div(b as i64) as u64
+                }
+                AluOp::RemU => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a % b
+                }
+                AluOp::RemS => {
+                    if b == 0 {
+                        return None;
+                    }
+                    (a as i64).wrapping_rem(b as i64) as u64
+                }
+                AluOp::And => a & b,
+                AluOp::Or => a | b,
+                AluOp::Xor => a ^ b,
+                AluOp::Shl => a.wrapping_shl((b % 64) as u32),
+                AluOp::ShrL => a.wrapping_shr((b % 64) as u32),
+                AluOp::ShrA => ((a as i64).wrapping_shr((b % 64) as u32)) as u64,
+            };
+            Some(r)
+        }
+        Width::W32 => {
+            let x = a as u32;
+            let y = b as u32;
+            let r = match op {
+                AluOp::Add => x.wrapping_add(y),
+                AluOp::Sub => x.wrapping_sub(y),
+                AluOp::Mul => x.wrapping_mul(y),
+                AluOp::DivU => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x / y
+                }
+                AluOp::DivS => {
+                    if y == 0 {
+                        return None;
+                    }
+                    (x as i32).wrapping_div(y as i32) as u32
+                }
+                AluOp::RemU => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x % y
+                }
+                AluOp::RemS => {
+                    if y == 0 {
+                        return None;
+                    }
+                    (x as i32).wrapping_rem(y as i32) as u32
+                }
+                AluOp::And => x & y,
+                AluOp::Or => x | y,
+                AluOp::Xor => x ^ y,
+                AluOp::Shl => x.wrapping_shl(y % 32),
+                AluOp::ShrL => x.wrapping_shr(y % 32),
+                AluOp::ShrA => ((x as i32).wrapping_shr(y % 32)) as u32,
+            };
+            Some(r as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_w32_wraps_and_zero_extends() {
+        assert_eq!(
+            alu_eval(AluOp::Add, Width::W32, u32::MAX as u64, 1),
+            Some(0)
+        );
+        assert_eq!(
+            alu_eval(AluOp::Sub, Width::W32, 0, 1),
+            Some(u32::MAX as u64)
+        );
+        assert_eq!(
+            alu_eval(AluOp::ShrA, Width::W32, 0x8000_0000, 31),
+            Some(0xFFFF_FFFF)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        for op in [AluOp::DivU, AluOp::DivS, AluOp::RemU, AluOp::RemS] {
+            assert_eq!(alu_eval(op, Width::W64, 5, 0), None);
+            assert_eq!(alu_eval(op, Width::W32, 5, 0), None);
+        }
+    }
+
+    #[test]
+    fn signed_ops_are_signed() {
+        let minus_one = (-1i64) as u64;
+        assert_eq!(
+            alu_eval(AluOp::DivS, Width::W64, minus_one, 1),
+            Some(minus_one)
+        );
+        assert_eq!(
+            alu_eval(AluOp::ShrA, Width::W64, minus_one, 5),
+            Some(minus_one)
+        );
+        assert_eq!(alu_eval(AluOp::ShrL, Width::W64, minus_one, 63), Some(1));
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xFF, MemWidth::B1), u64::MAX);
+        assert_eq!(sign_extend(0x7F, MemWidth::B1), 0x7F);
+        assert_eq!(sign_extend(0x8000, MemWidth::B2), (-32768i64) as u64);
+        assert_eq!(sign_extend(0xFFFF_FFFF, MemWidth::B4), u64::MAX);
+    }
+}

@@ -1,0 +1,137 @@
+//! Segmented data memory.
+//!
+//! Three mapped regions (see [`sor_ir::layout`]): the global/heap segment,
+//! the downward-growing stack, and the output MMIO page (handled by the
+//! machine, not here). Everything else — notably the entire low null-guard
+//! region and the vast gaps between segments — faults. Memory contents are
+//! assumed ECC-protected (the paper's assumption), so faults are only ever
+//! injected into registers; memory simply stores bytes.
+
+use sor_ir::layout;
+use std::fmt;
+
+/// A memory access fault (maps to the paper's SEGV outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    /// The faulting address.
+    pub addr: u64,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "segmentation fault at {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Byte-addressable data memory backing the global and stack segments.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    global: Vec<u8>,
+    stack: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates memory with a global segment of `global_size` bytes
+    /// (rounded up to 4 KiB) initialized from `init` chunks.
+    pub fn new(global_size: u64, init: &[(u64, &[u8])]) -> Self {
+        let size = (global_size + 0xFFF) & !0xFFF;
+        assert!(
+            size <= layout::GLOBAL_MAX,
+            "global segment too large: {size:#x}"
+        );
+        let mut global = vec![0u8; size as usize];
+        for (addr, bytes) in init {
+            let off = (addr - layout::GLOBAL_BASE) as usize;
+            global[off..off + bytes.len()].copy_from_slice(bytes);
+        }
+        Memory {
+            global,
+            stack: vec![0u8; (layout::STACK_TOP - layout::STACK_BASE) as usize],
+        }
+    }
+
+    fn slot(&mut self, addr: u64, len: u64) -> Result<&mut [u8], MemError> {
+        let end = addr.checked_add(len).ok_or(MemError { addr })?;
+        if addr >= layout::GLOBAL_BASE && end <= layout::GLOBAL_BASE + self.global.len() as u64 {
+            let off = (addr - layout::GLOBAL_BASE) as usize;
+            Ok(&mut self.global[off..off + len as usize])
+        } else if addr >= layout::STACK_BASE && end <= layout::STACK_TOP {
+            let off = (addr - layout::STACK_BASE) as usize;
+            Ok(&mut self.stack[off..off + len as usize])
+        } else {
+            Err(MemError { addr })
+        }
+    }
+
+    /// Reads `len` (1/2/4/8) bytes little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] when any byte falls outside a mapped segment.
+    pub fn read(&mut self, addr: u64, len: u64) -> Result<u64, MemError> {
+        let bytes = self.slot(addr, len)?;
+        let mut buf = [0u8; 8];
+        buf[..len as usize].copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `len` (1/2/4/8) bytes of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemError`] when any byte falls outside a mapped segment.
+    pub fn write(&mut self, addr: u64, len: u64, value: u64) -> Result<(), MemError> {
+        let bytes = self.slot(addr, len)?;
+        bytes.copy_from_slice(&value.to_le_bytes()[..len as usize]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_initialized_globals() {
+        let mut m = Memory::new(64, &[(layout::GLOBAL_BASE + 8, &42u64.to_le_bytes())]);
+        assert_eq!(m.read(layout::GLOBAL_BASE + 8, 8).unwrap(), 42);
+        assert_eq!(m.read(layout::GLOBAL_BASE, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut m = Memory::new(64, &[]);
+        let a = layout::GLOBAL_BASE;
+        for len in [1u64, 2, 4, 8] {
+            let v = 0x1122_3344_5566_7788u64 & ((1u128 << (len * 8)) - 1) as u64;
+            m.write(a, len, 0x1122_3344_5566_7788).unwrap();
+            assert_eq!(m.read(a, len).unwrap(), v, "width {len}");
+        }
+    }
+
+    #[test]
+    fn stack_is_mapped() {
+        let mut m = Memory::new(0, &[]);
+        m.write(layout::STACK_TOP - 16, 8, 7).unwrap();
+        assert_eq!(m.read(layout::STACK_TOP - 16, 8).unwrap(), 7);
+    }
+
+    #[test]
+    fn null_and_gaps_fault() {
+        let mut m = Memory::new(64, &[]);
+        assert!(m.read(0, 8).is_err());
+        assert!(m.read(8, 1).is_err());
+        assert!(m.read(layout::GLOBAL_BASE - 1, 1).is_err());
+        assert!(m.read(layout::STACK_TOP, 1).is_err());
+        assert!(m.read(u64::MAX - 3, 8).is_err(), "wrapping access faults");
+    }
+
+    #[test]
+    fn access_straddling_segment_end_faults() {
+        let mut m = Memory::new(4096, &[]);
+        assert!(m.write(layout::GLOBAL_BASE + 4095, 8, 1).is_err());
+        assert!(m.write(layout::STACK_TOP - 4, 8, 1).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! `183.equake`: sparse matrix-vector products (CSR) in floating point with
+//! integer index arithmetic.
+//!
+//! The SPEC benchmark simulates seismic wave propagation; its hot loop is a
+//! sparse MVP. The FP work is unprotected (as in the paper), but the index
+//! chains — row pointers and column indices loaded as 32-bit values and
+//! scaled into addresses — are exactly the bounded arithmetic TRUMP covers,
+//! which is why the paper reports TRUMP on par with SWIFT-R here.
+
+use crate::common::XorShift;
+use crate::spec::Workload;
+use sor_ir::{CmpOp, FpOp, MemWidth, Module, ModuleBuilder, Operand, RegClass, Width};
+
+/// `183.equake` stand-in: `iters` CSR MVP sweeps.
+#[derive(Debug, Clone)]
+pub struct Equake {
+    /// Matrix dimension.
+    pub rows: u64,
+    /// Non-zeros per row.
+    pub nnz_per_row: u64,
+    /// Sweeps.
+    pub iters: u64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for Equake {
+    fn default() -> Self {
+        Equake {
+            rows: 96,
+            nnz_per_row: 6,
+            iters: 4,
+            seed: 0xEA7E,
+        }
+    }
+}
+
+impl Equake {
+    fn matrix(&self) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+        let mut rng = XorShift::new(self.seed);
+        let nnz = self.rows * self.nnz_per_row;
+        let row_ptr: Vec<u32> = (0..=self.rows)
+            .map(|r| (r * self.nnz_per_row) as u32)
+            .collect();
+        let cols: Vec<u32> = (0..nnz).map(|_| rng.below(self.rows) as u32).collect();
+        let vals: Vec<f64> = (0..nnz).map(|_| rng.f64_unit() - 0.5).collect();
+        (row_ptr, cols, vals)
+    }
+
+    fn x0(&self) -> Vec<f64> {
+        let mut rng = XorShift::new(self.seed ^ 0x1234);
+        (0..self.rows).map(|_| rng.f64_unit()).collect()
+    }
+}
+
+impl Workload for Equake {
+    fn name(&self) -> &'static str {
+        "equake"
+    }
+
+    fn paper_name(&self) -> &'static str {
+        "183.equake"
+    }
+
+    fn description(&self) -> &'static str {
+        "CSR sparse MVP: FP compute, TRUMP-friendly integer indexing"
+    }
+
+    fn build(&self) -> Module {
+        let (row_ptr, cols, vals) = self.matrix();
+        let rows = self.rows;
+        let nnz = rows * self.nnz_per_row;
+        let mut mb = ModuleBuilder::new("equake");
+        let rp_bytes: Vec<u8> = row_ptr.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let rp_g = mb.alloc_global_init("row_ptr", &rp_bytes, (rows + 1) * 4);
+        let col_bytes: Vec<u8> = cols.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let col_g = mb.alloc_global_init("cols", &col_bytes, nnz * 4);
+        let val_g = mb.alloc_global_f64s("vals", &vals);
+        let x_g = mb.alloc_global_f64s("x", &self.x0());
+        let y_g = mb.alloc_global("y", rows * 8);
+
+        let mut f = mb.function("main");
+        let rp = f.movi(rp_g as i64);
+        let colb = f.movi(col_g as i64);
+        let valb = f.movi(val_g as i64);
+        let xb = f.movi(x_g as i64);
+        let yb = f.movi(y_g as i64);
+        let it = f.movi(0);
+
+        let it_h = f.block();
+        let it_b = f.block();
+        let row_h = f.block();
+        let row_b = f.block();
+        let k_h = f.block();
+        let k_b = f.block();
+        let row_done = f.block();
+        let copy_h = f.block();
+        let copy_b = f.block();
+        let it_latch = f.block();
+        let exit = f.block();
+
+        let r = f.vreg(RegClass::Int);
+        let k = f.vreg(RegClass::Int);
+        let kend = f.vreg(RegClass::Int);
+        let acc = f.vreg(RegClass::Float);
+
+        f.jump(it_h);
+        f.switch_to(it_h);
+        let ic = f.cmp(CmpOp::LtU, Width::W64, it, self.iters as i64);
+        f.branch(ic, it_b, exit);
+
+        f.switch_to(it_b);
+        f.mov_to(r, 0i64);
+        f.jump(row_h);
+
+        f.switch_to(row_h);
+        let rcond = f.cmp(CmpOp::LtU, Width::W64, r, rows as i64);
+        f.branch(rcond, row_b, copy_h);
+
+        f.switch_to(row_b);
+        // k = row_ptr[r], kend = row_ptr[r+1]
+        let r_b = f.assume(r, 0, rows - 1);
+        let roff = f.shl(Width::W64, r_b, 2i64);
+        let rpa = f.add(Width::W64, rp, roff);
+        let k0 = f.load(MemWidth::B4, rpa, 0);
+        let k1 = f.load(MemWidth::B4, rpa, 4);
+        f.mov_to(k, k0);
+        f.mov_to(kend, k1);
+        let z = f.fmovi(0.0);
+        f.push_inst(sor_ir::Inst::FMov { dst: acc, src: z });
+        f.jump(k_h);
+
+        f.switch_to(k_h);
+        let kc = f.cmp(CmpOp::LtU, Width::W64, k, kend);
+        f.branch(kc, k_b, row_done);
+
+        f.switch_to(k_b);
+        // acc += vals[k] * x[cols[k]]
+        let ka = f.assume(k, 0, nnz - 1);
+        let koff4 = f.shl(Width::W64, ka, 2i64);
+        let ca = f.add(Width::W64, colb, koff4);
+        let col = f.load(MemWidth::B4, ca, 0);
+        let cassume = f.assume(col, 0, rows - 1);
+        let koff8 = f.shl(Width::W64, ka, 3i64);
+        let va = f.add(Width::W64, valb, koff8);
+        let v = f.fload(va, 0);
+        let xoff = f.shl(Width::W64, cassume, 3i64);
+        let xa = f.add(Width::W64, xb, xoff);
+        let xv = f.fload(xa, 0);
+        let prod = f.fpu(FpOp::Mul, v, xv);
+        let na = f.fpu(FpOp::Add, acc, prod);
+        f.push_inst(sor_ir::Inst::FMov { dst: acc, src: na });
+        let kn = f.add(Width::W64, k, 1i64);
+        f.mov_to(k, kn);
+        f.jump(k_h);
+
+        f.switch_to(row_done);
+        let r_b2 = f.assume(r, 0, rows - 1);
+        let yoff = f.shl(Width::W64, r_b2, 3i64);
+        let ya = f.add(Width::W64, yb, yoff);
+        f.fstore(ya, 0, acc);
+        let rn = f.add(Width::W64, r, 1i64);
+        f.mov_to(r, rn);
+        f.jump(row_h);
+
+        // x[i] = y[i] * 0.5 + 0.25 (relaxation step), plus a checksum emit.
+        f.switch_to(copy_h);
+        f.mov_to(r, 0i64);
+        let half = f.fmovi(0.5);
+        let quarter = f.fmovi(0.25);
+        let csum = f.vreg(RegClass::Float);
+        let z2 = f.fmovi(0.0);
+        f.push_inst(sor_ir::Inst::FMov { dst: csum, src: z2 });
+        f.jump(copy_b);
+        f.switch_to(copy_b);
+        {
+            let r_b3 = f.assume(r, 0, rows - 1);
+            let yoff = f.shl(Width::W64, r_b3, 3i64);
+            let ya = f.add(Width::W64, yb, yoff);
+            let yv = f.fload(ya, 0);
+            let s = f.fpu(FpOp::Mul, yv, half);
+            let nx = f.fpu(FpOp::Add, s, quarter);
+            let xa = f.add(Width::W64, xb, yoff);
+            f.fstore(xa, 0, nx);
+            let ns = f.fpu(FpOp::Add, csum, yv);
+            f.push_inst(sor_ir::Inst::FMov { dst: csum, src: ns });
+            let rn = f.add(Width::W64, r, 1i64);
+            f.mov_to(r, rn);
+            let rc = f.cmp(CmpOp::LtU, Width::W64, r, rows as i64);
+            f.branch(rc, copy_b, it_latch);
+        }
+
+        f.switch_to(it_latch);
+        let scale = f.fmovi(65536.0);
+        let scaled = f.fpu(FpOp::Mul, csum, scale);
+        let q = f.cvt_fi(scaled);
+        f.emit(Operand::reg(q));
+        let itn = f.add(Width::W64, it, 1i64);
+        f.mov_to(it, itn);
+        f.jump(it_h);
+
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        let (row_ptr, cols, vals) = self.matrix();
+        let rows = self.rows as usize;
+        let mut x = self.x0();
+        let mut out = Vec::new();
+        for _ in 0..self.iters {
+            let mut y = vec![0.0f64; rows];
+            for r in 0..rows {
+                let mut acc = 0.0f64;
+                for k in row_ptr[r] as usize..row_ptr[r + 1] as usize {
+                    acc += vals[k] * x[cols[k] as usize];
+                }
+                y[r] = acc;
+            }
+            let mut csum = 0.0f64;
+            for r in 0..rows {
+                let yv = y[r];
+                x[r] = yv * 0.5 + 0.25;
+                csum += yv;
+            }
+            out.push(((csum * 65536.0) as i64) as u64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_native_reference() {
+        let w = Equake {
+            rows: 16,
+            nnz_per_row: 3,
+            iters: 2,
+            seed: 5,
+        };
+        let p = sor_regalloc::lower(&w.build(), &Default::default()).unwrap();
+        let r = sor_sim::Machine::new(&p, &Default::default()).run(None);
+        assert_eq!(r.status, sor_sim::RunStatus::Completed);
+        assert_eq!(r.output, w.reference_output());
+    }
+
+    #[test]
+    fn default_matches_native() {
+        let w = Equake::default();
+        let p = sor_regalloc::lower(&w.build(), &Default::default()).unwrap();
+        let r = sor_sim::Machine::new(&p, &Default::default()).run(None);
+        assert_eq!(r.output, w.reference_output());
+    }
+
+    #[test]
+    fn index_chains_are_trump_covered() {
+        let cov = sor_core::coverage(&Equake::default().build());
+        assert!(
+            cov.trump_value_fraction() > 0.25,
+            "index arithmetic should be TRUMP-covered: {}",
+            cov.trump_value_fraction()
+        );
+    }
+}

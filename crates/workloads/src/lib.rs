@@ -1,0 +1,45 @@
+//! # sor-workloads — the benchmark suite
+//!
+//! Ten deterministic kernels, one per benchmark the paper's evaluation
+//! names, each mirroring the *instruction-mix character* that drives that
+//! benchmark's behaviour in Figures 8 and 9:
+//!
+//! | kernel | paper benchmark | character |
+//! |---|---|---|
+//! | [`AdpcmDec`] | `adpcmdec` (MediaBench) | logic-heavy; the Figure 6 guard bit |
+//! | [`AdpcmEnc`] | `adpcmenc` (MediaBench) | logic-heavy |
+//! | [`Mpeg2Dec`] | `mpeg2dec` (MediaBench) | IDCT + saturation logic |
+//! | [`Mpeg2Enc`] | `mpeg2enc` (MediaBench) | DCT arithmetic (TRUMP-friendly) |
+//! | [`Art`] | `179.art` (SPEC FP) | floating-point dominated |
+//! | [`Mcf`] | `181.mcf` (SPEC INT) | pointer chasing, memory bound |
+//! | [`Equake`] | `183.equake` (SPEC FP) | FP with integer index arithmetic |
+//! | [`Parser`] | `197.parser` (SPEC INT) | hashing/logical ops (TRUMP-hostile) |
+//! | [`Vortex`] | `255.vortex` (SPEC INT) | load-heavy object traversal |
+//! | [`Twolf`] | `300.twolf` (SPEC INT) | mixed integer compute |
+//!
+//! Every kernel provides a deterministic IR builder **and** a native Rust
+//! reference implementation; the test suites assert that the simulated NOFT
+//! output equals the native output bit for bit, which exercises the whole
+//! substrate (builder → verifier → regalloc → machine) end to end.
+
+mod adpcm;
+mod art;
+mod common;
+mod equake;
+mod mcf;
+mod mpeg2;
+mod parser_wl;
+mod spec;
+mod twolf;
+mod vortex;
+
+pub use adpcm::{AdpcmDec, AdpcmEnc};
+pub use art::Art;
+pub use common::XorShift;
+pub use equake::Equake;
+pub use mcf::Mcf;
+pub use mpeg2::{Mpeg2Dec, Mpeg2Enc};
+pub use parser_wl::Parser;
+pub use spec::{all_workloads, Workload};
+pub use twolf::Twolf;
+pub use vortex::Vortex;

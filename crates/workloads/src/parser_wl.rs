@@ -1,0 +1,335 @@
+//! `197.parser`: tokenizing and hashing — the TRUMP-hostile benchmark.
+//!
+//! SPEC's link-grammar parser spends its time in dictionary lookups:
+//! hashing strings (wrapping multiplies, xors, shifts) and probing tables.
+//! None of those operations propagate AN-codes, so TRUMP's coverage here is
+//! minimal and its reliability sits far below SWIFT-R's — the contrast the
+//! paper calls out explicitly in §7.1.
+
+use crate::common::XorShift;
+use crate::spec::Workload;
+use sor_ir::{CmpOp, MemWidth, Module, ModuleBuilder, Operand, RegClass, Width};
+
+const TABLE_SLOTS: u64 = 1024;
+const PROBE_LIMIT: u64 = 4;
+
+/// `197.parser` stand-in: tokenize a byte stream and build a hash dictionary.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    /// Input text length in bytes.
+    pub text_len: u64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for Parser {
+    fn default() -> Self {
+        Parser {
+            text_len: 1400,
+            seed: 0x9A25,
+        }
+    }
+}
+
+impl Parser {
+    fn text(&self) -> Vec<u8> {
+        let mut rng = XorShift::new(self.seed);
+        let mut text = Vec::with_capacity(self.text_len as usize);
+        while (text.len() as u64) < self.text_len {
+            // Words of 2..8 lowercase letters from a zipf-ish small alphabet.
+            let len = 2 + rng.below(7);
+            for _ in 0..len {
+                if (text.len() as u64) >= self.text_len {
+                    break;
+                }
+                let spread = rng.below(20) + 6;
+                text.push(b'a' + rng.below(spread) as u8);
+            }
+            if (text.len() as u64) < self.text_len {
+                text.push(b' ');
+            }
+        }
+        text
+    }
+}
+
+/// The hash used by both sides: wrapping FNV-ish multiply plus a final mix.
+fn native_hash_step(h: u64, c: u8) -> u64 {
+    h.wrapping_mul(31).wrapping_add(c as u64)
+}
+
+fn native_mix(h: u64) -> u64 {
+    let h = h ^ (h >> 33);
+    let h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 29)
+}
+
+impl Workload for Parser {
+    fn name(&self) -> &'static str {
+        "parser"
+    }
+
+    fn paper_name(&self) -> &'static str {
+        "197.parser"
+    }
+
+    fn description(&self) -> &'static str {
+        "tokenizer + hash dictionary: wrapping/logical ops, TRUMP-hostile"
+    }
+
+    fn build(&self) -> Module {
+        let text = self.text();
+        let n = text.len() as u64;
+        let mut mb = ModuleBuilder::new("parser");
+        let text_g = mb.alloc_global_init("text", &text, n);
+        let table_g = mb.alloc_global("table", TABLE_SLOTS * 8);
+
+        let mut f = mb.function("main");
+        let tb = f.movi(text_g as i64);
+        let tab = f.movi(table_g as i64);
+        let i = f.movi(0);
+        let h = f.movi(0);
+        let in_word = f.movi(0);
+        let tokens = f.movi(0);
+        let distinct = f.movi(0);
+        let hits = f.movi(0);
+        let drops = f.movi(0);
+
+        let header = f.block();
+        let body = f.block();
+        let is_space = f.block();
+        let end_token = f.block();
+        let probe_setup = f.block();
+        let probe_h = f.block();
+        let probe_b = f.block();
+        let slot_empty = f.block();
+        let slot_hit = f.block();
+        let probe_next = f.block();
+        let give_up = f.block();
+        let after_token = f.block();
+        let in_char = f.block();
+        let latch = f.block();
+        let exit = f.block();
+
+        let hh = f.vreg(RegClass::Int);
+        let probe = f.vreg(RegClass::Int);
+        let slot = f.vreg(RegClass::Int);
+
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtU, Width::W64, i, n as i64);
+        f.branch(c, body, exit);
+
+        f.switch_to(body);
+        let ib = f.assume(i, 0, n - 1);
+        let ca = f.add(Width::W64, tb, ib);
+        let ch = f.load(MemWidth::B1, ca, 0);
+        let sp = f.cmp(CmpOp::Eq, Width::W64, ch, b' ' as i64);
+        f.branch(sp, is_space, in_char);
+
+        // Non-space: extend the current token's hash.
+        f.switch_to(in_char);
+        let h31 = f.mul(Width::W64, h, 31i64);
+        let hn = f.add(Width::W64, h31, ch);
+        f.mov_to(h, hn);
+        f.mov_to(in_word, 1i64);
+        f.jump(latch);
+
+        // Space: if a token just ended, mix and probe the dictionary.
+        f.switch_to(is_space);
+        f.branch(in_word, end_token, latch);
+
+        f.switch_to(end_token);
+        // murmur-style finalizer
+        let s1 = f.shrl(Width::W64, h, 33i64);
+        let x1 = f.xor(Width::W64, h, s1);
+        let m1 = f.mul(Width::W64, x1, 0xFF51_AFD7_ED55_8CCDu64 as i64);
+        let s2 = f.shrl(Width::W64, m1, 29i64);
+        let mixed = f.xor(Width::W64, m1, s2);
+        f.mov_to(hh, mixed);
+        let t1 = f.add(Width::W64, tokens, 1i64);
+        f.mov_to(tokens, t1);
+        f.jump(probe_setup);
+
+        f.switch_to(probe_setup);
+        f.mov_to(probe, 0i64);
+        f.jump(probe_h);
+
+        f.switch_to(probe_h);
+        let pc = f.cmp(CmpOp::LtU, Width::W64, probe, PROBE_LIMIT as i64);
+        f.branch(pc, probe_b, give_up);
+
+        f.switch_to(probe_b);
+        // slot = (hh + probe) & (SLOTS-1); v = table[slot]
+        let hp = f.add(Width::W64, hh, probe);
+        let sl = f.and(Width::W64, hp, (TABLE_SLOTS - 1) as i64);
+        f.mov_to(slot, sl);
+        let soff = f.shl(Width::W64, slot, 3i64);
+        let sa = f.add(Width::W64, tab, soff);
+        let v = f.load(MemWidth::B8, sa, 0);
+        let empty = f.cmp(CmpOp::Eq, Width::W64, v, 0i64);
+        f.branch(empty, slot_empty, slot_hit);
+
+        f.switch_to(slot_empty);
+        // Insert (hashes are never 0 after mixing in practice; a zero hash
+        // would just be re-inserted forever, harmless for the checksum).
+        let soff2 = f.shl(Width::W64, slot, 3i64);
+        let sa2 = f.add(Width::W64, tab, soff2);
+        f.store(MemWidth::B8, sa2, 0, hh);
+        let d1 = f.add(Width::W64, distinct, 1i64);
+        f.mov_to(distinct, d1);
+        f.jump(after_token);
+
+        f.switch_to(slot_hit);
+        let soff3 = f.shl(Width::W64, slot, 3i64);
+        let sa3 = f.add(Width::W64, tab, soff3);
+        let v2 = f.load(MemWidth::B8, sa3, 0);
+        let same = f.cmp(CmpOp::Eq, Width::W64, v2, hh);
+        f.branch(same, after_token, probe_next);
+
+        f.switch_to(probe_next);
+        // Count a hit only on exact match; bump probe otherwise.
+        let p1 = f.add(Width::W64, probe, 1i64);
+        f.mov_to(probe, p1);
+        f.jump(probe_h);
+
+        f.switch_to(give_up);
+        let dr = f.add(Width::W64, drops, 1i64);
+        f.mov_to(drops, dr);
+        f.jump(after_token);
+
+        f.switch_to(after_token);
+        // `same` path lands here too; count hits as tokens - inserts - drops
+        // at the end instead of tracking a separate flag.
+        f.mov_to(h, 0i64);
+        f.mov_to(in_word, 0i64);
+        f.jump(latch);
+
+        f.switch_to(latch);
+        let i1 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i1);
+        f.jump(header);
+
+        f.switch_to(exit);
+        let hit_calc0 = f.sub(Width::W64, tokens, distinct);
+        let hit_calc = f.sub(Width::W64, hit_calc0, drops);
+        f.mov_to(hits, hit_calc);
+        f.emit(Operand::reg(tokens));
+        f.emit(Operand::reg(distinct));
+        f.emit(Operand::reg(hits));
+        f.emit(Operand::reg(drops));
+        // Table checksum.
+        let csum = f.movi(0);
+        let j = f.movi(0);
+        let ck_h = f.block();
+        let ck_b = f.block();
+        let done = f.block();
+        f.jump(ck_h);
+        f.switch_to(ck_h);
+        let jc = f.cmp(CmpOp::LtU, Width::W64, j, TABLE_SLOTS as i64);
+        f.branch(jc, ck_b, done);
+        f.switch_to(ck_b);
+        let jb = f.assume(j, 0, TABLE_SLOTS - 1);
+        let joff = f.shl(Width::W64, jb, 3i64);
+        let ja = f.add(Width::W64, tab, joff);
+        let jv = f.load(MemWidth::B8, ja, 0);
+        let rot = f.shrl(Width::W64, csum, 63i64);
+        let sh = f.shl(Width::W64, csum, 1i64);
+        let rolled = f.or(Width::W64, sh, rot);
+        let nx = f.xor(Width::W64, rolled, jv);
+        f.mov_to(csum, nx);
+        let j1 = f.add(Width::W64, j, 1i64);
+        f.mov_to(j, j1);
+        f.jump(ck_h);
+        f.switch_to(done);
+        f.emit(Operand::reg(csum));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        let text = self.text();
+        let mut table = vec![0u64; TABLE_SLOTS as usize];
+        let (mut h, mut in_word) = (0u64, false);
+        let (mut tokens, mut distinct, mut drops) = (0u64, 0u64, 0u64);
+        for &ch in &text {
+            if ch == b' ' {
+                if in_word {
+                    let hh = native_mix(h);
+                    tokens += 1;
+                    let mut placed = false;
+                    for probe in 0..PROBE_LIMIT {
+                        let slot = ((hh.wrapping_add(probe)) & (TABLE_SLOTS - 1)) as usize;
+                        if table[slot] == 0 {
+                            table[slot] = hh;
+                            distinct += 1;
+                            placed = true;
+                            break;
+                        }
+                        if table[slot] == hh {
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        drops += 1;
+                    }
+                    h = 0;
+                    in_word = false;
+                }
+            } else {
+                h = native_hash_step(h, ch);
+                in_word = true;
+            }
+        }
+        let hits = tokens - distinct - drops;
+        let mut csum = 0u64;
+        for v in table {
+            csum = (csum.rotate_left(1)) ^ v;
+        }
+        vec![tokens, distinct, hits, drops, csum]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_native_reference() {
+        let w = Parser {
+            text_len: 200,
+            seed: 2,
+        };
+        let p = sor_regalloc::lower(&w.build(), &Default::default()).unwrap();
+        let r = sor_sim::Machine::new(&p, &Default::default()).run(None);
+        assert_eq!(r.status, sor_sim::RunStatus::Completed);
+        assert_eq!(r.output, w.reference_output());
+    }
+
+    #[test]
+    fn default_matches_native() {
+        let w = Parser::default();
+        let p = sor_regalloc::lower(&w.build(), &Default::default()).unwrap();
+        let r = sor_sim::Machine::new(&p, &Default::default()).run(None);
+        assert_eq!(r.output, w.reference_output());
+    }
+
+    #[test]
+    fn trump_coverage_is_low() {
+        let cov = sor_core::coverage(&Parser::default().build());
+        assert!(
+            cov.trump_value_fraction() < 0.45,
+            "hashing should defeat TRUMP: {}",
+            cov.trump_value_fraction()
+        );
+    }
+
+    #[test]
+    fn tokens_are_found() {
+        let out = Parser::default().reference_output();
+        assert!(out[0] > 100, "tokens: {}", out[0]);
+        assert!(out[1] > 0 && out[1] <= out[0]);
+    }
+}

@@ -1,0 +1,70 @@
+//! The workload trait and registry.
+
+use sor_ir::Module;
+
+/// A benchmark kernel: a deterministic IR program plus a native reference.
+pub trait Workload {
+    /// Short kernel name (also the module name).
+    fn name(&self) -> &'static str;
+
+    /// The paper benchmark this kernel stands in for.
+    fn paper_name(&self) -> &'static str;
+
+    /// Builds the IR module. Deterministic: two calls produce equal modules.
+    fn build(&self) -> Module;
+
+    /// The output the program must emit, computed natively in Rust.
+    fn reference_output(&self) -> Vec<u64>;
+
+    /// One-line description of the kernel's character.
+    fn description(&self) -> &'static str;
+}
+
+/// All ten kernels with their default (campaign-sized) parameters, in the
+/// paper's Figure 8 ordering.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::Art::default()),
+        Box::new(crate::Mcf::default()),
+        Box::new(crate::Equake::default()),
+        Box::new(crate::Parser::default()),
+        Box::new(crate::Vortex::default()),
+        Box::new(crate::Twolf::default()),
+        Box::new(crate::AdpcmDec::default()),
+        Box::new(crate::AdpcmEnc::default()),
+        Box::new(crate::Mpeg2Dec::default()),
+        Box::new(crate::Mpeg2Enc::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_ten_unique_kernels() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 10);
+        let names: std::collections::HashSet<_> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        for w in all_workloads() {
+            assert_eq!(
+                w.build(),
+                w.build(),
+                "{} builder not deterministic",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn modules_verify() {
+        for w in all_workloads() {
+            sor_ir::verify(&w.build()).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        }
+    }
+}

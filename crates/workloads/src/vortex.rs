@@ -1,0 +1,283 @@
+//! `255.vortex`: an object-store traversal dominated by loads.
+//!
+//! SPEC's vortex is an OO database; its signature is layer upon layer of
+//! small field loads with validation branches between them. Because the
+//! SWIFT-family transforms insert a check before *every* load and store,
+//! load-dense code pays the highest overhead — the paper singles vortex out
+//! for exactly that (§7.2).
+
+use crate::common::XorShift;
+use crate::spec::Workload;
+use sor_ir::{CmpOp, MemWidth, Module, ModuleBuilder, Operand, Width};
+
+/// Record: id(4) type(1) flags(1) pad(2) value(4) link(4) = 16 bytes.
+const REC_SIZE: u64 = 16;
+
+/// `255.vortex` stand-in: query an object store through an index.
+#[derive(Debug, Clone)]
+pub struct Vortex {
+    /// Number of records (power of two).
+    pub records: u64,
+    /// Number of queries.
+    pub queries: u64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for Vortex {
+    fn default() -> Self {
+        Vortex {
+            records: 512,
+            queries: 700,
+            seed: 0x0C7E,
+        }
+    }
+}
+
+struct Store {
+    index: Vec<u32>,
+    recs: Vec<u8>, // packed records
+    qids: Vec<u32>,
+}
+
+impl Vortex {
+    fn store(&self) -> Store {
+        assert!(self.records.is_power_of_two());
+        let n = self.records;
+        let mut rng = XorShift::new(self.seed);
+        // The index is a permutation: index[i] -> record number.
+        let mut index: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n as usize).rev() {
+            let j = rng.below((i + 1) as u64) as usize;
+            index.swap(i, j);
+        }
+        let mut recs = Vec::with_capacity((n * REC_SIZE) as usize);
+        for id in 0..n as u32 {
+            let ty = (rng.below(3)) as u8;
+            let flags = (rng.below(256)) as u8;
+            let value = rng.below(100_000) as u32;
+            let link = rng.below(n) as u32;
+            recs.extend_from_slice(&id.to_le_bytes());
+            recs.push(ty);
+            recs.push(flags);
+            recs.extend_from_slice(&[0, 0]);
+            recs.extend_from_slice(&value.to_le_bytes());
+            recs.extend_from_slice(&link.to_le_bytes());
+        }
+        let qids: Vec<u32> = (0..self.queries).map(|_| rng.below(n) as u32).collect();
+        Store { index, recs, qids }
+    }
+}
+
+impl Workload for Vortex {
+    fn name(&self) -> &'static str {
+        "vortex"
+    }
+
+    fn paper_name(&self) -> &'static str {
+        "255.vortex"
+    }
+
+    fn description(&self) -> &'static str {
+        "object-store queries: layered field loads, check-dense"
+    }
+
+    fn build(&self) -> Module {
+        let st = self.store();
+        let n = self.records;
+        let mut mb = ModuleBuilder::new("vortex");
+        let idx_bytes: Vec<u8> = st.index.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let idx_g = mb.alloc_global_init("index", &idx_bytes, n * 4);
+        let rec_g = mb.alloc_global_init("records", &st.recs, n * REC_SIZE);
+        let q_bytes: Vec<u8> = st.qids.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let q_g = mb.alloc_global_init("queries", &q_bytes, self.queries * 4);
+        let out_g = mb.alloc_global("out", self.queries * 4);
+
+        let mut f = mb.function("main");
+        let idx = f.movi(idx_g as i64);
+        let recs = f.movi(rec_g as i64);
+        let qs = f.movi(q_g as i64);
+        let outb = f.movi(out_g as i64);
+        let acc = f.movi(0);
+        let t0c = f.movi(0);
+        let t1c = f.movi(0);
+        let t2c = f.movi(0);
+        let q = f.movi(0);
+
+        let header = f.block();
+        let body = f.block();
+        let ty0 = f.block();
+        let ty1 = f.block();
+        let ty2 = f.block();
+        let ty12 = f.block();
+        let after = f.block();
+        let exit = f.block();
+
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtU, Width::W64, q, self.queries as i64);
+        f.branch(c, body, exit);
+
+        f.switch_to(body);
+        // qid -> index slot -> record address
+        let qb = f.assume(q, 0, self.queries - 1);
+        let qoff = f.shl(Width::W64, qb, 2i64);
+        let qa = f.add(Width::W64, qs, qoff);
+        let qid = f.load(MemWidth::B4, qa, 0);
+        let qm = f.and(Width::W64, qid, (n - 1) as i64);
+        let ioff = f.shl(Width::W64, qm, 2i64);
+        let ia = f.add(Width::W64, idx, ioff);
+        let recno = f.load(MemWidth::B4, ia, 0);
+        let ra = f.assume(recno, 0, n - 1);
+        let roff = f.shl(Width::W64, ra, 4i64);
+        let rec = f.add(Width::W64, recs, roff);
+        let ty = f.load(MemWidth::B1, rec, 4);
+        // Three-way dispatch on the type tag.
+        let is0 = f.cmp(CmpOp::Eq, Width::W64, ty, 0i64);
+        f.branch(is0, ty0, ty12);
+
+        f.switch_to(ty12);
+        let is1 = f.cmp(CmpOp::Eq, Width::W64, ty, 1i64);
+        f.branch(is1, ty1, ty2);
+
+        // type 0: accumulate value directly
+        f.switch_to(ty0);
+        let v0 = f.load(MemWidth::B4, rec, 8);
+        let a0 = f.add(Width::W64, acc, v0);
+        f.mov_to(acc, a0);
+        let n0 = f.add(Width::W64, t0c, 1i64);
+        f.mov_to(t0c, n0);
+        f.store(MemWidth::B4, outb, 0, v0);
+        f.jump(after);
+
+        // type 1: follow the link field one hop, use the linked value
+        f.switch_to(ty1);
+        let link = f.load(MemWidth::B4, rec, 12);
+        let la = f.assume(link, 0, n - 1);
+        let loff = f.shl(Width::W64, la, 4i64);
+        let lrec = f.add(Width::W64, recs, loff);
+        let v1 = f.load(MemWidth::B4, lrec, 8);
+        let fl = f.load(MemWidth::B1, lrec, 5);
+        let masked = f.and(Width::W64, v1, 0xFFFFi64);
+        let plus = f.add(Width::W64, masked, fl);
+        let a1 = f.add(Width::W64, acc, plus);
+        f.mov_to(acc, a1);
+        let n1 = f.add(Width::W64, t1c, 1i64);
+        f.mov_to(t1c, n1);
+        f.jump(after);
+
+        // type 2: checksum of id, flags and value
+        f.switch_to(ty2);
+        let rid = f.load(MemWidth::B4, rec, 0);
+        let flg = f.load(MemWidth::B1, rec, 5);
+        let val = f.load(MemWidth::B4, rec, 8);
+        let x1 = f.xor(Width::W64, rid, val);
+        let x2 = f.add(Width::W64, x1, flg);
+        let a2 = f.add(Width::W64, acc, x2);
+        f.mov_to(acc, a2);
+        let n2 = f.add(Width::W64, t2c, 1i64);
+        f.mov_to(t2c, n2);
+        f.jump(after);
+
+        f.switch_to(after);
+        // Store the running accumulator into the per-query output slot.
+        let qb2 = f.assume(q, 0, self.queries - 1);
+        let ooff = f.shl(Width::W64, qb2, 2i64);
+        let oa = f.add(Width::W64, outb, ooff);
+        f.store(MemWidth::B4, oa, 0, acc);
+        let q1 = f.add(Width::W64, q, 1i64);
+        f.mov_to(q, q1);
+        f.jump(header);
+
+        f.switch_to(exit);
+        f.emit(Operand::reg(acc));
+        f.emit(Operand::reg(t0c));
+        f.emit(Operand::reg(t1c));
+        f.emit(Operand::reg(t2c));
+        // Read back the last output slot.
+        let lslot = f.movi((out_g + (self.queries - 1) * 4) as i64);
+        let lb = f.load(MemWidth::B4, lslot, 0);
+        f.emit(Operand::reg(lb));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        let st = self.store();
+        let n = self.records;
+        let rec_field = |r: usize, off: usize, len: usize| -> u64 {
+            let b = &st.recs[r * REC_SIZE as usize + off..r * REC_SIZE as usize + off + len];
+            let mut buf = [0u8; 8];
+            buf[..len].copy_from_slice(b);
+            u64::from_le_bytes(buf)
+        };
+        let (mut acc, mut t0c, mut t1c, mut t2c) = (0u64, 0u64, 0u64, 0u64);
+        let mut last_out = 0u32;
+        let mut first_out_cell = 0u32;
+        for (qi, &qid) in st.qids.iter().enumerate() {
+            let qm = (qid as u64 & (n - 1)) as usize;
+            let recno = st.index[qm] as usize;
+            let ty = rec_field(recno, 4, 1);
+            match ty {
+                0 => {
+                    let v0 = rec_field(recno, 8, 4);
+                    acc = acc.wrapping_add(v0);
+                    t0c += 1;
+                    first_out_cell = v0 as u32;
+                }
+                1 => {
+                    let link = rec_field(recno, 12, 4) as usize;
+                    let v1 = rec_field(link, 8, 4);
+                    let fl = rec_field(link, 5, 1);
+                    acc = acc.wrapping_add((v1 & 0xFFFF).wrapping_add(fl));
+                    t1c += 1;
+                }
+                _ => {
+                    let rid = rec_field(recno, 0, 4);
+                    let flg = rec_field(recno, 5, 1);
+                    let val = rec_field(recno, 8, 4);
+                    acc = acc.wrapping_add((rid ^ val).wrapping_add(flg));
+                    t2c += 1;
+                }
+            }
+            if qi == self.queries as usize - 1 {
+                last_out = acc as u32;
+            }
+        }
+        let _ = first_out_cell;
+        vec![acc, t0c, t1c, t2c, last_out as u64]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_native_reference() {
+        let w = Vortex {
+            records: 64,
+            queries: 90,
+            seed: 8,
+        };
+        let p = sor_regalloc::lower(&w.build(), &Default::default()).unwrap();
+        let r = sor_sim::Machine::new(&p, &Default::default()).run(None);
+        assert_eq!(r.status, sor_sim::RunStatus::Completed);
+        assert_eq!(r.output, w.reference_output());
+    }
+
+    #[test]
+    fn default_matches_native() {
+        let w = Vortex::default();
+        let p = sor_regalloc::lower(&w.build(), &Default::default()).unwrap();
+        let r = sor_sim::Machine::new(&p, &Default::default()).run(None);
+        assert_eq!(r.output, w.reference_output());
+    }
+
+    #[test]
+    fn all_three_types_are_exercised() {
+        let out = Vortex::default().reference_output();
+        assert!(out[1] > 0 && out[2] > 0 && out[3] > 0, "{out:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration: every workload x every technique, full pipeline
+//! (build → transform → verify → lower → simulate), outputs checked against
+//! the native references.
+
+use software_only_recovery::prelude::*;
+use software_only_recovery::recovery::Technique as T;
+use software_only_recovery::workloads::*;
+
+/// Campaign-sized kernels are too slow for exhaustive matrix testing; use
+/// reduced sizes with the same structure.
+fn small_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(AdpcmDec {
+            samples: 60,
+            seed: 11,
+        }),
+        Box::new(AdpcmEnc {
+            samples: 50,
+            seed: 12,
+        }),
+        Box::new(Mpeg2Dec {
+            blocks: 2,
+            seed: 13,
+        }),
+        Box::new(Mpeg2Enc {
+            blocks: 2,
+            seed: 14,
+        }),
+        Box::new(Art {
+            neurons: 4,
+            inputs: 10,
+            epochs: 2,
+            seed: 15,
+        }),
+        Box::new(Mcf {
+            nodes: 128,
+            steps: 200,
+            seed: 16,
+        }),
+        Box::new(Equake {
+            rows: 12,
+            nnz_per_row: 3,
+            iters: 2,
+            seed: 17,
+        }),
+        Box::new(Parser {
+            text_len: 150,
+            seed: 18,
+        }),
+        Box::new(Vortex {
+            records: 64,
+            queries: 60,
+            seed: 19,
+        }),
+        Box::new(Twolf {
+            cells: 16,
+            nets: 10,
+            swaps: 4,
+            seed: 20,
+        }),
+    ]
+}
+
+#[test]
+fn every_workload_matches_native_reference_under_every_technique() {
+    for w in small_suite() {
+        let module = w.build();
+        sor_ir::verify(&module).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let expected = w.reference_output();
+        for t in T::ALL {
+            let transformed = t.apply(&module);
+            sor_ir::verify(&transformed).unwrap_or_else(|e| panic!("{}/{t}: {e}", w.name()));
+            let program = lower(&transformed, &LowerConfig::default())
+                .unwrap_or_else(|e| panic!("{}/{t}: {e}", w.name()));
+            let r = Machine::new(&program, &MachineConfig::default()).run(None);
+            assert_eq!(
+                r.status,
+                RunStatus::Completed,
+                "{}/{t}: {:?}",
+                w.name(),
+                r.status
+            );
+            assert_eq!(r.output, expected, "{}/{t}: wrong output", w.name());
+            assert_eq!(
+                r.probes.vote_repairs + r.probes.trump_recovers,
+                0,
+                "{}/{t}: recovery fired without a fault",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn transformed_programs_grow_in_the_documented_order() {
+    for w in small_suite() {
+        let module = w.build();
+        let dynlen = |t: T| {
+            let p = lower(&t.apply(&module), &LowerConfig::default()).unwrap();
+            Machine::new(&p, &MachineConfig::default())
+                .run(None)
+                .dyn_instrs
+        };
+        let noft = dynlen(T::Noft);
+        let mask = dynlen(T::Mask);
+        let swift = dynlen(T::Swift);
+        let swiftr = dynlen(T::SwiftR);
+        assert!(noft <= mask, "{}: NOFT > MASK", w.name());
+        assert!(mask < swiftr, "{}: MASK >= SWIFT-R", w.name());
+        assert!(swift < swiftr, "{}: SWIFT >= SWIFT-R", w.name());
+    }
+}
+
+#[test]
+fn timing_model_runs_the_whole_suite() {
+    let cfg = MachineConfig {
+        timing: Some(sor_sim::TimingConfig::default()),
+        ..MachineConfig::default()
+    };
+    for w in small_suite() {
+        let p = lower(&w.build(), &LowerConfig::default()).unwrap();
+        let r = Machine::new(&p, &cfg).run(None);
+        let cycles = r.cycles.expect("timing enabled");
+        assert!(cycles > 0);
+        // IPC must be within the machine's physical limits.
+        let ipc = r.dyn_instrs as f64 / cycles as f64;
+        assert!(ipc <= 5.01, "{}: ipc {ipc}", w.name());
+    }
+}
