@@ -24,6 +24,10 @@ pub struct Interval {
     pub hi: u64,
 }
 
+// The checked `add`/`sub`/`mul`/`shl`/`shr` below deliberately shadow the
+// operator-trait names: they are interval transfer functions returning
+// `Option`, not the std operators.
+#[allow(clippy::should_implement_trait)]
 impl Interval {
     /// The full 64-bit range (no information).
     pub const FULL: Interval = Interval {
@@ -318,7 +322,7 @@ fn transfer(inst: &Inst, ranges: &[Option<Interval>]) -> Vec<(Vreg, Interval)> {
                     Some(Interval::new(0, hi))
                 }
                 AluOp::DivU => Some(Interval::new(0, ra.hi)),
-                AluOp::RemU => Some(Interval::new(0, ra.hi.min(rb.hi.saturating_sub(1).max(0)))),
+                AluOp::RemU => Some(Interval::new(0, ra.hi.min(rb.hi.saturating_sub(1)))),
                 AluOp::DivS => {
                     let sign = 1u64 << (width.bits() - 1);
                     (ra.hi < sign && rb.hi < sign).then(|| Interval::new(0, ra.hi))

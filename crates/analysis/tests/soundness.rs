@@ -7,10 +7,10 @@
 //! running randomly generated straight-line programs and comparing every
 //! executed value against the static facts.
 
-use proptest::prelude::*;
 use sor_analysis::{KnownBits, Ranges};
 use sor_ir::{AluOp, CmpOp, MemWidth, Module, ModuleBuilder, Operand, Vreg, Width};
 use sor_regalloc::{lower, LowerConfig};
+use sor_rng::SmallRng;
 use sor_sim::{Machine, MachineConfig, RunStatus};
 
 #[derive(Debug, Clone)]
@@ -22,26 +22,28 @@ enum Op {
     Load(bool, usize), // (signed, slot)
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (
-            prop::sample::select(AluOp::ALL.to_vec()),
-            prop::bool::ANY,
-            0usize..12,
-            0usize..12,
-            -300i64..300
-        )
-            .prop_map(|(o, w, a, b, i)| Op::Alu(o, w, a, b, i)),
-        (
-            prop::sample::select(CmpOp::ALL.to_vec()),
-            0usize..12,
-            0usize..12
-        )
-            .prop_map(|(o, a, b)| Op::Cmp(o, a, b)),
-        (0usize..12, 0usize..12, 0usize..12).prop_map(|(c, a, b)| Op::Select(c, a, b)),
-        (0usize..12, 1u64..100_000).prop_map(|(v, hi)| Op::Assume(v, hi)),
-        (prop::bool::ANY, 0usize..4).prop_map(|(s, slot)| Op::Load(s, slot)),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0, 5) {
+        0 => Op::Alu(
+            *rng.choose(&AluOp::ALL),
+            rng.gen_bool(),
+            rng.gen_range(0, 12) as usize,
+            rng.gen_range(0, 12) as usize,
+            rng.gen_range_i64(-300, 300),
+        ),
+        1 => Op::Cmp(
+            *rng.choose(&CmpOp::ALL),
+            rng.gen_range(0, 12) as usize,
+            rng.gen_range(0, 12) as usize,
+        ),
+        2 => Op::Select(
+            rng.gen_range(0, 12) as usize,
+            rng.gen_range(0, 12) as usize,
+            rng.gen_range(0, 12) as usize,
+        ),
+        3 => Op::Assume(rng.gen_range(0, 12) as usize, rng.gen_range(1, 100_000)),
+        _ => Op::Load(rng.gen_bool(), rng.gen_range(0, 4) as usize),
+    }
 }
 
 /// Builds a program that computes the op list and then *emits every value*,
@@ -96,17 +98,20 @@ fn build(seeds: &[i64], mem: &[u64], ops: &[Op]) -> (Module, Vec<Vreg>) {
     (mb.finish(id), vals)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Seeded random sweep over the in-tree [`sor_rng::SmallRng`]; the case
+/// index in a failure message reproduces the program exactly.
+#[test]
+fn analyses_never_underapproximate() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5007ED ^ (case << 24));
+        let n_seeds = rng.gen_range(2, 6);
+        let seeds: Vec<i64> = (0..n_seeds).map(|_| rng.gen_range_i64(-500, 500)).collect();
+        let mem: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let n_ops = rng.gen_range(1, 30);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
 
-    #[test]
-    fn analyses_never_underapproximate(
-        seeds in prop::collection::vec(-500i64..500, 2..6),
-        mem in prop::collection::vec(0u64..u64::MAX, 4),
-        ops in prop::collection::vec(op_strategy(), 1..30),
-    ) {
         let (module, vals) = build(&seeds, &mem, &ops);
-        prop_assert!(sor_ir::verify(&module).is_ok());
+        assert!(sor_ir::verify(&module).is_ok(), "case {case}");
         let func = &module.funcs[0];
         let ranges = Ranges::new(func);
         let kb = KnownBits::new(func);
@@ -114,27 +119,36 @@ proptest! {
         let p = lower(&module, &LowerConfig::default()).unwrap();
         let r = Machine::new(&p, &MachineConfig::default()).run(None);
         // Division faults abort the run; nothing to compare then.
-        prop_assume!(r.status == RunStatus::Completed);
-        prop_assert_eq!(r.output.len(), vals.len());
+        if r.status != RunStatus::Completed {
+            continue;
+        }
+        assert_eq!(r.output.len(), vals.len(), "case {case}");
 
         for (v, observed) in vals.iter().zip(&r.output) {
             let iv = ranges.range(*v);
-            prop_assert!(
+            assert!(
                 iv.lo <= *observed && *observed <= iv.hi,
-                "range violated for {}: {} not in [{}, {}]",
-                v, observed, iv.lo, iv.hi
+                "case {case}: range violated for {}: {} not in [{}, {}]",
+                v,
+                observed,
+                iv.lo,
+                iv.hi
             );
             let po = kb.possible_ones(*v);
-            prop_assert!(
+            assert!(
                 observed & !po == 0,
-                "known-zero bit set in {}: value {:#x}, possible-ones {:#x}",
-                v, observed, po
+                "case {case}: known-zero bit set in {}: value {:#x}, possible-ones {:#x}",
+                v,
+                observed,
+                po
             );
             let ko = kb.known_ones(*v);
-            prop_assert!(
+            assert!(
                 observed & ko == ko,
-                "known-one bit clear in {}: value {:#x}, known-ones {:#x}",
-                v, observed, ko
+                "case {case}: known-one bit clear in {}: value {:#x}, known-ones {:#x}",
+                v,
+                observed,
+                ko
             );
         }
     }

@@ -1,34 +1,31 @@
-//! Criterion: dataflow-analysis throughput — the compile-time cost of the
-//! facts the transforms depend on (runs on the largest workload module).
+//! Dataflow-analysis throughput — the compile-time cost of the facts the
+//! transforms depend on (runs on the largest workload module). Self-timed;
+//! see `sor_bench::bench_ns`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sor_analysis::{Cfg, KnownBits, Liveness, LoopInfo, Ranges};
+use sor_bench::report;
 use sor_workloads::{Twolf, Workload};
 
-fn bench_analyses(c: &mut Criterion) {
+fn main() {
     let module = Twolf::default().build();
     let func = &module.funcs[0];
-    let mut g = c.benchmark_group("analysis");
-    g.bench_function("cfg", |b| b.iter(|| Cfg::new(std::hint::black_box(func))));
-    g.bench_function("liveness", |b| {
+    report("analysis", "cfg", || Cfg::new(std::hint::black_box(func)));
+    {
         let cfg = Cfg::new(func);
-        b.iter(|| Liveness::new(std::hint::black_box(func), &cfg))
+        report("analysis", "liveness", || {
+            Liveness::new(std::hint::black_box(func), &cfg)
+        });
+        report("analysis", "loops", || {
+            LoopInfo::new(std::hint::black_box(&cfg))
+        });
+    }
+    report("analysis", "known_bits", || {
+        KnownBits::new(std::hint::black_box(func))
     });
-    g.bench_function("loops", |b| {
-        let cfg = Cfg::new(func);
-        b.iter(|| LoopInfo::new(std::hint::black_box(&cfg)))
+    report("analysis", "ranges", || {
+        Ranges::new(std::hint::black_box(func))
     });
-    g.bench_function("known_bits", |b| {
-        b.iter(|| KnownBits::new(std::hint::black_box(func)))
+    report("analysis", "trump_capability", || {
+        sor_core::trump_protected_set(std::hint::black_box(func), true)
     });
-    g.bench_function("ranges", |b| {
-        b.iter(|| Ranges::new(std::hint::black_box(func)))
-    });
-    g.bench_function("trump_capability", |b| {
-        b.iter(|| sor_core::trump_protected_set(std::hint::black_box(func), true))
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_analyses);
-criterion_main!(benches);

@@ -1,34 +1,34 @@
-//! Criterion: simulator throughput — functional interpretation speed and
-//! the cost of enabling the timing model (this bounds how large fault
-//! campaigns can get).
+//! Simulator throughput — functional interpretation speed and the cost of
+//! enabling the timing model (this bounds how large fault campaigns can
+//! get). Self-timed; see `sor_bench::bench_ns`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sor_bench::report;
 use sor_sim::{FaultSpec, Machine, MachineConfig, TimingConfig};
 use sor_workloads::{AdpcmDec, Workload};
 
-fn bench_machine(c: &mut Criterion) {
+fn main() {
     let module = AdpcmDec::default().build();
     let program = sor_regalloc::lower(&module, &Default::default()).unwrap();
     let golden = Machine::new(&program, &MachineConfig::default()).run(None);
 
-    let mut g = c.benchmark_group("machine");
-    g.throughput(Throughput::Elements(golden.dyn_instrs));
-    g.bench_function("functional", |b| {
-        b.iter(|| Machine::new(&program, &MachineConfig::default()).run(None))
+    let ns = report("machine", "functional", || {
+        Machine::new(&program, &MachineConfig::default()).run(None)
     });
-    g.bench_function("with_timing", |b| {
+    println!(
+        "machine/functional: {:.1} M dynamic instructions/s",
+        golden.dyn_instrs as f64 / ns * 1e3
+    );
+
+    report("machine", "with_timing", || {
         let cfg = MachineConfig {
             timing: Some(TimingConfig::default()),
             ..MachineConfig::default()
         };
-        b.iter(|| Machine::new(&program, &cfg).run(None))
+        Machine::new(&program, &cfg).run(None)
     });
-    g.bench_function("fault_run", |b| {
-        let f = FaultSpec::new(golden.dyn_instrs / 2, 7, 13);
-        b.iter(|| Machine::new(&program, &MachineConfig::default()).run(Some(f)))
-    });
-    g.finish();
-}
 
-criterion_group!(benches, bench_machine);
-criterion_main!(benches);
+    let f = FaultSpec::new(golden.dyn_instrs / 2, 7, 13);
+    report("machine", "fault_run", || {
+        Machine::new(&program, &MachineConfig::default()).run(Some(f))
+    });
+}

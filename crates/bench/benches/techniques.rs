@@ -1,23 +1,19 @@
-//! Criterion: end-to-end simulated runtime per technique on a small kernel
-//! — the wall-clock mirror of Figure 9 (host time here, model cycles there).
+//! End-to-end simulated runtime per technique on a small kernel — the
+//! wall-clock mirror of Figure 9 (host time here, model cycles there).
+//! Self-timed; see `sor_bench::bench_ns`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sor_bench::report;
 use sor_core::Technique;
 use sor_sim::{Machine, MachineConfig};
 use sor_workloads::{Mpeg2Enc, Workload};
 
-fn bench_techniques(c: &mut Criterion) {
+fn main() {
     let module = Mpeg2Enc { blocks: 2, seed: 1 }.build();
-    let mut g = c.benchmark_group("technique_runtime");
     for t in Technique::FIGURE8 {
         let transformed = t.apply(&module);
         let program = sor_regalloc::lower(&transformed, &Default::default()).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(t), &program, |b, p| {
-            b.iter(|| Machine::new(p, &MachineConfig::default()).run(None))
+        report("technique_runtime", &t.to_string(), || {
+            Machine::new(&program, &MachineConfig::default()).run(None)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_techniques);
-criterion_main!(benches);

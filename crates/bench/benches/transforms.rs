@@ -1,33 +1,23 @@
-//! Criterion: transform pass throughput (compile-time cost of each
-//! technique on a realistic module).
+//! Transform pass throughput (compile-time cost of each technique on a
+//! realistic module), plus lowering. Self-timed; see `sor_bench::bench_ns`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sor_bench::report;
 use sor_core::Technique;
 use sor_workloads::{AdpcmDec, Workload};
 
-fn bench_transforms(c: &mut Criterion) {
+fn main() {
     let module = AdpcmDec::default().build();
-    let mut g = c.benchmark_group("transform");
     for t in Technique::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| t.apply(std::hint::black_box(&module)))
+        report("transform", &t.to_string(), || {
+            t.apply(std::hint::black_box(&module))
         });
     }
-    g.finish();
-}
 
-fn bench_lowering(c: &mut Criterion) {
-    let module = AdpcmDec::default().build();
     let swiftr = Technique::SwiftR.apply(&module);
-    let mut g = c.benchmark_group("lower");
-    g.bench_function("noft", |b| {
-        b.iter(|| sor_regalloc::lower(std::hint::black_box(&module), &Default::default()).unwrap())
+    report("lower", "noft", || {
+        sor_regalloc::lower(std::hint::black_box(&module), &Default::default()).unwrap()
     });
-    g.bench_function("swiftr", |b| {
-        b.iter(|| sor_regalloc::lower(std::hint::black_box(&swiftr), &Default::default()).unwrap())
+    report("lower", "swiftr", || {
+        sor_regalloc::lower(std::hint::black_box(&swiftr), &Default::default()).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_transforms, bench_lowering);
-criterion_main!(benches);

@@ -12,9 +12,13 @@
 //!   the §7 instruction-mix discussion (extension experiment E5).
 //! * `ablation` — design-choice sweeps: check-placement density and issue
 //!   width (DESIGN.md §7).
+//! * `campaign_bench` — fault-injection campaign throughput with
+//!   checkpoint-and-replay on vs. off (`BENCH_campaign.json`).
 //!
-//! Criterion benches (`cargo bench`): transform throughput, simulator
-//! throughput, end-to-end per-technique cost on a small kernel.
+//! Engineering benches (`cargo bench`): transform throughput, simulator
+//! throughput, end-to-end per-technique cost on a small kernel. They use
+//! the self-contained [`bench_ns`] timer (the offline build has no
+//! Criterion) and print one `group/name: time /iter` line each.
 
 /// Parses a `--flag value` style argument from the command line.
 pub fn arg_value(name: &str) -> Option<String> {
@@ -40,10 +44,75 @@ pub fn write_results(name: &str, contents: &str) -> std::io::Result<std::path::P
     Ok(path)
 }
 
+/// Minimal wall-clock micro-bench: doubles the iteration count until one
+/// pass takes at least ~40 ms, then runs three measured passes and returns
+/// the best (lowest) mean nanoseconds per iteration. Best-of-N discards
+/// scheduler noise, which only ever slows a pass down.
+pub fn bench_ns<T>(mut f: impl FnMut() -> T) -> f64 {
+    use std::time::{Duration, Instant};
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        if t.elapsed() >= Duration::from_millis(40) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// Renders a nanosecond figure with a readable unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times `f` and prints the standard one-line report.
+pub fn report<T>(group: &str, name: &str, f: impl FnMut() -> T) -> f64 {
+    let ns = bench_ns(f);
+    println!("{group}/{name}: {} /iter", fmt_ns(ns));
+    ns
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn runs_arg_defaults() {
         assert_eq!(super::runs_arg(123), 123);
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(super::fmt_ns(512.0), "512 ns");
+        assert_eq!(super::fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(super::fmt_ns(2_000_000.0), "2.00 ms");
+        assert_eq!(super::fmt_ns(3.2e9), "3.200 s");
+    }
+
+    #[test]
+    fn bench_ns_measures_something() {
+        let ns = super::bench_ns(|| std::hint::black_box(1u64).wrapping_mul(3));
+        assert!(ns.is_finite() && ns >= 0.0);
     }
 }

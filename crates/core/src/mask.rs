@@ -247,8 +247,10 @@ mod tests {
         let id = f.finish();
         let m = mb.finish(id);
 
-        let mut cfg = TransformConfig::default();
-        cfg.mask_known_ones = true;
+        let cfg = TransformConfig {
+            mask_known_ones: true,
+            ..Default::default()
+        };
         let t = apply_mask(&m, &cfg);
         verify(&t).unwrap();
         let has_or_enforce = t.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|i| {

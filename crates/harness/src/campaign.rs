@@ -1,13 +1,13 @@
 //! SEU fault-injection campaigns (paper §7.1).
 
 use crate::stats::OutcomeCounts;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sor_core::Technique;
 use sor_ir::Program;
 use sor_regalloc::{lower, LowerConfig};
-use sor_sim::{FaultSpec, MachineConfig, Runner};
+use sor_rng::SmallRng;
+use sor_sim::{FaultSpec, MachineConfig, Runner, INJECTABLE_REGS};
 use sor_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -18,6 +18,11 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worker threads (`0` = all available cores).
     pub threads: usize,
+    /// Golden-run checkpoint interval for checkpoint-and-replay injection
+    /// (see [`MachineConfig::checkpoint_interval`]): `0` runs every
+    /// injection from scratch, [`MachineConfig::AUTO_CHECKPOINT`] (the
+    /// default) auto-sizes from the golden run length.
+    pub checkpoint_interval: u64,
     /// Transform configuration.
     pub transform: sor_core::TransformConfig,
 }
@@ -28,6 +33,7 @@ impl Default for CampaignConfig {
             runs: 250,
             seed: 0x5EED,
             threads: 0,
+            checkpoint_interval: MachineConfig::AUTO_CHECKPOINT,
             transform: sor_core::TransformConfig::default(),
         }
     }
@@ -48,11 +54,10 @@ pub struct CampaignResult {
 
 /// Draws the paper's fault distribution: uniform over dynamic instructions,
 /// injectable integer registers and bit positions.
-fn draw_fault(rng: &mut StdRng, golden_len: u64) -> FaultSpec {
-    let at = rng.gen_range(0..golden_len.max(1));
-    let regs: Vec<u8> = FaultSpec::injectable_regs().collect();
-    let reg = regs[rng.gen_range(0..regs.len())];
-    let bit = rng.gen_range(0..64u8);
+fn draw_fault(rng: &mut SmallRng, golden_len: u64) -> FaultSpec {
+    let at = rng.gen_range(0, golden_len.max(1));
+    let reg = *rng.choose(&INJECTABLE_REGS);
+    let bit = rng.gen_range(0, 64) as u8;
     FaultSpec::new(at, reg, bit)
 }
 
@@ -98,12 +103,16 @@ fn inject(
     wl_name: &str,
     technique: Technique,
 ) -> (OutcomeCounts, u64) {
-    let runner = Runner::new(program, &MachineConfig::default());
+    let mcfg = MachineConfig {
+        checkpoint_interval: cfg.checkpoint_interval,
+        ..MachineConfig::default()
+    };
+    let runner = Runner::new(program, &mcfg);
     let golden_len = runner.golden().dyn_instrs;
 
     // Pre-draw all fault points so the distribution is independent of the
     // thread count.
-    let mut rng = StdRng::seed_from_u64(
+    let mut rng = SmallRng::seed_from_u64(
         cfg.seed ^ (wl_name.len() as u64) ^ ((technique.letter() as u64) << 32),
     );
     let faults: Vec<FaultSpec> = (0..cfg.runs)
@@ -117,16 +126,30 @@ fn inject(
     } else {
         cfg.threads
     };
-    let chunk = faults.len().div_ceil(threads.max(1));
+
+    // Work-stealing over a shared atomic index: fault runs have wildly
+    // variable lengths (a chunk of near-fuel Hang outcomes would serialize
+    // a statically chunked campaign), so each worker grabs the next fault
+    // as it finishes the last. Results are summed, which is commutative, so
+    // `counts` is exactly the same whatever the thread count or
+    // interleaving — the determinism invariant the campaign tests pin.
+    let next = AtomicUsize::new(0);
     let mut total = OutcomeCounts::default();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for ch in faults.chunks(chunk.max(1)) {
-            let runner_ref = &runner;
+        for _ in 0..threads.max(1).min(faults.len().max(1)) {
+            let runner = &runner;
+            let faults = &faults;
+            let next = &next;
             handles.push(scope.spawn(move || {
+                // One reusable machine arena per worker: registers, frame
+                // stack and memory are recycled across runs.
+                let mut replayer = runner.replayer();
                 let mut counts = OutcomeCounts::default();
-                for &f in ch {
-                    let (outcome, res) = runner_ref.run_fault(f);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&fault) = faults.get(i) else { break };
+                    let (outcome, res) = replayer.run_fault(fault);
                     counts.record(outcome, res.probes.vote_repairs + res.probes.trump_recovers);
                 }
                 counts
@@ -149,7 +172,7 @@ mod tests {
             runs: 60,
             seed: 42,
             threads: 2,
-            transform: Default::default(),
+            ..Default::default()
         }
     }
 
@@ -195,5 +218,38 @@ mod tests {
         let a = run_campaign(&w, Technique::Trump, &c1);
         let b = run_campaign(&w, Technique::Trump, &c4);
         assert_eq!(a.counts, b.counts);
+    }
+
+    /// Checkpoint-and-replay must not change campaign results at all: the
+    /// outcome distribution is identical with checkpointing disabled,
+    /// auto-sized, or forced to an awkward interval, at any thread count.
+    #[test]
+    fn checkpointing_never_changes_campaign_results() {
+        let w = AdpcmDec {
+            samples: 100,
+            seed: 3,
+        };
+        let reference = {
+            let mut c = small_cfg();
+            c.threads = 1;
+            c.checkpoint_interval = 0;
+            run_campaign(&w, Technique::SwiftR, &c)
+        };
+        for (interval, threads) in [
+            (sor_sim::MachineConfig::AUTO_CHECKPOINT, 1),
+            (sor_sim::MachineConfig::AUTO_CHECKPOINT, 4),
+            (777, 2),
+            (0, 4),
+        ] {
+            let mut c = small_cfg();
+            c.threads = threads;
+            c.checkpoint_interval = interval;
+            let r = run_campaign(&w, Technique::SwiftR, &c);
+            assert_eq!(
+                r.counts, reference.counts,
+                "interval {interval} x {threads} threads diverged"
+            );
+            assert_eq!(r.golden_instrs, reference.golden_instrs);
+        }
     }
 }

@@ -113,12 +113,12 @@ impl Preg {
     }
 
     /// Index within the register file of [`Preg::class`].
-    pub fn index(self) -> u8 {
+    pub const fn index(self) -> u8 {
         self.index
     }
 
     /// The register file this register belongs to.
-    pub fn class(self) -> RegClass {
+    pub const fn class(self) -> RegClass {
         self.class
     }
 

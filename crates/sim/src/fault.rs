@@ -34,9 +34,26 @@ impl FaultSpec {
 
     /// Registers eligible for injection (everything but the SP).
     pub fn injectable_regs() -> impl Iterator<Item = u8> {
-        (0..NUM_IREGS as u8).filter(|&r| r != SP.index())
+        INJECTABLE_REGS.iter().copied()
     }
 }
+
+/// Registers eligible for injection (everything but the SP), precomputed so
+/// hot paths (campaign fault drawing) index a static table instead of
+/// collecting an iterator per draw.
+pub const INJECTABLE_REGS: [u8; NUM_IREGS - 1] = {
+    let mut regs = [0u8; NUM_IREGS - 1];
+    let mut r = 0u8;
+    let mut i = 0;
+    while (r as usize) < NUM_IREGS {
+        if r != SP.index() {
+            regs[i] = r;
+            i += 1;
+        }
+        r += 1;
+    }
+    regs
+};
 
 impl fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -57,6 +74,10 @@ mod tests {
         let regs: Vec<u8> = FaultSpec::injectable_regs().collect();
         assert_eq!(regs.len(), NUM_IREGS - 1);
         assert!(!regs.contains(&SP.index()));
+        assert_eq!(regs, INJECTABLE_REGS.to_vec(), "iterator matches table");
+        let mut sorted = INJECTABLE_REGS.to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), NUM_IREGS - 1, "no duplicates in table");
     }
 
     #[test]

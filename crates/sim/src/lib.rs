@@ -16,9 +16,16 @@
 //!   numbers hinge on: spare ILP absorbing independent redundant
 //!   instructions, and memory-bound code hiding the transform overhead.
 //! * [`Runner`] / [`Outcome`] — golden-vs-faulty comparison and the paper's
-//!   unACE / SDC / SEGV classification.
+//!   unACE / SDC / SEGV classification. Fault runs use checkpoint-and-replay
+//!   (see [`Checkpoint`]): the golden run's architectural state is
+//!   snapshotted every K dynamic instructions with copy-on-write dirty-page
+//!   memory deltas, and each injected run resumes from the nearest
+//!   checkpoint at or before its fault point instead of re-executing the
+//!   deterministic prefix — bit-exact with from-scratch execution, and
+//!   roughly halving the architectural work per injection on average.
 
 mod cache;
+mod checkpoint;
 mod fault;
 mod machine;
 mod mem;
@@ -27,9 +34,10 @@ mod runner;
 mod timing;
 
 pub use cache::{Cache, CacheConfig};
-pub use fault::FaultSpec;
+pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use fault::{FaultSpec, INJECTABLE_REGS};
 pub use machine::{Machine, MachineConfig, ProbeCounts, RunResult, RunStatus};
-pub use mem::{MemError, Memory};
+pub use mem::{MemError, Memory, PageSnapshot, PAGE_SIZE};
 pub use outcome::{classify, Outcome};
-pub use runner::Runner;
+pub use runner::{Replayer, Runner};
 pub use timing::{Latencies, Timing, TimingConfig};

@@ -1,6 +1,7 @@
 //! The functional machine: executes program images instruction by
 //! instruction, optionally injecting one SEU and/or driving the timing model.
 
+use crate::checkpoint::Checkpoint;
 use crate::fault::FaultSpec;
 use crate::mem::Memory;
 use crate::timing::{Timing, TimingConfig};
@@ -18,6 +19,19 @@ pub struct MachineConfig {
     /// Enable the cycle-accurate-ish timing model (performance runs only;
     /// fault campaigns run functional-only for speed).
     pub timing: Option<TimingConfig>,
+    /// Golden-run checkpoint interval in dynamic instructions, used by
+    /// [`crate::Runner`] for checkpoint-and-replay fault injection: `0`
+    /// disables checkpointing (every fault run executes from scratch),
+    /// [`MachineConfig::AUTO_CHECKPOINT`] sizes the interval from the
+    /// golden run length, any other value is used as-is. Checkpointing is
+    /// functional-only and is ignored when the timing model is enabled.
+    pub checkpoint_interval: u64,
+}
+
+impl MachineConfig {
+    /// Sentinel for [`MachineConfig::checkpoint_interval`]: auto-size the
+    /// interval as `golden_len / 64`, clamped to a sane range.
+    pub const AUTO_CHECKPOINT: u64 = u64::MAX;
 }
 
 impl Default for MachineConfig {
@@ -25,6 +39,7 @@ impl Default for MachineConfig {
         MachineConfig {
             fuel: 50_000_000,
             timing: None,
+            checkpoint_interval: MachineConfig::AUTO_CHECKPOINT,
         }
     }
 }
@@ -75,15 +90,46 @@ pub struct RunResult {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Val {
+pub(crate) enum Val {
     I(u64),
     F(f64),
 }
 
-#[derive(Debug)]
-struct Frame {
+/// Call-return destinations. Almost every call returns zero or one value,
+/// so the common case is stored inline instead of heap-allocating a `Vec`
+/// per dynamic call instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum RetDsts {
+    Inline { len: u8, buf: [PLoc; 2] },
+    Heap(Vec<PLoc>),
+}
+
+impl RetDsts {
+    fn from_slice(s: &[PLoc]) -> Self {
+        if s.len() <= 2 {
+            let mut buf = [PLoc::Reg(sor_ir::SP); 2];
+            buf[..s.len()].copy_from_slice(s);
+            RetDsts::Inline {
+                len: s.len() as u8,
+                buf,
+            }
+        } else {
+            RetDsts::Heap(s.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[PLoc] {
+        match self {
+            RetDsts::Inline { len, buf } => &buf[..*len as usize],
+            RetDsts::Heap(v) => v,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
     ret_pc: usize,
-    ret_dsts: Vec<PLoc>,
+    ret_dsts: RetDsts,
 }
 
 enum Step {
@@ -149,6 +195,14 @@ impl<'p> Machine<'p> {
 
     /// Runs to termination, optionally injecting `fault`.
     pub fn run(mut self, fault: Option<FaultSpec>) -> RunResult {
+        self.run_mut(fault)
+    }
+
+    /// Runs to termination without consuming the machine, so the caller can
+    /// [`Machine::reset`] or [`Machine::restore`] it and run again —
+    /// the reusable-arena path fault campaigns use. The machine's
+    /// architectural state is spent afterwards until restored.
+    pub fn run_mut(&mut self, fault: Option<FaultSpec>) -> RunResult {
         let status = loop {
             if self.dyn_count >= self.fuel {
                 break RunStatus::OutOfFuel;
@@ -165,9 +219,13 @@ impl<'p> Machine<'p> {
                 Step::Done(s) => break s,
             }
         };
+        self.take_result(status)
+    }
+
+    fn take_result(&mut self, status: RunStatus) -> RunResult {
         RunResult {
             status,
-            output: self.out,
+            output: std::mem::take(&mut self.out),
             dyn_instrs: self.dyn_count,
             probes: self.probes,
             injected: self.injected,
@@ -175,6 +233,109 @@ impl<'p> Machine<'p> {
             cache_hits: self.timing.as_ref().map(Timing::cache_hits),
             cache_misses: self.timing.as_ref().map(Timing::cache_misses),
         }
+    }
+
+    /// Enables memory page tracking, which [`Machine::reset`] and
+    /// [`Machine::restore`] require. Must be called before the first
+    /// instruction executes, while memory is pristine.
+    pub fn enable_reuse(&mut self) {
+        self.mem.enable_page_tracking();
+    }
+
+    /// Resets all architectural state to the just-constructed state, so the
+    /// next run starts from dynamic instruction 0. Requires
+    /// [`Machine::enable_reuse`]; checkpointed execution is
+    /// functional-only, so the timing model must be off.
+    pub fn reset(&mut self) {
+        debug_assert!(self.timing.is_none(), "reset is functional-only");
+        self.iregs = [0; NUM_IREGS];
+        self.iregs[SP_IDX] = layout::STACK_TOP;
+        self.fregs = [0.0; NUM_FREGS];
+        self.pc = self.prog.entry;
+        self.out.clear();
+        self.frames.clear();
+        self.pending_args.clear();
+        self.dyn_count = 0;
+        self.probes = ProbeCounts::default();
+        self.injected = false;
+        self.mem.reset_tracked();
+    }
+
+    /// Captures the complete architectural state at the current
+    /// instruction boundary, taking the dirty pages accumulated since the
+    /// previous capture as this checkpoint's copy-on-write memory delta.
+    fn capture(&mut self) -> Checkpoint {
+        Checkpoint {
+            at: self.dyn_count,
+            iregs: self.iregs,
+            fregs: self.fregs,
+            pc: self.pc,
+            frames: self.frames.clone(),
+            pending_args: self.pending_args.clone(),
+            out_len: self.out.len(),
+            probes: self.probes,
+            pages: self.mem.take_dirty_pages(),
+        }
+    }
+
+    /// Restores the state captured by the last checkpoint of `prefix`.
+    ///
+    /// `prefix` must be the full checkpoint sequence from the start of the
+    /// golden run up to and including the restore target, in capture order:
+    /// memory is rebuilt by resetting to pristine and replaying every
+    /// checkpoint's page delta. `golden_output` is the golden run's full
+    /// output, from which the restored output prefix is taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` is empty or [`Machine::enable_reuse`] was not
+    /// called.
+    pub fn restore(&mut self, prefix: &[Checkpoint], golden_output: &[u64]) {
+        debug_assert!(self.timing.is_none(), "restore is functional-only");
+        let ck = prefix.last().expect("non-empty checkpoint prefix");
+        self.iregs = ck.iregs;
+        self.fregs = ck.fregs;
+        self.pc = ck.pc;
+        self.frames.clone_from(&ck.frames);
+        self.pending_args.clone_from(&ck.pending_args);
+        self.dyn_count = ck.at;
+        self.probes = ck.probes;
+        self.out.clear();
+        self.out.extend_from_slice(&golden_output[..ck.out_len]);
+        self.injected = false;
+        self.mem.reset_tracked();
+        for c in prefix {
+            self.mem.apply_pages(&c.pages);
+        }
+    }
+
+    /// Runs the fault-free golden execution, capturing a checkpoint every
+    /// `interval` dynamic instructions (including one at instruction 0).
+    /// Requires [`Machine::enable_reuse`]; the timing model must be off.
+    ///
+    /// Checkpoints are taken at the exact point the fault-injection check
+    /// runs, so a replay restored from a checkpoint is bit-identical to a
+    /// from-scratch run that reached the same boundary.
+    pub fn run_golden_with_checkpoints(&mut self, interval: u64) -> (RunResult, Vec<Checkpoint>) {
+        debug_assert!(self.timing.is_none(), "checkpointing is functional-only");
+        assert!(interval > 0, "checkpoint interval must be positive");
+        let mut cps = Vec::new();
+        let mut next_at = 0u64;
+        let status = loop {
+            if self.dyn_count >= self.fuel {
+                break RunStatus::OutOfFuel;
+            }
+            if self.dyn_count >= next_at {
+                cps.push(self.capture());
+                next_at = self.dyn_count.saturating_add(interval);
+            }
+            match self.step() {
+                Step::Next => self.pc += 1,
+                Step::Goto(t) => self.pc = t,
+                Step::Done(s) => break s,
+            }
+        };
+        (self.take_result(status), cps)
     }
 
     #[inline]
@@ -358,7 +519,7 @@ impl<'p> Machine<'p> {
                 signed,
             } => {
                 let addr = self.reg_i(*base).wrapping_add(*offset as u64);
-                if addr >= layout::OUT_BASE && addr < layout::OUT_BASE + layout::OUT_SIZE {
+                if (layout::OUT_BASE..layout::OUT_BASE + layout::OUT_SIZE).contains(&addr) {
                     return Step::Done(RunStatus::Segv); // output page is write-only
                 }
                 let raw = match self.mem.read(addr, width.bytes()) {
@@ -508,7 +669,7 @@ impl<'p> Machine<'p> {
                 self.pending_args = vals;
                 self.frames.push(Frame {
                     ret_pc: self.pc + 1,
-                    ret_dsts: rets.clone(),
+                    ret_dsts: RetDsts::from_slice(rets),
                 });
                 self.tick(&[], None, 2);
                 Step::Goto(*target)
@@ -540,7 +701,7 @@ impl<'p> Machine<'p> {
             }
             PInst::Enter { frame_size, params } => {
                 let new_sp = self.sp().wrapping_sub(*frame_size as u64);
-                if new_sp < layout::STACK_BASE || new_sp > layout::STACK_TOP {
+                if !(layout::STACK_BASE..=layout::STACK_TOP).contains(&new_sp) {
                     return Step::Done(RunStatus::Segv);
                 }
                 self.iregs[SP_IDX] = new_sp;
@@ -569,10 +730,10 @@ impl<'p> Machine<'p> {
                 match self.frames.pop() {
                     None => Step::Done(RunStatus::Completed),
                     Some(frame) => {
-                        if out_vals.len() != frame.ret_dsts.len() {
+                        if out_vals.len() != frame.ret_dsts.as_slice().len() {
                             return Step::Done(RunStatus::Segv);
                         }
-                        for (l, v) in frame.ret_dsts.iter().zip(out_vals) {
+                        for (l, v) in frame.ret_dsts.as_slice().iter().zip(out_vals) {
                             if self.write_ploc(l, v).is_err() {
                                 return Step::Done(RunStatus::Segv);
                             }

@@ -25,18 +25,56 @@ impl fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// Page granularity for copy-on-write dirty tracking (checkpoint support).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A set of page images captured from a [`Memory`] — the copy-on-write
+/// delta between two checkpoints of the golden run. Applying a sequence of
+/// snapshots in capture order onto a pristine memory reconstructs the
+/// memory state at the final capture point exactly.
+#[derive(Debug, Clone, Default)]
+pub struct PageSnapshot {
+    /// `(page index, page bytes)` pairs, where the page index counts global
+    /// pages first, then stack pages.
+    pages: Vec<(u32, Box<[u8]>)>,
+}
+
+impl PageSnapshot {
+    /// Number of captured pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no page was dirtied in the covered window.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
 /// Byte-addressable data memory backing the global and stack segments.
+///
+/// With page tracking enabled (see [`Memory::enable_page_tracking`]) every
+/// write marks its 4 KiB page dirty, which supports two operations needed
+/// by checkpoint-and-replay fault injection: capturing the pages dirtied
+/// since the last capture ([`Memory::take_dirty_pages`]) and rolling the
+/// memory back to its pristine post-init state by undoing only the dirtied
+/// pages ([`Memory::reset_tracked`]).
 #[derive(Debug, Clone)]
 pub struct Memory {
     global: Vec<u8>,
     stack: Vec<u8>,
+    /// Pristine copy of the initialized global segment (tracking only).
+    pristine_global: Option<Box<[u8]>>,
+    /// Dirty-page bitmap over global pages then stack pages (tracking only).
+    dirty: Vec<u64>,
+    tracking: bool,
 }
 
 impl Memory {
     /// Creates memory with a global segment of `global_size` bytes
     /// (rounded up to 4 KiB) initialized from `init` chunks.
     pub fn new(global_size: u64, init: &[(u64, &[u8])]) -> Self {
-        let size = (global_size + 0xFFF) & !0xFFF;
+        let size = (global_size + (PAGE_SIZE - 1)) & !(PAGE_SIZE - 1);
         assert!(
             size <= layout::GLOBAL_MAX,
             "global segment too large: {size:#x}"
@@ -49,6 +87,122 @@ impl Memory {
         Memory {
             global,
             stack: vec![0u8; (layout::STACK_TOP - layout::STACK_BASE) as usize],
+            pristine_global: None,
+            dirty: Vec::new(),
+            tracking: false,
+        }
+    }
+
+    fn num_pages(&self) -> usize {
+        (self.global.len() + self.stack.len()) / PAGE_SIZE as usize
+    }
+
+    /// Starts dirty-page tracking from the current (assumed pristine,
+    /// post-init) contents. Idempotent.
+    pub fn enable_page_tracking(&mut self) {
+        if self.tracking {
+            return;
+        }
+        self.pristine_global = Some(self.global.clone().into_boxed_slice());
+        self.dirty = vec![0u64; self.num_pages().div_ceil(64)];
+        self.tracking = true;
+    }
+
+    /// Page index of `addr` in the combined global-then-stack page space,
+    /// for an address already validated by [`Memory::slot`].
+    fn page_of(&self, addr: u64) -> u32 {
+        if addr >= layout::STACK_BASE {
+            (self.global.len() as u64 / PAGE_SIZE + (addr - layout::STACK_BASE) / PAGE_SIZE) as u32
+        } else {
+            ((addr - layout::GLOBAL_BASE) / PAGE_SIZE) as u32
+        }
+    }
+
+    fn mark_dirty(&mut self, addr: u64, len: u64) {
+        let first = self.page_of(addr);
+        let last = self.page_of(addr + len - 1);
+        for p in first..=last {
+            self.dirty[p as usize / 64] |= 1u64 << (p % 64);
+        }
+    }
+
+    fn page_slice_mut(&mut self, page: u32) -> &mut [u8] {
+        let global_pages = self.global.len() / PAGE_SIZE as usize;
+        let p = page as usize;
+        if p < global_pages {
+            &mut self.global[p * PAGE_SIZE as usize..(p + 1) * PAGE_SIZE as usize]
+        } else {
+            let off = (p - global_pages) * PAGE_SIZE as usize;
+            &mut self.stack[off..off + PAGE_SIZE as usize]
+        }
+    }
+
+    fn drain_dirty(&mut self) -> Vec<u32> {
+        let mut pages = Vec::new();
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = std::mem::take(word);
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                pages.push((w * 64) as u32 + b);
+                bits &= bits - 1;
+            }
+        }
+        pages
+    }
+
+    /// Captures and clears the dirty-page set: the copy-on-write delta
+    /// since tracking started or since the previous capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Memory::enable_page_tracking`] was called.
+    pub fn take_dirty_pages(&mut self) -> PageSnapshot {
+        assert!(self.tracking, "page tracking not enabled");
+        let pages = self
+            .drain_dirty()
+            .into_iter()
+            .map(|p| {
+                let bytes: Box<[u8]> = self.page_slice_mut(p).to_vec().into_boxed_slice();
+                (p, bytes)
+            })
+            .collect();
+        PageSnapshot { pages }
+    }
+
+    /// Rolls every dirty page back to its pristine post-init contents
+    /// (global pages from the saved image, stack pages to zero) and clears
+    /// the dirty set — an O(touched pages) full-memory reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Memory::enable_page_tracking`] was called.
+    pub fn reset_tracked(&mut self) {
+        assert!(self.tracking, "page tracking not enabled");
+        let global_pages = self.global.len() / PAGE_SIZE as usize;
+        let pristine = self.pristine_global.take().expect("tracking");
+        for p in self.drain_dirty() {
+            let pu = p as usize;
+            if pu < global_pages {
+                let range = pu * PAGE_SIZE as usize..(pu + 1) * PAGE_SIZE as usize;
+                self.global[range.clone()].copy_from_slice(&pristine[range]);
+            } else {
+                self.page_slice_mut(p).fill(0);
+            }
+        }
+        self.pristine_global = Some(pristine);
+    }
+
+    /// Writes the snapshot's pages into memory, marking them dirty so a
+    /// later [`Memory::reset_tracked`] undoes them too.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Memory::enable_page_tracking`] was called.
+    pub fn apply_pages(&mut self, snap: &PageSnapshot) {
+        assert!(self.tracking, "page tracking not enabled");
+        for (p, bytes) in &snap.pages {
+            self.page_slice_mut(*p).copy_from_slice(bytes);
+            self.dirty[*p as usize / 64] |= 1u64 << (p % 64);
         }
     }
 
@@ -85,6 +239,9 @@ impl Memory {
     pub fn write(&mut self, addr: u64, len: u64, value: u64) -> Result<(), MemError> {
         let bytes = self.slot(addr, len)?;
         bytes.copy_from_slice(&value.to_le_bytes()[..len as usize]);
+        if self.tracking {
+            self.mark_dirty(addr, len);
+        }
         Ok(())
     }
 }
@@ -126,6 +283,61 @@ mod tests {
         assert!(m.read(layout::GLOBAL_BASE - 1, 1).is_err());
         assert!(m.read(layout::STACK_TOP, 1).is_err());
         assert!(m.read(u64::MAX - 3, 8).is_err(), "wrapping access faults");
+    }
+
+    #[test]
+    fn dirty_tracking_captures_only_written_pages() {
+        let mut m = Memory::new(4 * PAGE_SIZE, &[(layout::GLOBAL_BASE, &9u64.to_le_bytes())]);
+        m.enable_page_tracking();
+        m.write(layout::GLOBAL_BASE + PAGE_SIZE, 8, 11).unwrap();
+        m.write(layout::STACK_TOP - 16, 8, 22).unwrap();
+        let snap = m.take_dirty_pages();
+        assert_eq!(snap.len(), 2);
+        // A second capture with no writes in between is empty.
+        assert!(m.take_dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn straddling_write_dirties_both_pages() {
+        let mut m = Memory::new(4 * PAGE_SIZE, &[]);
+        m.enable_page_tracking();
+        m.write(layout::GLOBAL_BASE + PAGE_SIZE - 4, 8, u64::MAX)
+            .unwrap();
+        assert_eq!(m.take_dirty_pages().len(), 2);
+    }
+
+    #[test]
+    fn reset_tracked_restores_pristine_state() {
+        let init = 77u64.to_le_bytes();
+        let mut m = Memory::new(2 * PAGE_SIZE, &[(layout::GLOBAL_BASE + 8, &init)]);
+        m.enable_page_tracking();
+        m.write(layout::GLOBAL_BASE + 8, 8, 123).unwrap();
+        m.write(layout::STACK_TOP - 8, 8, 456).unwrap();
+        m.reset_tracked();
+        assert_eq!(m.read(layout::GLOBAL_BASE + 8, 8).unwrap(), 77);
+        assert_eq!(m.read(layout::STACK_TOP - 8, 8).unwrap(), 0);
+        assert!(
+            m.take_dirty_pages().is_empty(),
+            "reset clears the dirty set"
+        );
+    }
+
+    #[test]
+    fn apply_pages_replays_a_snapshot_and_reset_undoes_it() {
+        let mut a = Memory::new(2 * PAGE_SIZE, &[]);
+        a.enable_page_tracking();
+        a.write(layout::GLOBAL_BASE + 100, 8, 0xDEAD).unwrap();
+        a.write(layout::STACK_TOP - 64, 8, 0xBEEF).unwrap();
+        let snap = a.take_dirty_pages();
+
+        let mut b = Memory::new(2 * PAGE_SIZE, &[]);
+        b.enable_page_tracking();
+        b.apply_pages(&snap);
+        assert_eq!(b.read(layout::GLOBAL_BASE + 100, 8).unwrap(), 0xDEAD);
+        assert_eq!(b.read(layout::STACK_TOP - 64, 8).unwrap(), 0xBEEF);
+        b.reset_tracked();
+        assert_eq!(b.read(layout::GLOBAL_BASE + 100, 8).unwrap(), 0);
+        assert_eq!(b.read(layout::STACK_TOP - 64, 8).unwrap(), 0);
     }
 
     #[test]

@@ -1,10 +1,25 @@
 //! Golden-run management and fault-run classification.
 
+use crate::checkpoint::CheckpointStore;
 use crate::fault::FaultSpec;
 use crate::machine::{Machine, MachineConfig, RunResult};
 use crate::outcome::{classify, Outcome};
 
+/// Auto-sizes the checkpoint interval from the golden run length: 64
+/// checkpoints across the run, clamped so tiny programs don't checkpoint
+/// every instruction and huge ones don't starve replay of restore points.
+fn auto_interval(golden_len: u64) -> u64 {
+    (golden_len / 64).clamp(128, 1 << 20)
+}
+
 /// Owns a program's golden run and classifies fault runs against it.
+///
+/// Fault runs use **checkpoint-and-replay**: the golden run is recorded as
+/// a sequence of architectural checkpoints (see [`crate::Checkpoint`]), and
+/// each injected run restores the nearest checkpoint at or before its fault
+/// point instead of re-executing the deterministic prefix from instruction
+/// 0. Replayed runs are bit-identical to from-scratch execution. Set
+/// [`MachineConfig::checkpoint_interval`] to `0` to opt out.
 ///
 /// ```
 /// use sor_ir::{ModuleBuilder, Operand, Width};
@@ -31,10 +46,12 @@ pub struct Runner<'p> {
     prog: &'p sor_ir::Program,
     cfg: MachineConfig,
     golden: RunResult,
+    ckpts: CheckpointStore,
 }
 
 impl<'p> Runner<'p> {
-    /// Executes the golden (fault-free) run and prepares for injections.
+    /// Executes the golden (fault-free) run, records its checkpoints, and
+    /// prepares for injections.
     ///
     /// Fault runs get a fuel budget of 10x the golden dynamic instruction
     /// count (plus slack), so runaway loops terminate as [`Outcome::Hang`].
@@ -55,11 +72,34 @@ impl<'p> Runner<'p> {
         let fault_cfg = MachineConfig {
             fuel: golden.dyn_instrs.saturating_mul(10).saturating_add(100_000),
             timing: None,
+            checkpoint_interval: cfg.checkpoint_interval,
+        };
+        let interval = match cfg.checkpoint_interval {
+            0 => 0,
+            MachineConfig::AUTO_CHECKPOINT => auto_interval(golden.dyn_instrs),
+            k => k,
+        };
+        // Checkpointing is functional-only; a timing-model golden run
+        // cannot serve as the recording pass, so record on a second,
+        // functional golden run.
+        let ckpts = if interval > 0 {
+            let mut m = Machine::new(prog, &fault_cfg);
+            m.enable_reuse();
+            let (recorded, cps) = m.run_golden_with_checkpoints(interval);
+            assert_eq!(
+                (recorded.status, recorded.dyn_instrs, &recorded.output),
+                (golden.status, golden.dyn_instrs, &golden.output),
+                "golden re-execution diverged while recording checkpoints"
+            );
+            CheckpointStore::new(cps)
+        } else {
+            CheckpointStore::disabled()
         };
         Runner {
             prog,
             cfg: fault_cfg,
             golden,
+            ckpts,
         }
     }
 
@@ -68,10 +108,55 @@ impl<'p> Runner<'p> {
         &self.golden
     }
 
+    /// The recorded golden-run checkpoints (empty when disabled).
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.ckpts
+    }
+
+    /// Creates a reusable fault-run executor backed by its own machine.
+    ///
+    /// Campaign workers should create one replayer each and feed it faults:
+    /// the machine's register files, frame stack and memory arena are
+    /// reused across runs instead of being reallocated per injection.
+    pub fn replayer(&self) -> Replayer<'_, 'p> {
+        let mut machine = Machine::new(self.prog, &self.cfg);
+        machine.enable_reuse();
+        Replayer {
+            runner: self,
+            machine,
+        }
+    }
+
     /// Runs once with `fault` injected and classifies the outcome.
+    ///
+    /// Convenience wrapper that builds a fresh [`Replayer`] per call; loops
+    /// should build one replayer and reuse it.
     pub fn run_fault(&self, fault: FaultSpec) -> (Outcome, RunResult) {
-        let result = Machine::new(self.prog, &self.cfg).run(Some(fault));
-        (classify(&self.golden, &result), result)
+        self.replayer().run_fault(fault)
+    }
+}
+
+/// A reusable fault-run executor: one machine arena, many injected runs.
+#[derive(Debug)]
+pub struct Replayer<'r, 'p> {
+    runner: &'r Runner<'p>,
+    machine: Machine<'p>,
+}
+
+impl Replayer<'_, '_> {
+    /// Runs once with `fault` injected and classifies the outcome.
+    ///
+    /// When checkpointing is enabled the machine restores the nearest
+    /// checkpoint at or before the fault point and executes only the
+    /// suffix; otherwise it resets and executes from instruction 0. Both
+    /// paths return results bit-identical to a fresh from-scratch run.
+    pub fn run_fault(&mut self, fault: FaultSpec) -> (Outcome, RunResult) {
+        match self.runner.ckpts.prefix_for(fault.at_instr) {
+            Some(prefix) => self.machine.restore(prefix, &self.runner.golden.output),
+            None => self.machine.reset(),
+        }
+        let result = self.machine.run_mut(Some(fault));
+        (classify(&self.runner.golden, &result), result)
     }
 }
 
@@ -93,6 +178,37 @@ mod tests {
         f.store(MemWidth::B8, base, 8, y);
         let z = f.load(MemWidth::B8, base, 8);
         f.emit(Operand::reg(z));
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        lower(&m, &LowerConfig::default()).unwrap()
+    }
+
+    /// A larger program with calls, loops and stores — enough structure
+    /// that checkpoints land mid-frame and mid-loop.
+    fn looping_program() -> sor_ir::Program {
+        let mut mb = ModuleBuilder::new("loopy");
+        let g = mb.alloc_global_u64s("g", &[3, 0]);
+
+        let mut callee = mb.function("twice");
+        let p = callee.param(sor_ir::RegClass::Int);
+        let d = callee.add(Width::W64, p, p);
+        callee.set_ret_count(1);
+        callee.ret(&[Operand::reg(d)]);
+        let callee_id = callee.finish();
+
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let n = f.load(MemWidth::B8, base, 0);
+        let mut acc = f.movi(1);
+        for i in 0..6 {
+            let doubled = f.call(callee_id, &[Operand::reg(acc)], &[sor_ir::RegClass::Int]);
+            acc = f.add(Width::W64, doubled[0], i as i64);
+            f.store(MemWidth::B8, base, 8, acc);
+        }
+        let back = f.load(MemWidth::B8, base, 8);
+        let sum = f.add(Width::W64, back, n);
+        f.emit(Operand::reg(sum));
         f.ret(&[]);
         let id = f.finish();
         let m = mb.finish(id);
@@ -124,11 +240,12 @@ mod tests {
         let prog = program();
         let r = Runner::new(&prog, &MachineConfig::default());
         let golden_len = r.golden().dyn_instrs;
+        let mut replayer = r.replayer();
         let mut damaged = 0;
         for reg in FaultSpec::injectable_regs() {
             for at in 0..golden_len {
                 for bit in [0u8, 20, 40, 62] {
-                    let (o, _) = r.run_fault(FaultSpec::new(at, reg, bit));
+                    let (o, _) = replayer.run_fault(FaultSpec::new(at, reg, bit));
                     if o != Outcome::UnAce {
                         damaged += 1;
                     }
@@ -136,5 +253,95 @@ mod tests {
             }
         }
         assert!(damaged > 0, "exhaustive sweep found no damaging fault");
+    }
+
+    /// The tentpole invariant: for every (at, reg, bit) point, a
+    /// checkpointed replay returns exactly what a from-scratch run returns
+    /// — same outcome, dynamic instruction count, output and probe
+    /// counters.
+    #[test]
+    fn checkpointed_replay_is_bit_exact_with_from_scratch() {
+        for prog in [program(), looping_program()] {
+            let reference = Runner::new(
+                &prog,
+                &MachineConfig {
+                    checkpoint_interval: 0,
+                    ..MachineConfig::default()
+                },
+            );
+            // Interval 3: several checkpoints even on these small programs.
+            let checkpointed = Runner::new(
+                &prog,
+                &MachineConfig {
+                    checkpoint_interval: 3,
+                    ..MachineConfig::default()
+                },
+            );
+            assert!(checkpointed.checkpoints().len() > 2);
+            let golden_len = reference.golden().dyn_instrs;
+            let mut replayer = checkpointed.replayer();
+            for reg in FaultSpec::injectable_regs() {
+                for at in 0..golden_len {
+                    for bit in [0u8, 1, 17, 33, 63] {
+                        let f = FaultSpec::new(at, reg, bit);
+                        let (o_ref, r_ref) = reference.run_fault(f);
+                        let (o_ck, r_ck) = replayer.run_fault(f);
+                        assert_eq!(o_ref, o_ck, "{f}: outcome diverged");
+                        assert_eq!(
+                            r_ref.dyn_instrs, r_ck.dyn_instrs,
+                            "{f}: dynamic instruction count diverged"
+                        );
+                        assert_eq!(r_ref.output, r_ck.output, "{f}: output diverged");
+                        assert_eq!(r_ref.probes, r_ck.probes, "{f}: probes diverged");
+                        assert_eq!(r_ref.injected, r_ck.injected, "{f}: injection diverged");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A fault point past the end of the run completes uninjected on both
+    /// paths.
+    #[test]
+    fn late_fault_point_is_equivalent_too() {
+        let prog = looping_program();
+        let reference = Runner::new(
+            &prog,
+            &MachineConfig {
+                checkpoint_interval: 0,
+                ..MachineConfig::default()
+            },
+        );
+        let checkpointed = Runner::new(
+            &prog,
+            &MachineConfig {
+                checkpoint_interval: 4,
+                ..MachineConfig::default()
+            },
+        );
+        let late = reference.golden().dyn_instrs + 5;
+        let f = FaultSpec::new(late, 3, 7);
+        let (o_ref, r_ref) = reference.run_fault(f);
+        let (o_ck, r_ck) = checkpointed.run_fault(f);
+        assert_eq!(o_ref, Outcome::UnAce);
+        assert_eq!(o_ck, Outcome::UnAce);
+        assert!(!r_ref.injected && !r_ck.injected);
+        assert_eq!(r_ref.output, r_ck.output);
+    }
+
+    /// A replayer stays consistent across many reuses, including after
+    /// early-terminating (Segv) runs that leave arbitrary state behind.
+    #[test]
+    fn replayer_reuse_does_not_leak_state() {
+        let prog = looping_program();
+        let r = Runner::new(&prog, &MachineConfig::default());
+        let mut replayer = r.replayer();
+        let golden_len = r.golden().dyn_instrs;
+        let probe: Vec<FaultSpec> = (0..golden_len)
+            .map(|at| FaultSpec::new(at, 5, 62))
+            .collect();
+        let first: Vec<Outcome> = probe.iter().map(|&f| replayer.run_fault(f).0).collect();
+        let second: Vec<Outcome> = probe.iter().map(|&f| replayer.run_fault(f).0).collect();
+        assert_eq!(first, second, "reuse changed outcomes");
     }
 }

@@ -155,7 +155,7 @@ fn fuel_exhaustion_reports_out_of_fuel() {
         &p,
         &MachineConfig {
             fuel: 10_000,
-            timing: None,
+            ..MachineConfig::default()
         },
     )
     .run(None);

@@ -202,7 +202,7 @@ impl Workload for Mpeg2Dec {
         f.jump(sat_b);
         f.switch_to(sat_b);
         {
-            let sb = f.assume(s, 0, BLOCK as u64 - 1);
+            let sb = f.assume(s, 0, BLOCK - 1);
             let woff = f.shl(Width::W64, sb, 2i64);
             let wa = f.add(Width::W64, work, woff);
             let v = f.loads(MemWidth::B4, wa, 0);
@@ -257,7 +257,7 @@ impl Workload for Mpeg2Dec {
                 // Workspace is i32 in the simulated program.
                 let v = (w as i32) as i64;
                 let scaled = v >> 6;
-                let sat = scaled.max(-256).min(255);
+                let sat = scaled.clamp(-256, 255);
                 sum = sum.wrapping_add(sat);
             }
             out.push(sum as u64);

@@ -1,5 +1,7 @@
-//! Property-based tests: random straight-line programs through the whole
-//! pipeline.
+//! Randomized property tests: random straight-line programs through the
+//! whole pipeline, driven by the in-tree deterministic [`sor_rng::SmallRng`]
+//! (the build is offline, so fixed seeds replace proptest shrinking — every
+//! failure names its case index, which reproduces it exactly).
 //!
 //! The central invariant of every transform is *semantic transparency*: with
 //! no faults injected, the protected program must produce exactly the
@@ -8,10 +10,10 @@
 //! AN-shadow arithmetic, check/vote insertion, the range and known-bits
 //! analyses, register allocation under pressure, and the simulator.
 
-use proptest::prelude::*;
 use software_only_recovery::prelude::*;
 use software_only_recovery::recovery::Technique as T;
 use sor_ir::{AluOp, CmpOp, FuncId, Module, ModuleBuilder};
+use sor_rng::SmallRng;
 
 /// One step of the generated program.
 #[derive(Debug, Clone)]
@@ -27,32 +29,45 @@ enum Step {
 
 const SLOTS: u64 = 8;
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (
-            prop::sample::select(AluOp::ALL.to_vec()),
-            prop::bool::ANY,
-            0usize..16,
-            0usize..16
-        )
-            .prop_map(|(op, w64, a, b)| Step::Alu(
-                op,
-                if w64 { Width::W64 } else { Width::W32 },
-                a,
-                b
-            )),
-        (
-            prop::sample::select(CmpOp::ALL.to_vec()),
-            0usize..16,
-            0usize..16
-        )
-            .prop_map(|(op, a, b)| Step::Cmp(op, a, b)),
-        (0usize..16, 0usize..16, 0usize..16).prop_map(|(c, a, b)| Step::Select(c, a, b)),
-        (0usize..16, 1u64..1_000_000).prop_map(|(v, hi)| Step::Assume(v, hi)),
-        (0usize..SLOTS as usize).prop_map(Step::LoadSlot),
-        (0usize..SLOTS as usize, 0usize..16).prop_map(|(s, v)| Step::StoreSlot(s, v)),
-        (0usize..16).prop_map(Step::Emit),
-    ]
+fn random_step(rng: &mut SmallRng) -> Step {
+    match rng.gen_range(0, 7) {
+        0 => Step::Alu(
+            *rng.choose(&AluOp::ALL),
+            if rng.gen_bool() {
+                Width::W64
+            } else {
+                Width::W32
+            },
+            rng.gen_range(0, 16) as usize,
+            rng.gen_range(0, 16) as usize,
+        ),
+        1 => Step::Cmp(
+            *rng.choose(&CmpOp::ALL),
+            rng.gen_range(0, 16) as usize,
+            rng.gen_range(0, 16) as usize,
+        ),
+        2 => Step::Select(
+            rng.gen_range(0, 16) as usize,
+            rng.gen_range(0, 16) as usize,
+            rng.gen_range(0, 16) as usize,
+        ),
+        3 => Step::Assume(rng.gen_range(0, 16) as usize, rng.gen_range(1, 1_000_000)),
+        4 => Step::LoadSlot(rng.gen_range(0, SLOTS) as usize),
+        5 => Step::StoreSlot(
+            rng.gen_range(0, SLOTS) as usize,
+            rng.gen_range(0, 16) as usize,
+        ),
+        _ => Step::Emit(rng.gen_range(0, 16) as usize),
+    }
+}
+
+fn random_steps(rng: &mut SmallRng, lo: u64, hi: u64) -> Vec<Step> {
+    let n = rng.gen_range(lo, hi);
+    (0..n).map(|_| random_step(rng)).collect()
+}
+
+fn random_seeds(rng: &mut SmallRng, lo: i64, hi: i64) -> [i64; 4] {
+    std::array::from_fn(|_| rng.gen_range_i64(lo, hi))
 }
 
 /// Builds a module from the step list. Values live in a rolling window of
@@ -113,88 +128,95 @@ fn run(module: &Module) -> (RunStatus, Vec<u64>) {
     (r.status, r.output)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// No-fault transparency for every technique on arbitrary programs.
-    #[test]
-    fn transforms_preserve_semantics(
-        seeds in prop::array::uniform4(-1000i64..1000),
-        steps in prop::collection::vec(step_strategy(), 1..60),
-    ) {
+/// No-fault transparency for every technique on arbitrary programs.
+#[test]
+fn transforms_preserve_semantics() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA11CE ^ (case << 24));
+        let seeds = random_seeds(&mut rng, -1000, 1000);
+        let steps = random_steps(&mut rng, 1, 60);
         let module = build_program(&seeds, &steps);
-        prop_assert!(sor_ir::verify(&module).is_ok());
+        assert!(sor_ir::verify(&module).is_ok(), "case {case}");
         let (status, expected) = run(&module);
         // Division by a generated zero may legitimately fault; transforms
         // must preserve *that* too, but output comparison needs completion.
         for t in T::ALL {
             let transformed = t.apply(&module);
-            prop_assert!(sor_ir::verify(&transformed).is_ok(), "{t} verifies");
+            assert!(
+                sor_ir::verify(&transformed).is_ok(),
+                "case {case}: {t} verifies"
+            );
             let (s2, out2) = run(&transformed);
-            prop_assert_eq!(s2, status, "{} changed the exit status", t);
+            assert_eq!(s2, status, "case {case}: {t} changed the exit status");
             if status == RunStatus::Completed {
-                prop_assert_eq!(&out2, &expected, "{} changed the output", t);
+                assert_eq!(out2, expected, "case {case}: {t} changed the output");
             }
         }
     }
+}
 
-    /// The printer/parser round trip is lossless on arbitrary programs and
-    /// their transformed versions.
-    #[test]
-    fn printer_parser_round_trip(
-        seeds in prop::array::uniform4(-50i64..50),
-        steps in prop::collection::vec(step_strategy(), 1..30),
-    ) {
+/// The printer/parser round trip is lossless on arbitrary programs and
+/// their transformed versions.
+#[test]
+fn printer_parser_round_trip() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0x50C1A1 ^ (case << 24));
+        let seeds = random_seeds(&mut rng, -50, 50);
+        let steps = random_steps(&mut rng, 1, 30);
         let module = build_program(&seeds, &steps);
         for t in [T::Noft, T::SwiftR, T::Trump] {
             let m = t.apply(&module);
             let text = m.to_string();
             let parsed = sor_ir::parse_module(&text)
-                .unwrap_or_else(|e| panic!("{t}: {e}\n{text}"));
-            prop_assert_eq!(parsed, m);
+                .unwrap_or_else(|e| panic!("case {case} {t}: {e}\n{text}"));
+            assert_eq!(parsed, m, "case {case} {t}");
         }
     }
+}
 
-    /// SWIFT-R bounds silent corruption: faults land in the §3.2 windows of
-    /// vulnerability only, so across a batch of random injections the silent
-    /// corruption rate stays small. (Asserting *zero* would be wrong — the
-    /// paper is explicit that the windows cannot be eliminated, and a
-    /// property search will find them; a gross bound still catches broken
-    /// voting, which corrupts a large fraction.)
-    #[test]
-    fn swiftr_bounds_silent_corruption(
-        seeds in prop::array::uniform4(-100i64..100),
-        steps in prop::collection::vec(step_strategy(), 4..40),
-        fault_seed in 0u64..u64::MAX,
-    ) {
+/// SWIFT-R bounds silent corruption: faults land in the §3.2 windows of
+/// vulnerability only, so across a batch of random injections the silent
+/// corruption rate stays small. (Asserting *zero* would be wrong — the
+/// paper is explicit that the windows cannot be eliminated, and a random
+/// search will find them; a gross bound still catches broken voting, which
+/// corrupts a large fraction.)
+#[test]
+fn swiftr_bounds_silent_corruption() {
+    for case in 0..16u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5EED5 ^ (case << 24));
+        let seeds = random_seeds(&mut rng, -100, 100);
+        let steps = random_steps(&mut rng, 4, 40);
         let module = build_program(&seeds, &steps);
         let transformed = T::SwiftR.apply(&module);
         let p = lower(&transformed, &LowerConfig::default()).unwrap();
         let golden = Machine::new(&p, &MachineConfig::default()).run(None);
-        prop_assume!(golden.status == RunStatus::Completed);
-        let mut state = fault_seed.max(1);
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
+        if golden.status != RunStatus::Completed {
+            continue; // a generated division fault: nothing to compare
+        }
         let mut corrupt = 0u32;
         const SHOTS: u32 = 30;
         for _ in 0..SHOTS {
             let reg = {
-                let r = (next() % 28) as u8;
-                if r == 1 { 2 } else { r } // never the SP
+                let r = rng.gen_range(0, 28) as u8;
+                if r == 1 {
+                    2 // never the SP
+                } else {
+                    r
+                }
             };
-            let f = FaultSpec::new(next() % golden.dyn_instrs.max(1), reg, (next() % 64) as u8);
+            let f = FaultSpec::new(
+                rng.gen_range(0, golden.dyn_instrs.max(1)),
+                reg,
+                rng.gen_range(0, 64) as u8,
+            );
             let r = Machine::new(&p, &MachineConfig::default()).run(Some(f));
             if r.status == RunStatus::Completed && r.output != golden.output {
                 corrupt += 1;
             }
         }
-        prop_assert!(
+        assert!(
             corrupt <= SHOTS / 5,
-            "{corrupt}/{SHOTS} random faults silently corrupted SWIFT-R output"
+            "case {case}: {corrupt}/{SHOTS} random faults silently corrupted SWIFT-R output"
         );
     }
 }
