@@ -1,0 +1,293 @@
+//! Lazily-computed, generation-stamped per-function analysis handles.
+//!
+//! The transforms in `sor-core` used to rebuild [`Cfg`], [`Liveness`],
+//! [`KnownBits`], [`Ranges`] and [`LoopInfo`] from scratch at every use
+//! site, so a hybrid pipeline (TRUMP then MASK) recomputed the same
+//! dataflow two or three times per function. An [`AnalysisCache`] computes
+//! each analysis at most once per *function generation*: a pass that
+//! mutates a function reports it via [`AnalysisCache::invalidate`], which
+//! bumps the generation and drops the stale handles; every other query is
+//! a cache hit returning a shared [`Rc`] handle.
+//!
+//! The cache is keyed by function index. The caller (normally a
+//! `sor-core` pipeline) owns the invalidation contract: query with the
+//! function you are about to read, and invalidate the index whenever you
+//! replace or mutate that function. Handles are snapshots — holding an
+//! `Rc<Cfg>` across an invalidation is safe, it just describes the old
+//! body.
+//!
+//! ```
+//! use sor_analysis::AnalysisCache;
+//! use sor_ir::{ModuleBuilder, Width};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut f = mb.function("main");
+//! let x = f.movi(1);
+//! let _y = f.add(Width::W64, x, 2i64);
+//! f.ret(&[]);
+//! let id = f.finish();
+//! let module = mb.finish(id);
+//!
+//! let mut cache = AnalysisCache::for_module(&module);
+//! let a = cache.cfg(0, &module.funcs[0]);
+//! let b = cache.cfg(0, &module.funcs[0]); // hit: same handle
+//! assert!(std::rc::Rc::ptr_eq(&a, &b));
+//! assert_eq!(cache.stats().hits, 1);
+//!
+//! cache.invalidate(0); // a pass mutated the function
+//! let c = cache.cfg(0, &module.funcs[0]); // recomputed
+//! assert!(!std::rc::Rc::ptr_eq(&a, &c));
+//! ```
+
+use crate::cfg::Cfg;
+use crate::known_bits::KnownBits;
+use crate::liveness::Liveness;
+use crate::loops::LoopInfo;
+use crate::range::Ranges;
+use sor_ir::{Function, Module};
+use std::rc::Rc;
+
+/// Hit/miss counters for one cache lifetime.
+///
+/// A "query" is one public accessor call; a hit means the handle was
+/// served without recomputing the analysis. Dependent analyses count
+/// their prerequisites separately (asking for [`Liveness`] also queries
+/// [`Cfg`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a cached handle.
+    pub hits: u64,
+    /// Queries that had to run the analysis.
+    pub misses: u64,
+    /// Generation bumps from [`AnalysisCache::invalidate`] /
+    /// [`AnalysisCache::invalidate_all`].
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries served from cache (0 when nothing was queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FuncEntry {
+    generation: u64,
+    cfg: Option<Rc<Cfg>>,
+    liveness: Option<Rc<Liveness>>,
+    known_bits: Option<Rc<KnownBits>>,
+    ranges: Option<Rc<Ranges>>,
+    loops: Option<Rc<LoopInfo>>,
+}
+
+impl FuncEntry {
+    fn clear(&mut self) {
+        self.generation += 1;
+        self.cfg = None;
+        self.liveness = None;
+        self.known_bits = None;
+        self.ranges = None;
+        self.loops = None;
+    }
+}
+
+/// Per-function memo table for the five analyses.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    entries: Vec<FuncEntry>,
+    stats: CacheStats,
+}
+
+macro_rules! cached {
+    ($self:ident, $fi:ident, $func:ident, $field:ident, $build:expr) => {{
+        $self.ensure($fi);
+        if let Some(h) = &$self.entries[$fi].$field {
+            $self.stats.hits += 1;
+            return Rc::clone(h);
+        }
+        $self.stats.misses += 1;
+        let h: Rc<_> = Rc::new($build);
+        $self.entries[$fi].$field = Some(Rc::clone(&h));
+        h
+    }};
+}
+
+impl AnalysisCache {
+    /// An empty cache; entries appear on first query.
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// A cache pre-sized for `module`'s function count.
+    pub fn for_module(module: &Module) -> Self {
+        let mut c = AnalysisCache::default();
+        c.ensure(module.funcs.len().saturating_sub(1));
+        c
+    }
+
+    fn ensure(&mut self, fi: usize) {
+        if self.entries.len() <= fi {
+            self.entries.resize_with(fi + 1, FuncEntry::default);
+        }
+    }
+
+    /// The control-flow graph of function `fi`.
+    pub fn cfg(&mut self, fi: usize, func: &Function) -> Rc<Cfg> {
+        cached!(self, fi, func, cfg, Cfg::new(func))
+    }
+
+    /// Liveness of function `fi` (computes/reuses its [`Cfg`] first).
+    pub fn liveness(&mut self, fi: usize, func: &Function) -> Rc<Liveness> {
+        let cfg = self.cfg(fi, func);
+        cached!(self, fi, func, liveness, Liveness::new(func, &cfg))
+    }
+
+    /// Known-bits facts of function `fi`.
+    pub fn known_bits(&mut self, fi: usize, func: &Function) -> Rc<KnownBits> {
+        cached!(self, fi, func, known_bits, KnownBits::new(func))
+    }
+
+    /// Unsigned value ranges of function `fi`.
+    pub fn ranges(&mut self, fi: usize, func: &Function) -> Rc<Ranges> {
+        cached!(self, fi, func, ranges, Ranges::new(func))
+    }
+
+    /// Loop nest of function `fi` (computes/reuses its [`Cfg`] first).
+    pub fn loops(&mut self, fi: usize, func: &Function) -> Rc<LoopInfo> {
+        let cfg = self.cfg(fi, func);
+        cached!(self, fi, func, loops, LoopInfo::new(&cfg))
+    }
+
+    /// Drops every cached analysis of function `fi` and bumps its
+    /// generation. A pass MUST call this for each function it mutated
+    /// before anything queries that function again.
+    pub fn invalidate(&mut self, fi: usize) {
+        self.ensure(fi);
+        self.entries[fi].clear();
+        self.stats.invalidations += 1;
+    }
+
+    /// Invalidates every function.
+    pub fn invalidate_all(&mut self) {
+        for e in &mut self.entries {
+            e.clear();
+        }
+        self.stats.invalidations += 1;
+    }
+
+    /// The generation stamp of function `fi`: 0 until first invalidated,
+    /// bumped once per invalidation. Lets a caller detect that a handle it
+    /// kept was taken before a mutation.
+    pub fn generation(&self, fi: usize) -> u64 {
+        self.entries.get(fi).map_or(0, |e| e.generation)
+    }
+
+    /// Lifetime hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{CmpOp, ModuleBuilder, Width};
+
+    fn looped_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let i = f.movi(0);
+        let header = f.block();
+        let body = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        let c = f.cmp(CmpOp::LtU, Width::W64, i, 4i64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let i2 = f.add(Width::W64, i, 1i64);
+        f.mov_to(i, i2);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn every_analysis_is_memoized() {
+        let m = looped_module();
+        let f = &m.funcs[0];
+        let mut cache = AnalysisCache::for_module(&m);
+        let _ = cache.cfg(0, f);
+        let _ = cache.liveness(0, f); // cfg hit + liveness miss
+        let _ = cache.known_bits(0, f);
+        let _ = cache.ranges(0, f);
+        let _ = cache.loops(0, f); // cfg hit + loops miss
+        let after_first = cache.stats();
+        assert_eq!(after_first.misses, 5, "{after_first:?}");
+        assert_eq!(after_first.hits, 2, "{after_first:?}");
+
+        let _ = cache.liveness(0, f); // cfg hit + liveness hit
+        let _ = cache.ranges(0, f);
+        let s = cache.stats();
+        assert_eq!(s.misses, 5, "no recomputation: {s:?}");
+        assert_eq!(s.hits, 5, "{s:?}");
+        assert!(s.hit_rate() > 0.4);
+    }
+
+    #[test]
+    fn handles_are_shared_snapshots() {
+        let m = looped_module();
+        let f = &m.funcs[0];
+        let mut cache = AnalysisCache::new();
+        let a = cache.loops(0, f);
+        let b = cache.loops(0, f);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(a.loops().len(), 1);
+    }
+
+    #[test]
+    fn invalidation_bumps_generation_and_recomputes() {
+        let m = looped_module();
+        let f = &m.funcs[0];
+        let mut cache = AnalysisCache::for_module(&m);
+        let before = cache.cfg(0, f);
+        assert_eq!(cache.generation(0), 0);
+        cache.invalidate(0);
+        assert_eq!(cache.generation(0), 1);
+        let after = cache.cfg(0, f);
+        assert!(!Rc::ptr_eq(&before, &after));
+        // The old handle is still a usable snapshot.
+        assert_eq!(before.rpo().len(), after.rpo().len());
+    }
+
+    #[test]
+    fn functions_are_independent() {
+        let mut mb = ModuleBuilder::new("two");
+        let helper = mb.declare("helper");
+        let mut main = mb.function("main");
+        main.call(helper, &[], &[]);
+        main.ret(&[]);
+        let main_id = main.finish();
+        let mut h = mb.define(helper, "helper");
+        h.ret(&[]);
+        h.finish();
+        let m = mb.finish(main_id);
+
+        let mut cache = AnalysisCache::for_module(&m);
+        let a0 = cache.cfg(0, &m.funcs[0]);
+        let _a1 = cache.cfg(1, &m.funcs[1]);
+        cache.invalidate(1);
+        let b0 = cache.cfg(0, &m.funcs[0]);
+        assert!(Rc::ptr_eq(&a0, &b0), "invalidating fn1 must not drop fn0");
+        assert_eq!(cache.generation(0), 0);
+        assert_eq!(cache.generation(1), 1);
+    }
+}

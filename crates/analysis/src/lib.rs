@@ -12,13 +12,19 @@
 //! * an unsigned value range for each value ([`Ranges`]) — the TRUMP
 //!   applicability test that the AN-encoded copy `3·x` can never overflow
 //!   (paper §4.3).
+//!
+//! Passes share these through an [`AnalysisCache`]: per-function,
+//! lazily-computed, generation-stamped handles that are invalidated only
+//! when a pass reports it mutated the function.
 
+mod cache;
 mod cfg;
 mod known_bits;
 mod liveness;
 mod loops;
 mod range;
 
+pub use cache::{AnalysisCache, CacheStats};
 pub use cfg::Cfg;
 pub use known_bits::KnownBits;
 pub use liveness::Liveness;

@@ -2,34 +2,64 @@
 //! quantified version of the paper's §7 instruction-mix discussion
 //! (arithmetic-dominated benchmarks are TRUMP-friendly, logic-dominated
 //! ones are not).
+//!
+//! Alongside the analysis-side numbers, each row reports what the
+//! TRUMP/SWIFT-R pass pipeline actually *emitted* for that benchmark
+//! (encodes, votes, fuses, instructions added) — the two views must tell
+//! the same story: high TRUMP value coverage means encodes displace votes.
 
-use sor_core::coverage;
+use sor_core::{coverage, Pipeline, Technique, TransformConfig};
 use sor_workloads::all_workloads;
 
 fn main() {
     println!(
-        "{:<12} {:>10} {:>12} {:>14} {:>12}",
-        "benchmark", "int-values", "TRUMP(pure)", "TRUMP(hybrid)", "value-frac"
+        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>8} {:>7} {:>7} {:>8}",
+        "benchmark",
+        "int-values",
+        "TRUMP(pure)",
+        "TRUMP(hybrid)",
+        "value-frac",
+        "encodes",
+        "votes",
+        "fuses",
+        "added"
     );
-    let mut csv = String::from("benchmark,int_values,trump_pure,trump_hybrid,value_frac\n");
+    let mut csv = String::from(
+        "benchmark,int_values,trump_pure,trump_hybrid,value_frac,encodes,votes,fuses,insts_added\n",
+    );
+    let tc = TransformConfig::default();
     for w in all_workloads() {
-        let cov = coverage(&w.build());
+        let module = w.build();
+        let cov = coverage(&module);
         let c = &cov.funcs[0];
+        let out = Pipeline::for_technique(Technique::TrumpSwiftR)
+            .run(&module, &tc)
+            .expect("verification disabled; passes are infallible");
+        let t = out.report.totals();
+        let added: usize = out.report.passes.iter().map(|p| p.added()).sum();
         println!(
-            "{:<12} {:>10} {:>12} {:>14} {:>12.2}",
+            "{:<12} {:>10} {:>12} {:>14} {:>12.2} {:>8} {:>7} {:>7} {:>8}",
             w.name(),
             c.int_values,
             c.trump_pure,
             c.trump_hybrid,
-            cov.trump_value_fraction()
+            cov.trump_value_fraction(),
+            t.encodes,
+            t.votes,
+            t.fuses,
+            added
         );
         csv.push_str(&format!(
-            "{},{},{},{},{:.4}\n",
+            "{},{},{},{},{:.4},{},{},{},{}\n",
             w.name(),
             c.int_values,
             c.trump_pure,
             c.trump_hybrid,
-            cov.trump_value_fraction()
+            cov.trump_value_fraction(),
+            t.encodes,
+            t.votes,
+            t.fuses,
+            added
         ));
     }
     match sor_bench::write_results("coverage.csv", &csv) {

@@ -4,7 +4,8 @@
 //! normalized execution time (paper: 1.99x SWIFT-R, 1.36x TRUMP, ~1.00x
 //! MASK, 1.37x TRUMP/MASK, 1.98x TRUMP/SWIFT-R).
 
-use sor_harness::{headline, CampaignConfig, FigureEight, FigureNine, PerfConfig};
+use sor_core::Technique;
+use sor_harness::{headline, ArtifactStore, CampaignConfig, FigureEight, FigureNine, PerfConfig};
 use sor_workloads::all_workloads;
 
 fn main() {
@@ -14,10 +15,18 @@ fn main() {
         runs,
         ..CampaignConfig::default()
     };
+    // One artifact store for both figures: the timing runs reuse every
+    // transformed + lowered program the reliability campaigns prepared.
+    let store = ArtifactStore::new();
     eprintln!("reliability campaigns ({runs} injections per cell)...");
-    let fig8 = FigureEight::run(&suite, &cfg);
+    let fig8 = FigureEight::run_in(&store, &suite, &Technique::FIGURE8, &cfg);
     eprintln!("performance runs...");
-    let fig9 = FigureNine::run(&suite, &PerfConfig::default());
+    let fig9 = FigureNine::run_in(&store, &suite, &PerfConfig::default());
+    eprintln!(
+        "artifact store: {} programs prepared, {} reused",
+        store.misses(),
+        store.hits()
+    );
     let h = headline(&fig8, &fig9);
     println!("{h}");
     println!("paper reference points: SWIFT-R 89.39% reduction @1.99x; TRUMP 52.48% @1.36x;");

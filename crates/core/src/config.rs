@@ -5,7 +5,11 @@
 //! quantify what each class of check buys.
 
 /// Where checks/votes are inserted and what MASK enforces.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Hashable so that it can key the harness's shared artifact store: two
+/// campaigns with the same (workload, technique, transform, lower)
+/// coordinates share one transformed-and-lowered program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TransformConfig {
     /// Check/vote store *values* (addresses are always checked).
     pub check_store_values: bool,

@@ -1,7 +1,8 @@
 //! Static protection-coverage statistics (the §7.2 instruction-mix
 //! discussion, quantified).
 
-use crate::trump::trump_protected_set;
+use crate::trump::trump_protected_set_in;
+use sor_analysis::AnalysisCache;
 use sor_ir::{Function, Inst, Module, RegClass, Vreg};
 
 /// Coverage of one function.
@@ -43,9 +44,12 @@ impl CoverageReport {
     }
 }
 
-fn func_coverage(func: &Function) -> FuncCoverage {
-    let pure = trump_protected_set(func, false);
-    let hybrid = trump_protected_set(func, true);
+fn func_coverage(fi: usize, func: &Function, cache: &mut AnalysisCache) -> FuncCoverage {
+    // One cached range analysis feeds both fixpoints (the pure/hybrid sets
+    // used to each recompute it).
+    let ranges = cache.ranges(fi, func);
+    let pure = trump_protected_set_in(func, false, &ranges);
+    let hybrid = trump_protected_set_in(func, true, &ranges);
     let mut insts = 0;
     let mut trump_insts = 0;
     for block in &func.blocks {
@@ -76,8 +80,14 @@ fn func_coverage(func: &Function) -> FuncCoverage {
 
 /// Computes protection coverage for every function in `module`.
 pub fn coverage(module: &Module) -> CoverageReport {
+    let mut cache = AnalysisCache::for_module(module);
     CoverageReport {
-        funcs: module.funcs.iter().map(func_coverage).collect(),
+        funcs: module
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(fi, f)| func_coverage(fi, f, &mut cache))
+            .collect(),
     }
 }
 

@@ -1,12 +1,9 @@
 //! The hybrid techniques: TRUMP/SWIFT-R (§6.1) and TRUMP/MASK (§6.2).
 
 use crate::config::TransformConfig;
-use crate::mask::apply_mask_with_skip;
 use crate::nmr::{dup_into, emit_vote};
 use crate::rewrite::{Rewriter, ShadowMap};
-use crate::trump::{
-    apply_trump_with_info, emit_check, emit_encode, emit_shadow_op, trump_protected_set,
-};
+use crate::trump::{emit_check, emit_encode, emit_shadow_op};
 use sor_ir::{AluOp, Function, Inst, Module, Operand, RegClass, Terminator, Vreg, Width};
 use std::collections::HashSet;
 
@@ -14,24 +11,19 @@ use std::collections::HashSet;
 /// enforces invariants on the values TRUMP could not cover. The two are
 /// nearly disjoint by construction — TRUMP handles arithmetic, MASK's
 /// provably-zero bits almost always come from logical operations — which is
-/// exactly the paper's complementarity argument.
+/// exactly the paper's complementarity argument. In pipeline form this is
+/// literally `[TrumpApplyPass, MaskPass(skip_trump)]`.
 pub fn apply_trump_mask(module: &Module, cfg: &TransformConfig) -> Module {
-    let (m, infos) = apply_trump_with_info(module, cfg);
-    apply_mask_with_skip(&m, cfg, Some(&infos))
+    crate::pass::run_technique(crate::Technique::TrumpMask, module, cfg)
 }
 
 /// TRUMP/SWIFT-R: TRUMP wherever the compiler can prove applicability,
 /// SWIFT-R everywhere else, with the Figure 7 fuse (`rt = 2·r' + r''`)
 /// converting SWIFT-R redundancy into AN redundancy at each chain's single
-/// SWIFT-R→TRUMP transition.
+/// SWIFT-R→TRUMP transition. In pipeline form this is the partition
+/// analysis pass followed by the fused rewrite pass.
 pub fn apply_trump_swiftr(module: &Module, cfg: &TransformConfig) -> Module {
-    let mut out = module.clone();
-    out.funcs = module
-        .funcs
-        .iter()
-        .map(|f| transform_func(f, cfg))
-        .collect();
-    out
+    crate::pass::run_technique(crate::Technique::TrumpSwiftR, module, cfg)
 }
 
 struct HybridPass<'c> {
@@ -42,11 +34,17 @@ struct HybridPass<'c> {
     s2: ShadowMap,
 }
 
-fn transform_func(old: &Function, cfg: &TransformConfig) -> Function {
+/// Rewrites one function under TRUMP/SWIFT-R with a precomputed hybrid
+/// partition `t` (the TRUMP side); the `TrumpSwiftRFusePass` body.
+pub(crate) fn rewrite_hybrid_func(
+    old: &Function,
+    cfg: &TransformConfig,
+    t: HashSet<Vreg>,
+) -> (Function, crate::rewrite::RewriteStats) {
     let mut rw = Rewriter::new(old);
     let mut pass = HybridPass {
         cfg,
-        t: trump_protected_set(old, true),
+        t,
         tmap: ShadowMap::new(),
         s1: ShadowMap::new(),
         s2: ShadowMap::new(),
@@ -66,7 +64,8 @@ fn transform_func(old: &Function, cfg: &TransformConfig) -> Function {
         }
         pass.rewrite_term(&mut rw, &block.term);
     }
-    rw.finish()
+    let stats = rw.stats;
+    (rw.finish(), stats)
 }
 
 impl HybridPass<'_> {
@@ -89,6 +88,7 @@ impl HybridPass<'_> {
     /// inherits a fault in *either* SWIFT-R copy, so nothing is lost at the
     /// transition.
     fn fuse(&mut self, rw: &mut Rewriter, v: Vreg) -> Vreg {
+        rw.stats.fuses += 1;
         let v1 = self.s1.shadow(rw, v);
         let v2 = self.s2.shadow(rw, v);
         let tmp = rw.vreg(RegClass::Int);
@@ -255,6 +255,7 @@ impl HybridPass<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trump::trump_protected_set;
     use sor_ir::{verify, CmpOp, MemWidth, ModuleBuilder};
     use sor_ir::{AluOp, Inst, Operand};
     use sor_regalloc::{lower, LowerConfig};

@@ -40,6 +40,7 @@ mod coverage;
 mod hybrid;
 mod mask;
 mod nmr;
+mod pass;
 mod rewrite;
 mod swift;
 mod swiftr;
@@ -50,6 +51,11 @@ pub use config::TransformConfig;
 pub use coverage::{coverage, CoverageReport, FuncCoverage};
 pub use hybrid::{apply_trump_mask, apply_trump_swiftr};
 pub use mask::apply_mask;
+pub use pass::{
+    MaskPass, NmrApplyPass, Pass, PassCtx, PassStats, Pipeline, PipelineError, PipelineOutput,
+    PipelineReport, TrumpApplyPass, TrumpPartitionPass, TrumpSwiftRFusePass,
+};
+pub use rewrite::RewriteStats;
 pub use swift::apply_swift;
 pub use swiftr::apply_swiftr;
 pub use technique::Technique;

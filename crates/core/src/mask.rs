@@ -14,7 +14,7 @@
 
 use crate::config::TransformConfig;
 use crate::trump::TrumpFuncInfo;
-use sor_analysis::{Cfg, KnownBits, Liveness, LoopInfo};
+use sor_analysis::{KnownBits, Liveness, LoopInfo};
 use sor_ir::{AluOp, Function, Inst, Module, Operand, Terminator, Vreg, Width};
 
 /// Applies MASK to every function.
@@ -46,29 +46,24 @@ use sor_ir::{AluOp, Function, Inst, Module, Operand, Terminator, Vreg, Width};
 /// assert!(masked.inst_count() > module.inst_count());
 /// ```
 pub fn apply_mask(module: &Module, cfg: &TransformConfig) -> Module {
-    apply_mask_with_skip(module, cfg, None)
+    crate::pass::run_technique(crate::Technique::Mask, module, cfg)
 }
 
-/// MASK with a per-function skip set: the TRUMP/MASK hybrid masks only
-/// values TRUMP left unprotected (§6.2's exclusivity argument), and never
-/// touches transform-introduced shadow registers.
-pub(crate) fn apply_mask_with_skip(
-    module: &Module,
+/// Masks one function against precomputed analyses, returning the number of
+/// enforcement instructions inserted; the `MaskPass` body. The analyses
+/// come from the pipeline's `AnalysisCache` so a hybrid run shares them
+/// with the other passes. `skip` is the TRUMP/MASK exclusivity set: mask
+/// only values TRUMP left unprotected (§6.2), never transform-introduced
+/// shadow registers.
+pub(crate) fn mask_func(
+    func: &mut Function,
     cfg: &TransformConfig,
-    skip: Option<&[TrumpFuncInfo]>,
-) -> Module {
-    let mut out = module.clone();
-    for (i, func) in out.funcs.iter_mut().enumerate() {
-        mask_func(func, cfg, skip.map(|s| &s[i]));
-    }
-    out
-}
-
-fn mask_func(func: &mut Function, cfg: &TransformConfig, skip: Option<&TrumpFuncInfo>) {
-    let kb = KnownBits::new(func);
-    let cfg_graph = Cfg::new(func);
-    let loops = LoopInfo::new(&cfg_graph);
-    let live = Liveness::new(func, &cfg_graph);
+    skip: Option<&TrumpFuncInfo>,
+    kb: &KnownBits,
+    loops: &LoopInfo,
+    live: &Liveness,
+) -> u64 {
+    let mut inserted = 0u64;
 
     let eligible = |v: Vreg| -> bool {
         if !v.is_int() {
@@ -129,6 +124,7 @@ fn mask_func(func: &mut Function, cfg: &TransformConfig, skip: Option<&TrumpFunc
                 for inst in enforcements(v) {
                     header.insts.insert(pos, inst);
                     pos += 1;
+                    inserted += 1;
                 }
             }
         }
@@ -139,10 +135,12 @@ fn mask_func(func: &mut Function, cfg: &TransformConfig, skip: Option<&TrumpFunc
             if let Terminator::Branch { cond, .. } = block.term {
                 for inst in enforcements(cond) {
                     block.insts.push(inst);
+                    inserted += 1;
                 }
             }
         }
     }
+    inserted
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 use crate::config::TransformConfig;
 use crate::rewrite::{Rewriter, ShadowMap};
 use sor_ir::{
-    BlockId, CmpOp, Function, Inst, Module, Operand, ProbeEvent, Terminator, TrapKind, Vreg, Width,
+    BlockId, CmpOp, Function, Inst, Operand, ProbeEvent, Terminator, TrapKind, Vreg, Width,
 };
 
 /// Emits the SWIFT-R majority vote (paper Figure 3's `majority(v, v', v'')`):
@@ -25,6 +25,7 @@ use sor_ir::{
 /// mismatch, which (with the one allowed fault already spent on `v''`
 /// itself) can no longer occur. Fault-free dynamic cost: compare + branch.
 pub(crate) fn emit_vote(rw: &mut Rewriter, v: Vreg, v1: Vreg, v2: Vreg) {
+    rw.stats.votes += 1;
     let c = rw.vreg(sor_ir::RegClass::Int);
     rw.emit(Inst::Cmp {
         op: CmpOp::Ne,
@@ -73,17 +74,6 @@ pub(crate) enum NmrMode {
     Vote,
 }
 
-/// Applies the duplication transform to every function of `module`.
-pub(crate) fn apply(module: &Module, cfg: &TransformConfig, mode: NmrMode) -> Module {
-    let mut out = module.clone();
-    out.funcs = module
-        .funcs
-        .iter()
-        .map(|f| transform_func(f, cfg, mode))
-        .collect();
-    out
-}
-
 struct Pass<'c> {
     cfg: &'c TransformConfig,
     mode: NmrMode,
@@ -92,7 +82,13 @@ struct Pass<'c> {
     detect: Option<BlockId>,
 }
 
-fn transform_func(old: &Function, cfg: &TransformConfig, mode: NmrMode) -> Function {
+/// Rewrites one function under SWIFT (`Detect`) or SWIFT-R (`Vote`); the
+/// `NmrApplyPass` body.
+pub(crate) fn rewrite_nmr_func(
+    old: &Function,
+    cfg: &TransformConfig,
+    mode: NmrMode,
+) -> (Function, crate::rewrite::RewriteStats) {
     let mut rw = Rewriter::new(old);
     let mut pass = Pass {
         cfg,
@@ -118,7 +114,8 @@ fn transform_func(old: &Function, cfg: &TransformConfig, mode: NmrMode) -> Funct
         }
         pass.rewrite_term(&mut rw, &block.term);
     }
-    rw.finish()
+    let stats = rw.stats;
+    (rw.finish(), stats)
 }
 
 impl Pass<'_> {
@@ -149,6 +146,7 @@ impl Pass<'_> {
 
     /// SWIFT check: `br faultDet, v != v'`.
     fn check(&mut self, rw: &mut Rewriter, v: Vreg) {
+        rw.stats.checks += 1;
         let s = self.s1.shadow(rw, v);
         let c = rw.vreg(sor_ir::RegClass::Int);
         rw.emit(Inst::Cmp {

@@ -1,0 +1,611 @@
+//! The pass manager: techniques as [`Pass`]es registered in a [`Pipeline`].
+//!
+//! The paper's transforms were gcc backend passes sharing one dataflow
+//! substrate; this module gives the reproduction the same shape. Each
+//! technique is a [`Pass`] over a [`Module`], run by a [`Pipeline`] that
+//! owns a shared [`AnalysisCache`] (per-function, lazily-computed,
+//! generation-stamped handles for `Cfg`/`Liveness`/`KnownBits`/`Ranges`/
+//! `LoopInfo`). A pass that mutates a function reports it by invalidating
+//! that function's cache entry; analysis-only passes leave the cache warm
+//! for the passes behind them.
+//!
+//! The hybrids are declarative compositions of the base passes instead of
+//! hand-fused code paths:
+//!
+//! * TRUMP/MASK = `[TrumpApplyPass, MaskPass { skip_trump }]` — TRUMP runs
+//!   first and records its per-function protected sets in the [`PassCtx`];
+//!   MASK reads them and enforces invariants only on what TRUMP left
+//!   uncovered (§6.2).
+//! * TRUMP/SWIFT-R = `[TrumpPartitionPass, TrumpSwiftRFusePass]` — an
+//!   analysis-only pass computes the hybrid partition (which values carry
+//!   AN shadows, which carry SWIFT-R copies), then the rewrite pass walks
+//!   each function once, emitting the Figure 7 fuse at every
+//!   SWIFT-R→TRUMP transition.
+//!
+//! A pipeline can verify the module between passes ([`Pipeline::verified`])
+//! and reports per-pass instrumentation — instructions added, checks/votes/
+//! encodes/fuses/masks emitted — plus the cache's hit/miss counters in a
+//! [`PipelineReport`].
+//!
+//! ```
+//! use sor_core::{Pipeline, Technique, TransformConfig};
+//! use sor_ir::{ModuleBuilder, Operand, Width};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut f = mb.function("main");
+//! let x = f.movi(40);
+//! let y = f.add(Width::W64, x, 2i64);
+//! f.emit(Operand::reg(y));
+//! f.ret(&[]);
+//! let id = f.finish();
+//! let module = mb.finish(id);
+//!
+//! let out = Pipeline::for_technique(Technique::SwiftR)
+//!     .verified()
+//!     .run(&module, &TransformConfig::default())
+//!     .unwrap();
+//! assert!(out.module.inst_count() > module.inst_count());
+//! assert!(out.report.passes[0].rewrites.votes > 0);
+//! ```
+
+use crate::config::TransformConfig;
+use crate::hybrid::rewrite_hybrid_func;
+use crate::mask::mask_func;
+use crate::nmr::{rewrite_nmr_func, NmrMode};
+use crate::rewrite::RewriteStats;
+use crate::technique::Technique;
+use crate::trump::{rewrite_trump_func, trump_protected_set_in, TrumpFuncInfo};
+use sor_analysis::{AnalysisCache, CacheStats};
+use sor_ir::{verify, Module, VerifyError, Vreg};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Shared state threaded through a pipeline run: the transform
+/// configuration, the analysis cache, and the between-pass facts the
+/// declarative hybrids hand from one pass to the next.
+pub struct PassCtx<'a> {
+    /// Check-placement policy for every pass in the run.
+    pub config: &'a TransformConfig,
+    /// The shared per-function analysis store.
+    pub cache: AnalysisCache,
+    /// TRUMP's per-function protection info, recorded by `TrumpApplyPass`
+    /// for a downstream `MaskPass { skip_trump }`.
+    pub(crate) trump_info: Option<Vec<TrumpFuncInfo>>,
+    /// The hybrid partition (TRUMP side per function), recorded by
+    /// `TrumpPartitionPass` for `TrumpSwiftRFusePass`.
+    pub(crate) hybrid_t: Option<Vec<HashSet<Vreg>>>,
+}
+
+impl<'a> PassCtx<'a> {
+    /// A fresh context for one pipeline run over `module`.
+    pub fn new(config: &'a TransformConfig, module: &Module) -> Self {
+        PassCtx {
+            config,
+            cache: AnalysisCache::for_module(module),
+            trump_info: None,
+            hybrid_t: None,
+        }
+    }
+}
+
+/// What one pass did to the module.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PassStats {
+    /// The pass's [`Pass::name`].
+    pub pass: &'static str,
+    /// Whether the pass changed any function (and thus invalidated cache
+    /// entries).
+    pub mutated: bool,
+    /// Static instruction count before the pass.
+    pub insts_before: usize,
+    /// Static instruction count after the pass.
+    pub insts_after: usize,
+    /// Checks/votes/encodes/fuses/masks the pass emitted.
+    pub rewrites: RewriteStats,
+}
+
+impl PassStats {
+    /// Instructions the pass added.
+    pub fn added(&self) -> usize {
+        self.insts_after.saturating_sub(self.insts_before)
+    }
+}
+
+/// One step of a [`Pipeline`].
+pub trait Pass {
+    /// Stable short name, used in reports and verification errors.
+    fn name(&self) -> &'static str;
+    /// Runs the pass over `module`. The pass must call
+    /// `ctx.cache.invalidate(fi)` for every function it mutated — the
+    /// cache trusts the pass's report and serves stale handles otherwise.
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx<'_>) -> PassStats;
+}
+
+/// Applies pure TRUMP (§4.2) and records the per-function protection info
+/// in the context for a downstream [`MaskPass`].
+pub struct TrumpApplyPass;
+
+impl Pass for TrumpApplyPass {
+    fn name(&self) -> &'static str {
+        "trump"
+    }
+
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx<'_>) -> PassStats {
+        let mut stats = PassStats {
+            pass: self.name(),
+            insts_before: module.inst_count(),
+            ..Default::default()
+        };
+        let mut infos = Vec::with_capacity(module.funcs.len());
+        for fi in 0..module.funcs.len() {
+            let ranges = ctx.cache.ranges(fi, &module.funcs[fi]);
+            let t = trump_protected_set_in(&module.funcs[fi], false, &ranges);
+            infos.push(TrumpFuncInfo {
+                protected: t.clone(),
+                orig_int_vregs: module.funcs[fi].int_vreg_count(),
+            });
+            let (rewritten, rw) = rewrite_trump_func(&module.funcs[fi], ctx.config, t);
+            stats.rewrites.absorb(rw);
+            if rewritten != module.funcs[fi] {
+                module.funcs[fi] = rewritten;
+                ctx.cache.invalidate(fi);
+                stats.mutated = true;
+            }
+        }
+        ctx.trump_info = Some(infos);
+        stats.insts_after = module.inst_count();
+        stats
+    }
+}
+
+/// Applies MASK (§5). With `skip_trump`, reads the [`TrumpApplyPass`]
+/// protection info from the context and masks only what TRUMP left
+/// unprotected — the TRUMP/MASK composition.
+pub struct MaskPass {
+    /// Skip TRUMP-protected values and transform-introduced registers.
+    pub skip_trump: bool,
+}
+
+impl Pass for MaskPass {
+    fn name(&self) -> &'static str {
+        "mask"
+    }
+
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx<'_>) -> PassStats {
+        let mut stats = PassStats {
+            pass: self.name(),
+            insts_before: module.inst_count(),
+            ..Default::default()
+        };
+        let skip = if self.skip_trump {
+            Some(
+                ctx.trump_info
+                    .take()
+                    .expect("MaskPass{skip_trump} needs a TrumpApplyPass before it"),
+            )
+        } else {
+            None
+        };
+        for fi in 0..module.funcs.len() {
+            let kb = ctx.cache.known_bits(fi, &module.funcs[fi]);
+            let loops = ctx.cache.loops(fi, &module.funcs[fi]);
+            let live = ctx.cache.liveness(fi, &module.funcs[fi]);
+            let inserted = mask_func(
+                &mut module.funcs[fi],
+                ctx.config,
+                skip.as_ref().map(|s| &s[fi]),
+                &kb,
+                &loops,
+                &live,
+            );
+            if inserted > 0 {
+                ctx.cache.invalidate(fi);
+                stats.mutated = true;
+                stats.rewrites.masks += inserted;
+            }
+        }
+        stats.insts_after = module.inst_count();
+        stats
+    }
+}
+
+/// Applies SWIFT (detect) or SWIFT-R (vote) duplication (§2.2 / §3).
+pub struct NmrApplyPass {
+    mode: NmrMode,
+}
+
+impl NmrApplyPass {
+    /// SWIFT: one shadow copy, detection traps.
+    pub fn detect() -> Self {
+        NmrApplyPass {
+            mode: NmrMode::Detect,
+        }
+    }
+
+    /// SWIFT-R: two shadow copies, majority votes.
+    pub fn vote() -> Self {
+        NmrApplyPass {
+            mode: NmrMode::Vote,
+        }
+    }
+}
+
+impl Pass for NmrApplyPass {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            NmrMode::Detect => "swift",
+            NmrMode::Vote => "swift-r",
+        }
+    }
+
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx<'_>) -> PassStats {
+        let mut stats = PassStats {
+            pass: self.name(),
+            insts_before: module.inst_count(),
+            ..Default::default()
+        };
+        for fi in 0..module.funcs.len() {
+            let (rewritten, rw) = rewrite_nmr_func(&module.funcs[fi], ctx.config, self.mode);
+            stats.rewrites.absorb(rw);
+            if rewritten != module.funcs[fi] {
+                module.funcs[fi] = rewritten;
+                ctx.cache.invalidate(fi);
+                stats.mutated = true;
+            }
+        }
+        stats.insts_after = module.inst_count();
+        stats
+    }
+}
+
+/// Analysis-only pass: computes the TRUMP/SWIFT-R hybrid partition (§6.1)
+/// from the cached range analysis and records it in the context. Mutates
+/// nothing, so the cache stays warm for the fuse pass.
+pub struct TrumpPartitionPass;
+
+impl Pass for TrumpPartitionPass {
+    fn name(&self) -> &'static str {
+        "trump-partition"
+    }
+
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx<'_>) -> PassStats {
+        let n = module.inst_count();
+        let mut parts = Vec::with_capacity(module.funcs.len());
+        for fi in 0..module.funcs.len() {
+            let ranges = ctx.cache.ranges(fi, &module.funcs[fi]);
+            parts.push(trump_protected_set_in(&module.funcs[fi], true, &ranges));
+        }
+        ctx.hybrid_t = Some(parts);
+        PassStats {
+            pass: self.name(),
+            mutated: false,
+            insts_before: n,
+            insts_after: n,
+            rewrites: RewriteStats::default(),
+        }
+    }
+}
+
+/// The TRUMP/SWIFT-R rewrite: one walk per function applying TRUMP on the
+/// partition's T side, SWIFT-R elsewhere, with the Figure 7 fuse at every
+/// transition. Needs a [`TrumpPartitionPass`] before it.
+pub struct TrumpSwiftRFusePass;
+
+impl Pass for TrumpSwiftRFusePass {
+    fn name(&self) -> &'static str {
+        "trump-swift-r-fuse"
+    }
+
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx<'_>) -> PassStats {
+        let mut stats = PassStats {
+            pass: self.name(),
+            insts_before: module.inst_count(),
+            ..Default::default()
+        };
+        let parts = ctx
+            .hybrid_t
+            .take()
+            .expect("TrumpSwiftRFusePass needs a TrumpPartitionPass before it");
+        for (fi, t) in parts.into_iter().enumerate() {
+            let (rewritten, rw) = rewrite_hybrid_func(&module.funcs[fi], ctx.config, t);
+            stats.rewrites.absorb(rw);
+            if rewritten != module.funcs[fi] {
+                module.funcs[fi] = rewritten;
+                ctx.cache.invalidate(fi);
+                stats.mutated = true;
+            }
+        }
+        stats.insts_after = module.inst_count();
+        stats
+    }
+}
+
+/// Per-pass instrumentation plus the shared cache's counters for one
+/// pipeline run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// One entry per pass, in run order.
+    pub passes: Vec<PassStats>,
+    /// Hit/miss/invalidation counters of the run's [`AnalysisCache`].
+    pub cache: CacheStats,
+}
+
+impl PipelineReport {
+    /// Total checks/votes/encodes/fuses/masks across every pass.
+    pub fn totals(&self) -> RewriteStats {
+        let mut t = RewriteStats::default();
+        for p in &self.passes {
+            t.absorb(p.rewrites);
+        }
+        t
+    }
+}
+
+/// A transformed module plus the run's [`PipelineReport`].
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The module after every pass.
+    pub module: Module,
+    /// What each pass did.
+    pub report: PipelineReport,
+}
+
+/// Between-pass verification failure: the named pass left the module in a
+/// state `sor_ir::verify` rejects.
+#[derive(Debug)]
+pub struct PipelineError {
+    /// The pass whose output failed verification.
+    pub pass: &'static str,
+    /// The verifier's complaint.
+    pub source: VerifyError,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass '{}' broke the module: {}", self.pass, self.source)
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// An ordered list of [`Pass`]es sharing one [`AnalysisCache`].
+#[derive(Default)]
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+    verify_between: bool,
+}
+
+impl Pipeline {
+    /// An empty pipeline (the NOFT baseline: running it clones the module).
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// The pipeline for one of the paper's techniques.
+    pub fn for_technique(t: Technique) -> Self {
+        let mut p = Pipeline::new();
+        match t {
+            Technique::Noft => {}
+            Technique::Mask => p.push(MaskPass { skip_trump: false }),
+            Technique::Trump => p.push(TrumpApplyPass),
+            Technique::TrumpMask => {
+                p.push(TrumpApplyPass);
+                p.push(MaskPass { skip_trump: true });
+            }
+            Technique::TrumpSwiftR => {
+                p.push(TrumpPartitionPass);
+                p.push(TrumpSwiftRFusePass);
+            }
+            Technique::SwiftR => p.push(NmrApplyPass::vote()),
+            Technique::Swift => p.push(NmrApplyPass::detect()),
+        }
+        p
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl Pass + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// Enables IR verification after every pass; the first failure aborts
+    /// the run with a [`PipelineError`] naming the offending pass.
+    pub fn verified(mut self) -> Self {
+        self.verify_between = true;
+        self
+    }
+
+    /// The names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over a copy of `module`.
+    pub fn run(
+        &self,
+        module: &Module,
+        config: &TransformConfig,
+    ) -> Result<PipelineOutput, PipelineError> {
+        let mut out = module.clone();
+        let mut ctx = PassCtx::new(config, module);
+        let mut passes = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let stats = pass.run(&mut out, &mut ctx);
+            if self.verify_between {
+                verify(&out).map_err(|source| PipelineError {
+                    pass: pass.name(),
+                    source,
+                })?;
+            }
+            passes.push(stats);
+        }
+        Ok(PipelineOutput {
+            module: out,
+            report: PipelineReport {
+                passes,
+                cache: ctx.cache.stats(),
+            },
+        })
+    }
+}
+
+/// Runs `technique`'s pipeline without between-pass verification and
+/// returns the transformed module — the implementation behind
+/// [`Technique::apply_with`] and the `apply_*` free functions.
+pub(crate) fn run_technique(
+    technique: Technique,
+    module: &Module,
+    config: &TransformConfig,
+) -> Module {
+    Pipeline::for_technique(technique)
+        .run(module, config)
+        .expect("verification disabled; passes are infallible")
+        .module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_ir::{MemWidth, ModuleBuilder, Operand, Width};
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.alloc_global_i32s("g", &[11, 22, 33]);
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B4, base, 0);
+        let y = f.load(MemWidth::B4, base, 4);
+        let s = f.add(Width::W64, x, y);
+        let l = f.xor(Width::W64, s, 0x5Ai64);
+        f.store(MemWidth::B4, base, 8, l);
+        f.emit(Operand::reg(l));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn pipeline_output_matches_direct_apply() {
+        // The pipeline is the implementation, but equality with the
+        // Technique entry point must hold bit-for-bit: campaigns key their
+        // determinism on it.
+        let m = sample();
+        for tech in Technique::ALL {
+            let direct = tech.apply(&m);
+            let piped = Pipeline::for_technique(tech)
+                .verified()
+                .run(&m, &TransformConfig::default())
+                .unwrap_or_else(|e| panic!("{tech}: {e}"))
+                .module;
+            assert_eq!(direct, piped, "{tech}");
+        }
+    }
+
+    #[test]
+    fn noft_pipeline_is_identity() {
+        let m = sample();
+        let out = Pipeline::for_technique(Technique::Noft)
+            .run(&m, &TransformConfig::default())
+            .unwrap();
+        assert_eq!(out.module, m);
+        assert!(out.report.passes.is_empty());
+    }
+
+    #[test]
+    fn reports_count_emitted_constructs() {
+        let m = sample();
+        let cfg = TransformConfig::default();
+
+        let swiftr = Pipeline::for_technique(Technique::SwiftR)
+            .run(&m, &cfg)
+            .unwrap();
+        let s = &swiftr.report.passes[0];
+        assert_eq!(s.pass, "swift-r");
+        assert!(s.mutated);
+        assert!(s.rewrites.votes > 0);
+        assert_eq!(s.rewrites.checks, 0);
+        assert_eq!(s.added(), s.insts_after - s.insts_before);
+
+        let swift = Pipeline::for_technique(Technique::Swift)
+            .run(&m, &cfg)
+            .unwrap();
+        assert!(swift.report.passes[0].rewrites.checks > 0);
+        assert_eq!(swift.report.passes[0].rewrites.votes, 0);
+
+        let trump = Pipeline::for_technique(Technique::Trump)
+            .run(&m, &cfg)
+            .unwrap();
+        let t = trump.report.totals();
+        assert!(t.encodes > 0, "loads re-encode: {t:?}");
+
+        let mask = Pipeline::for_technique(Technique::Mask)
+            .run(&m, &cfg)
+            .unwrap();
+        assert_eq!(mask.report.totals().votes, 0);
+    }
+
+    #[test]
+    fn hybrid_composition_shares_the_cache() {
+        // TRUMP/MASK: the partitioning and masking of the *original*
+        // functions reuse cached analyses; the mutation invalidations are
+        // reported. The run must record at least one cache hit (the
+        // liveness query reuses the cfg computed for loops).
+        let m = sample();
+        let out = Pipeline::for_technique(Technique::TrumpMask)
+            .verified()
+            .run(&m, &TransformConfig::default())
+            .unwrap();
+        assert_eq!(out.report.passes.len(), 2);
+        assert!(out.report.cache.hits > 0, "{:?}", out.report.cache);
+        assert!(out.report.cache.invalidations > 0);
+    }
+
+    #[test]
+    fn partition_pass_is_analysis_only() {
+        let m = sample();
+        let out = Pipeline::for_technique(Technique::TrumpSwiftR)
+            .verified()
+            .run(&m, &TransformConfig::default())
+            .unwrap();
+        let part = &out.report.passes[0];
+        assert_eq!(part.pass, "trump-partition");
+        assert!(!part.mutated);
+        assert_eq!(part.added(), 0);
+        let fuse = &out.report.passes[1];
+        assert!(fuse.mutated);
+        assert!(fuse.rewrites.fuses > 0 || fuse.rewrites.votes > 0);
+    }
+
+    #[test]
+    fn verification_catches_a_broken_pass() {
+        struct BreakerPass;
+        impl Pass for BreakerPass {
+            fn name(&self) -> &'static str {
+                "breaker"
+            }
+            fn run(&self, module: &mut Module, ctx: &mut PassCtx<'_>) -> PassStats {
+                // Point a terminator at a nonexistent block.
+                module.funcs[0].blocks[0].term =
+                    sor_ir::Terminator::Jump(sor_ir::BlockId(u32::MAX));
+                ctx.cache.invalidate(0);
+                PassStats {
+                    pass: "breaker",
+                    mutated: true,
+                    ..Default::default()
+                }
+            }
+        }
+        let m = sample();
+        let mut p = Pipeline::new();
+        p.push(BreakerPass);
+        let err = p
+            .verified()
+            .run(&m, &TransformConfig::default())
+            .unwrap_err();
+        assert_eq!(err.pass, "breaker");
+        assert!(err.to_string().contains("breaker"));
+    }
+}

@@ -1,24 +1,68 @@
 //! Shared function-rewriting machinery for all transforms.
 //!
-//! A [`Rewriter`] rebuilds a function block by block. It pre-creates one new
-//! block per old block *with the same ids*, so old terminators keep their
-//! targets; check/vote sequences that need control flow allocate fresh
-//! blocks past the original range and re-point the "current" emission block.
+//! A [`Rewriter`] rebuilds a function block by block. [`Rewriter::new`]
+//! pre-creates one new block per old block *with the same ids* — block `i`
+//! of the old function is always block `i` of the new one — so old
+//! terminators keep their targets without remapping. Check/vote sequences
+//! that need control flow allocate fresh blocks via
+//! [`new_block`](Rewriter::new_block)/[`branch_off`](Rewriter::branch_off);
+//! fresh ids are handed out strictly *after* the pre-created range and
+//! never disturb it, no matter how the interleaving of original blocks and
+//! detours proceeds.
+//!
+//! Every pre-created or fresh block starts life with a
+//! `Trap(TrapKind::Abort)` placeholder terminator. A placeholder is not a
+//! valid terminator for a finished function: the transform must
+//! [`seal`](Rewriter::seal) every block it touches, and `sor_ir::verify`
+//! rejects any leftover `Trap(Abort)` so a forgotten seal fails
+//! verification instead of aborting at runtime.
 
 use sor_ir::{Block, BlockId, Function, Inst, RegClass, Terminator, TrapKind, Vreg};
 use std::collections::HashMap;
+
+/// Counters of the protection constructs a transform emitted — the
+/// per-pass instrumentation surfaced by `PassStats` and the coverage
+/// report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// TRUMP divisibility checks and SWIFT detection checks.
+    pub checks: u64,
+    /// SWIFT-R majority votes.
+    pub votes: u64,
+    /// TRUMP `3·x` re-encodes at chain roots.
+    pub encodes: u64,
+    /// Figure 7 fuses (`rt = 2·r' + r''`) at SWIFT-R→TRUMP transitions.
+    pub fuses: u64,
+    /// MASK enforcement instructions inserted.
+    pub masks: u64,
+}
+
+impl RewriteStats {
+    /// Accumulates `other` into `self` (per-function → per-pass totals).
+    pub fn absorb(&mut self, other: RewriteStats) {
+        self.checks += other.checks;
+        self.votes += other.votes;
+        self.encodes += other.encodes;
+        self.fuses += other.fuses;
+        self.masks += other.masks;
+    }
+}
 
 /// Incremental builder for the transformed copy of one function.
 #[derive(Debug)]
 pub struct Rewriter {
     func: Function,
     cur: BlockId,
+    /// What this rewrite emitted so far; the emit helpers in the technique
+    /// modules bump these as they go.
+    pub stats: RewriteStats,
 }
 
 impl Rewriter {
     /// Starts rewriting `old`: the new function shares name, parameters,
-    /// return count and virtual-register numbering, and has one (empty)
-    /// block per old block.
+    /// return count and virtual-register numbering, and has one empty block
+    /// per old block, at the *same* [`BlockId`]s, each holding a
+    /// `Trap(Abort)` placeholder terminator until the transform seals it.
     pub fn new(old: &Function) -> Self {
         let mut func = Function::new(old.name.clone());
         func.params = old.params.clone();
@@ -30,6 +74,7 @@ impl Rewriter {
         Rewriter {
             func,
             cur: BlockId(0),
+            stats: RewriteStats::default(),
         }
     }
 
@@ -43,7 +88,10 @@ impl Rewriter {
         self.func.new_vreg(class)
     }
 
-    /// Allocates a fresh (empty) block.
+    /// Allocates a fresh (empty) block with a `Trap(Abort)` placeholder
+    /// terminator. Fresh ids come strictly after the pre-created range
+    /// (`old.blocks.len()..`), so already-emitted terminators targeting
+    /// original ids stay valid.
     pub fn new_block(&mut self) -> BlockId {
         self.func
             .push_block(Block::new(Terminator::Trap(TrapKind::Abort)))
@@ -170,6 +218,69 @@ mod tests {
         let new = rw.finish();
         assert_eq!(new.blocks.len(), 3);
         assert!(matches!(new.blocks[0].term, Terminator::Branch { .. }));
+    }
+
+    #[test]
+    fn new_blocks_never_disturb_original_ids() {
+        // A check/vote-style rewrite that detours out of *every* original
+        // block: fresh blocks must land strictly past the original range, in
+        // allocation order, and the original ids must keep addressing the
+        // rebuilt copies of the original blocks.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let c = f.cmp(sor_ir::CmpOp::Eq, Width::W64, 1i64, 1i64);
+        let a = f.block();
+        let b = f.block();
+        f.branch(c, a, b);
+        f.switch_to(a);
+        f.ret(&[]);
+        f.switch_to(b);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let old = &m.funcs[0];
+        let orig = old.blocks.len();
+
+        let mut rw = Rewriter::new(old);
+        let mut detours = Vec::new();
+        for (bid, block) in old.iter_blocks() {
+            rw.start_block(bid);
+            for inst in &block.insts {
+                rw.emit(inst.clone());
+            }
+            // Emit a vote-shaped detour before the original terminator.
+            let v = rw.vreg(RegClass::Int);
+            let (taken, fall) = rw.branch_off(v);
+            detours.push((taken, fall));
+            rw.start_block(taken);
+            rw.seal(Terminator::Jump(fall));
+            rw.start_block(fall);
+            rw.seal(block.term.clone());
+        }
+        let new = rw.finish();
+
+        for (i, (taken, fall)) in detours.iter().enumerate() {
+            assert!(taken.index() >= orig, "detour {i} reused an original id");
+            assert!(fall.index() >= orig, "detour {i} reused an original id");
+            // branch_off allocates (taken, fall) adjacently, in order.
+            assert_eq!(taken.index() + 1, fall.index());
+        }
+        assert_eq!(new.blocks.len(), orig + 2 * detours.len());
+        // The original ids still hold the original control flow: block 0
+        // kept its compare, and its (rewritten) path still reaches a Ret
+        // through the detour chain at the original targets.
+        assert!(!new.blocks[0].insts.is_empty());
+        assert!(matches!(
+            new.blocks[detours[1].1.index()].term,
+            Terminator::Ret { .. }
+        ));
+        // No block escaped sealing.
+        for (i, blk) in new.blocks.iter().enumerate() {
+            assert!(
+                !matches!(blk.term, Terminator::Trap(TrapKind::Abort)),
+                "block {i} left unsealed"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! SWIFT: software-implemented fault tolerance (detection only, paper §2.2).
 
 use crate::config::TransformConfig;
-use crate::nmr::{apply, NmrMode};
 use sor_ir::Module;
 
 /// Applies the SWIFT detection transform: every integer computation is
@@ -14,7 +13,7 @@ use sor_ir::Module;
 ///
 /// [`sor_sim::Outcome::Detected`]: https://docs.rs/sor-sim
 pub fn apply_swift(module: &Module, cfg: &TransformConfig) -> Module {
-    apply(module, cfg, NmrMode::Detect)
+    crate::pass::run_technique(crate::Technique::Swift, module, cfg)
 }
 
 #[cfg(test)]

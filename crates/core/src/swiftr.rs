@@ -2,7 +2,6 @@
 //! recovery (paper §3).
 
 use crate::config::TransformConfig;
-use crate::nmr::{apply, NmrMode};
 use sor_ir::Module;
 
 /// Applies the SWIFT-R recovery transform: integer computation is
@@ -29,7 +28,7 @@ use sor_ir::Module;
 /// assert!(sor_ir::verify(&hardened).is_ok());
 /// ```
 pub fn apply_swiftr(module: &Module, cfg: &TransformConfig) -> Module {
-    apply(module, cfg, NmrMode::Vote)
+    crate::pass::run_technique(crate::Technique::SwiftR, module, cfg)
 }
 
 #[cfg(test)]

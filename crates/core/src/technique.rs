@@ -1,11 +1,7 @@
 //! The technique selector used by campaigns, benches and examples.
 
 use crate::config::TransformConfig;
-use crate::hybrid::{apply_trump_mask, apply_trump_swiftr};
-use crate::mask::apply_mask;
-use crate::swift::apply_swift;
-use crate::swiftr::apply_swiftr;
-use crate::trump::apply_trump;
+use crate::pass::run_technique;
 use sor_ir::Module;
 use std::fmt;
 
@@ -83,17 +79,10 @@ impl Technique {
         self.apply_with(module, &TransformConfig::default())
     }
 
-    /// Applies the technique with an explicit configuration.
+    /// Applies the technique with an explicit configuration, by running its
+    /// [`crate::Pipeline`] (without between-pass verification).
     pub fn apply_with(self, module: &Module, cfg: &TransformConfig) -> Module {
-        match self {
-            Technique::Noft => module.clone(),
-            Technique::Mask => apply_mask(module, cfg),
-            Technique::Trump => apply_trump(module, cfg),
-            Technique::TrumpMask => apply_trump_mask(module, cfg),
-            Technique::TrumpSwiftR => apply_trump_swiftr(module, cfg),
-            Technique::SwiftR => apply_swiftr(module, cfg),
-            Technique::Swift => apply_swift(module, cfg),
-        }
+        run_technique(self, module, cfg)
     }
 }
 

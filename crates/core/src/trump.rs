@@ -45,7 +45,17 @@ pub(crate) struct TrumpFuncInfo {
 /// per chain, SWIFT-R to TRUMP only" restriction (§6.1): converting TRUMP
 /// redundancy back into two copies would require an expensive division.
 pub fn trump_protected_set(func: &Function, hybrid: bool) -> HashSet<Vreg> {
-    let ranges = Ranges::new(func);
+    trump_protected_set_in(func, hybrid, &Ranges::new(func))
+}
+
+/// [`trump_protected_set`] against a precomputed range analysis — the form
+/// the pipeline uses so a cached [`Ranges`] is shared between the pure and
+/// hybrid fixpoints instead of being rebuilt per call.
+pub(crate) fn trump_protected_set_in(
+    func: &Function,
+    hybrid: bool,
+    ranges: &Ranges,
+) -> HashSet<Vreg> {
     // Start from everything except parameters: the fixpoint only removes
     // values at their definitions, and parameters have none — yet their
     // range is unknown, so they can never carry an AN shadow.
@@ -58,7 +68,7 @@ pub fn trump_protected_set(func: &Function, hybrid: bool) -> HashSet<Vreg> {
         for block in &func.blocks {
             for inst in &block.insts {
                 for d in inst.defs() {
-                    if d.is_int() && t.contains(&d) && !def_capable(inst, d, &ranges, &t, hybrid) {
+                    if d.is_int() && t.contains(&d) && !def_capable(inst, d, ranges, &t, hybrid) {
                         t.remove(&d);
                         changed = true;
                     }
@@ -161,6 +171,7 @@ fn def_capable(inst: &Inst, dst: Vreg, ranges: &Ranges, t: &HashSet<Vreg>, hybri
 /// Emits `vt = 3·v` (as shift-and-add, the paper's note in §4.2) after a
 /// chain root. Returns nothing; the shadow map now tracks `v`.
 pub(crate) fn emit_encode(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
+    rw.stats.encodes += 1;
     let tmp = rw.vreg(RegClass::Int);
     rw.emit(Inst::Alu {
         op: AluOp::Shl,
@@ -182,6 +193,7 @@ pub(crate) fn emit_encode(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
 /// Emits the TRUMP check-and-recover sequence for `v` (Figures 4 and 5):
 /// fault-free cost is shift, add, compare, branch.
 pub(crate) fn emit_check(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
+    rw.stats.checks += 1;
     let vt = tmap.shadow(rw, v);
     let tmp = rw.vreg(RegClass::Int);
     rw.emit(Inst::Alu {
@@ -449,40 +461,28 @@ impl TrumpPass<'_> {
     }
 }
 
-/// Applies pure TRUMP, returning the transformed module and per-function
-/// protection info (consumed by TRUMP/MASK and the coverage report).
-pub(crate) fn apply_trump_with_info(
-    module: &Module,
+/// Rewrites one function under pure TRUMP with a precomputed protected set;
+/// the `TrumpApplyPass` body.
+pub(crate) fn rewrite_trump_func(
+    func: &Function,
     cfg: &TransformConfig,
-) -> (Module, Vec<TrumpFuncInfo>) {
-    let mut out = module.clone();
-    let mut infos = Vec::with_capacity(module.funcs.len());
-    out.funcs = module
-        .funcs
-        .iter()
-        .map(|func| {
-            let t = trump_protected_set(func, false);
-            infos.push(TrumpFuncInfo {
-                protected: t.clone(),
-                orig_int_vregs: func.int_vreg_count(),
-            });
-            let mut rw = Rewriter::new(func);
-            let mut pass = TrumpPass {
-                cfg,
-                t,
-                tmap: ShadowMap::new(),
-            };
-            for (bid, block) in func.iter_blocks() {
-                rw.start_block(bid);
-                for inst in &block.insts {
-                    pass.rewrite_inst(&mut rw, inst);
-                }
-                pass.rewrite_term(&mut rw, &block.term);
-            }
-            rw.finish()
-        })
-        .collect();
-    (out, infos)
+    t: HashSet<Vreg>,
+) -> (Function, crate::rewrite::RewriteStats) {
+    let mut rw = Rewriter::new(func);
+    let mut pass = TrumpPass {
+        cfg,
+        t,
+        tmap: ShadowMap::new(),
+    };
+    for (bid, block) in func.iter_blocks() {
+        rw.start_block(bid);
+        for inst in &block.insts {
+            pass.rewrite_inst(&mut rw, inst);
+        }
+        pass.rewrite_term(&mut rw, &block.term);
+    }
+    let stats = rw.stats;
+    (rw.finish(), stats)
 }
 
 /// Applies the pure TRUMP transform (paper §4.2).
@@ -510,7 +510,7 @@ pub(crate) fn apply_trump_with_info(
 /// assert!(sor_ir::verify(&hardened).is_ok());
 /// ```
 pub fn apply_trump(module: &Module, cfg: &TransformConfig) -> Module {
-    apply_trump_with_info(module, cfg).0
+    crate::pass::run_technique(crate::Technique::Trump, module, cfg)
 }
 
 #[cfg(test)]

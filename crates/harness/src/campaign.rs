@@ -1,9 +1,10 @@
 //! SEU fault-injection campaigns (paper §7.1).
 
+use crate::artifact::ArtifactStore;
 use crate::stats::OutcomeCounts;
 use sor_core::Technique;
 use sor_ir::Program;
-use sor_regalloc::{lower, LowerConfig};
+use sor_regalloc::LowerConfig;
 use sor_rng::SmallRng;
 use sor_sim::{FaultSpec, MachineConfig, Runner, INJECTABLE_REGS};
 use sor_workloads::Workload;
@@ -84,11 +85,21 @@ pub fn run_campaign(
     technique: Technique,
     cfg: &CampaignConfig,
 ) -> CampaignResult {
-    let module = workload.build();
-    let transformed = technique.apply_with(&module, &cfg.transform);
-    let program = lower(&transformed, &LowerConfig::default())
-        .unwrap_or_else(|e| panic!("{}/{technique}: {e}", workload.name()));
-    let counts = inject(&program, cfg, workload.name(), technique);
+    run_campaign_in(&ArtifactStore::new(), workload, technique, cfg)
+}
+
+/// [`run_campaign`] with program preparation served from a shared
+/// [`ArtifactStore`]: repeated (workload, technique, config) coordinates —
+/// e.g. the same cell appearing in both a Figure 8 matrix and a headline
+/// run — transform and lower exactly once.
+pub fn run_campaign_in(
+    store: &ArtifactStore,
+    workload: &dyn Workload,
+    technique: Technique,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let artifact = store.get(workload, technique, &cfg.transform, &LowerConfig::default());
+    let counts = inject(&artifact.program, cfg, workload.name(), technique);
     CampaignResult {
         workload: workload.name().to_string(),
         technique,
@@ -218,6 +229,24 @@ mod tests {
         let a = run_campaign(&w, Technique::Trump, &c1);
         let b = run_campaign(&w, Technique::Trump, &c4);
         assert_eq!(a.counts, b.counts);
+    }
+
+    /// Serving the program from a shared artifact store must not change
+    /// campaign results: the store memoizes preparation, not injection.
+    #[test]
+    fn shared_store_preserves_campaign_results() {
+        let w = AdpcmDec {
+            samples: 100,
+            seed: 3,
+        };
+        let fresh = run_campaign(&w, Technique::SwiftR, &small_cfg());
+        let store = ArtifactStore::new();
+        let first = run_campaign_in(&store, &w, Technique::SwiftR, &small_cfg());
+        let second = run_campaign_in(&store, &w, Technique::SwiftR, &small_cfg());
+        assert_eq!(store.hits(), 1, "second campaign must reuse the artifact");
+        assert_eq!(first.counts, fresh.counts);
+        assert_eq!(second.counts, fresh.counts);
+        assert_eq!(first.golden_instrs, fresh.golden_instrs);
     }
 
     /// Checkpoint-and-replay must not change campaign results at all: the

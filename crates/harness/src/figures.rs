@@ -1,7 +1,8 @@
 //! Regeneration of the paper's Figure 8 and Figure 9.
 
-use crate::campaign::{run_campaign, CampaignConfig, CampaignResult};
-use crate::perf::{measure_perf, PerfConfig, PerfResult};
+use crate::artifact::ArtifactStore;
+use crate::campaign::{run_campaign_in, CampaignConfig, CampaignResult};
+use crate::perf::{measure_perf_in, PerfConfig, PerfResult};
 use crate::stats::OutcomeCounts;
 use sor_core::Technique;
 use sor_workloads::Workload;
@@ -31,10 +32,22 @@ impl FigureEight {
         techniques: &[Technique],
         cfg: &CampaignConfig,
     ) -> Self {
+        Self::run_in(&ArtifactStore::new(), workloads, techniques, cfg)
+    }
+
+    /// Runs the matrix with program preparation served from a shared
+    /// [`ArtifactStore`] — pass the same store to [`FigureNine::run_in`]
+    /// and the timing runs reuse every program this matrix prepared.
+    pub fn run_in(
+        store: &ArtifactStore,
+        workloads: &[Box<dyn Workload>],
+        techniques: &[Technique],
+        cfg: &CampaignConfig,
+    ) -> Self {
         let mut cells = Vec::new();
         for w in workloads {
             for &t in techniques {
-                cells.push(run_campaign(w.as_ref(), t, cfg));
+                cells.push(run_campaign_in(store, w.as_ref(), t, cfg));
             }
         }
         FigureEight {
@@ -170,11 +183,21 @@ pub struct FigureNine {
 impl FigureNine {
     /// Times every workload under every Figure 9 technique.
     pub fn run(workloads: &[Box<dyn Workload>], cfg: &PerfConfig) -> Self {
+        Self::run_in(&ArtifactStore::new(), workloads, cfg)
+    }
+
+    /// [`FigureNine::run`] with program preparation served from a shared
+    /// [`ArtifactStore`].
+    pub fn run_in(
+        store: &ArtifactStore,
+        workloads: &[Box<dyn Workload>],
+        cfg: &PerfConfig,
+    ) -> Self {
         let techniques = Technique::FIGURE8.to_vec();
         let mut cells = Vec::new();
         for w in workloads {
             for &t in &techniques {
-                cells.push(measure_perf(w.as_ref(), t, cfg));
+                cells.push(measure_perf_in(store, w.as_ref(), t, cfg));
             }
         }
         FigureNine {
@@ -293,6 +316,34 @@ mod tests {
             chart.lines().filter(|l| l.contains('|')).count(),
             fig.cells.len()
         );
+    }
+
+    /// Both figures through one store: every Figure 9 cell reuses the
+    /// program its Figure 8 twin prepared, and nothing changes in either
+    /// figure's numbers.
+    #[test]
+    fn figures_share_one_artifact_store() {
+        let cfg = CampaignConfig {
+            runs: 25,
+            threads: 2,
+            ..Default::default()
+        };
+        let suite = tiny_suite();
+        let store = ArtifactStore::new();
+        let fig8 = FigureEight::run_in(&store, &suite, &Technique::FIGURE8, &cfg);
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.misses(), 2 * 6);
+        let fig9 = FigureNine::run_in(&store, &suite, &PerfConfig::default());
+        assert_eq!(store.hits(), 2 * 6, "every fig9 cell must hit");
+
+        let fresh8 = FigureEight::run(&suite, &cfg);
+        let fresh9 = FigureNine::run(&suite, &PerfConfig::default());
+        for (a, b) in fig8.cells.iter().zip(&fresh8.cells) {
+            assert_eq!(a.counts, b.counts, "{}/{}", a.workload, a.technique);
+        }
+        for (a, b) in fig9.cells.iter().zip(&fresh9.cells) {
+            assert_eq!(a.cycles, b.cycles, "{}/{}", a.workload, a.technique);
+        }
     }
 
     #[test]

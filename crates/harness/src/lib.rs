@@ -13,15 +13,24 @@
 //!   normalized to NOFT) per benchmark plus the GeoMean, Figure 9.
 //! * [`headline`] — the paper's summary numbers (§1/§9): average unACE per
 //!   technique, SDC+SEGV reduction vs NOFT, mean normalized runtime.
+//! * [`ArtifactStore`] — the shared program-artifact store: campaigns,
+//!   timing runs and the figures memoize the transform + lower preparation
+//!   behind a `(workload, technique, TransformConfig, LowerConfig)` key,
+//!   so `fig8` + `fig9` + `headline` prepare each program once instead of
+//!   three times. The `*_in` entry points ([`run_campaign_in`],
+//!   [`measure_perf_in`], [`FigureEight::run_in`], [`FigureNine::run_in`])
+//!   take an explicit store; the plain entry points use a private one.
 
+mod artifact;
 mod campaign;
 mod figures;
 mod perf;
 mod report;
 mod stats;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use artifact::{Artifact, ArtifactKey, ArtifactStore};
+pub use campaign::{run_campaign, run_campaign_in, CampaignConfig, CampaignResult};
 pub use figures::{FigureEight, FigureNine};
-pub use perf::{measure_perf, PerfConfig, PerfResult};
+pub use perf::{measure_perf, measure_perf_in, PerfConfig, PerfResult};
 pub use report::{headline, Headline};
 pub use stats::OutcomeCounts;

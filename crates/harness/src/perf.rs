@@ -1,7 +1,8 @@
 //! Performance measurement via the timing model (paper §7.2).
 
+use crate::artifact::ArtifactStore;
 use sor_core::Technique;
-use sor_regalloc::{lower, LowerConfig};
+use sor_regalloc::LowerConfig;
 use sor_sim::{Machine, MachineConfig, TimingConfig};
 use sor_workloads::Workload;
 
@@ -38,15 +39,25 @@ impl PerfResult {
 
 /// Runs `workload` under `technique` with the timing model, fault-free.
 pub fn measure_perf(workload: &dyn Workload, technique: Technique, cfg: &PerfConfig) -> PerfResult {
-    let module = workload.build();
-    let transformed = technique.apply_with(&module, &cfg.transform);
-    let program = lower(&transformed, &LowerConfig::default())
-        .unwrap_or_else(|e| panic!("{}/{technique}: {e}", workload.name()));
+    measure_perf_in(&ArtifactStore::new(), workload, technique, cfg)
+}
+
+/// [`measure_perf`] with program preparation served from a shared
+/// [`ArtifactStore`] — a timing run after a reliability campaign on the
+/// same coordinates reuses the campaign's transformed program.
+pub fn measure_perf_in(
+    store: &ArtifactStore,
+    workload: &dyn Workload,
+    technique: Technique,
+    cfg: &PerfConfig,
+) -> PerfResult {
+    let artifact = store.get(workload, technique, &cfg.transform, &LowerConfig::default());
+    let program = &artifact.program;
     let mcfg = MachineConfig {
         timing: Some(cfg.timing.clone()),
         ..MachineConfig::default()
     };
-    let r = Machine::new(&program, &mcfg).run(None);
+    let r = Machine::new(program, &mcfg).run(None);
     assert_eq!(
         r.status,
         sor_sim::RunStatus::Completed,

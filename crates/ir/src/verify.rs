@@ -6,6 +6,7 @@
 
 use crate::block::Terminator;
 use crate::error::VerifyError;
+use crate::inst::TrapKind;
 use crate::inst::{Callee, Inst, Operand};
 use crate::module::{layout, Module};
 use crate::reg::{RegClass, Vreg};
@@ -211,6 +212,16 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
                         ));
                     }
                 }
+                // `Trap(Abort)` is the unsealed-block placeholder that
+                // `FunctionBuilder` and the transforms' `Rewriter` pre-fill
+                // blocks with; a finished module must have sealed every
+                // block, so a leftover placeholder means a transform forgot
+                // to — catch it here rather than aborting at runtime.
+                Terminator::Trap(TrapKind::Abort) => {
+                    problems.push(format!(
+                        "fn{fi} '{fname}' b{bi}: unsealed block (leftover Trap(Abort) placeholder)"
+                    ));
+                }
                 Terminator::Trap(_) => {}
             }
         }
@@ -299,6 +310,39 @@ mod tests {
             entry: FuncId(0),
         };
         assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_unsealed_placeholder_block() {
+        // A rewrite that allocates a detour block but never seals it leaves
+        // the Rewriter's Trap(Abort) placeholder behind; the verifier must
+        // name the block instead of letting the simulator abort at runtime.
+        let mut func = Function::new("main");
+        func.push_block(Block::new(Terminator::Jump(BlockId(1))));
+        func.push_block(Block::new(Terminator::Trap(TrapKind::Abort)));
+        let m = Module {
+            name: "bad".into(),
+            funcs: vec![func],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        let err = verify(&m).unwrap_err();
+        assert!(
+            err.to_string().contains("unsealed block"),
+            "wrong complaint: {err}"
+        );
+
+        // An intentional abort-free trap (SWIFT's detection target) is fine.
+        let mut func = Function::new("main");
+        func.push_block(Block::new(Terminator::Jump(BlockId(1))));
+        func.push_block(Block::new(Terminator::Trap(TrapKind::Detected)));
+        let m = Module {
+            name: "ok".into(),
+            funcs: vec![func],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        assert!(verify(&m).is_ok());
     }
 
     #[test]

@@ -10,7 +10,10 @@ use std::error::Error;
 use std::fmt;
 
 /// Options for [`lower`].
-#[derive(Debug, Clone)]
+///
+/// Hashable so that it can key the harness's shared artifact store
+/// alongside the transform configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LowerConfig {
     /// Run the IR verifier on the input module first (cheap, recommended).
     pub verify_input: bool,

@@ -1,0 +1,121 @@
+//! The full technique x workload matrix through the pass pipeline with
+//! between-pass verification: every cell must come out of the pipeline
+//! verified and produce the NOFT-identical golden output when lowered and
+//! simulated.
+
+use software_only_recovery::prelude::*;
+use software_only_recovery::recovery::{Pipeline, Technique as T};
+use software_only_recovery::workloads::*;
+
+/// Same reduced-size suite as the end-to-end matrix: campaign-sized
+/// kernels are too slow for exhaustive testing.
+fn small_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(AdpcmDec {
+            samples: 60,
+            seed: 11,
+        }),
+        Box::new(AdpcmEnc {
+            samples: 50,
+            seed: 12,
+        }),
+        Box::new(Mpeg2Dec {
+            blocks: 2,
+            seed: 13,
+        }),
+        Box::new(Mpeg2Enc {
+            blocks: 2,
+            seed: 14,
+        }),
+        Box::new(Art {
+            neurons: 4,
+            inputs: 10,
+            epochs: 2,
+            seed: 15,
+        }),
+        Box::new(Mcf {
+            nodes: 128,
+            steps: 200,
+            seed: 16,
+        }),
+        Box::new(Equake {
+            rows: 12,
+            nnz_per_row: 3,
+            iters: 2,
+            seed: 17,
+        }),
+        Box::new(Parser {
+            text_len: 150,
+            seed: 18,
+        }),
+        Box::new(Vortex {
+            records: 64,
+            queries: 60,
+            seed: 19,
+        }),
+        Box::new(Twolf {
+            cells: 16,
+            nets: 10,
+            swaps: 4,
+            seed: 20,
+        }),
+    ]
+}
+
+#[test]
+fn every_cell_survives_the_verified_pipeline_with_golden_output() {
+    for w in small_suite() {
+        let module = w.build();
+        let p0 = lower(&module, &LowerConfig::default()).unwrap();
+        let golden = Machine::new(&p0, &MachineConfig::default()).run(None);
+        assert_eq!(golden.status, RunStatus::Completed, "{}", w.name());
+
+        for t in T::ALL {
+            // Between-pass verification on: a pass that leaves the module
+            // in a verifier-rejected state fails the cell immediately,
+            // naming itself.
+            let out = Pipeline::for_technique(t)
+                .verified()
+                .run(&module, &TransformConfig::default())
+                .unwrap_or_else(|e| panic!("{}/{t}: {e}", w.name()));
+            // The NOFT pipeline is empty, so between-pass verification
+            // never fires for it; check the final module unconditionally.
+            sor_ir::verify(&out.module).unwrap_or_else(|e| panic!("{}/{t}: {e}", w.name()));
+
+            // Instrumentation sanity: redundancy passes must report what
+            // they emitted.
+            let totals = out.report.totals();
+            match t {
+                T::Noft => assert!(out.report.passes.is_empty()),
+                T::Mask => assert_eq!(totals.votes + totals.encodes, 0, "{}/{t}", w.name()),
+                T::Trump | T::TrumpMask => {
+                    assert!(totals.encodes > 0, "{}/{t}: no encodes", w.name())
+                }
+                T::TrumpSwiftR => assert!(
+                    totals.encodes + totals.votes > 0,
+                    "{}/{t}: nothing emitted",
+                    w.name()
+                ),
+                T::SwiftR => assert!(totals.votes > 0, "{}/{t}: no votes", w.name()),
+                T::Swift => assert!(totals.checks > 0, "{}/{t}: no checks", w.name()),
+            }
+
+            let p = lower(&out.module, &LowerConfig::default())
+                .unwrap_or_else(|e| panic!("{}/{t}: {e}", w.name()));
+            let r = Machine::new(&p, &MachineConfig::default()).run(None);
+            assert_eq!(
+                r.status,
+                RunStatus::Completed,
+                "{}/{t}: {:?}",
+                w.name(),
+                r.status
+            );
+            assert_eq!(
+                r.output,
+                golden.output,
+                "{}/{t}: output diverged from NOFT",
+                w.name()
+            );
+        }
+    }
+}
