@@ -7,11 +7,16 @@
 //! TRUMP/SWIFT-R pass pipeline actually *emitted* for that benchmark
 //! (encodes, votes, fuses, instructions added) — the two views must tell
 //! the same story: high TRUMP value coverage means encodes displace votes.
+//!
+//! Pass `--json` to additionally write `results/coverage.json` for
+//! machine consumption.
 
 use sor_core::{coverage, Pipeline, Technique, TransformConfig};
 use sor_workloads::all_workloads;
 
 fn main() {
+    let want_json = std::env::args().any(|a| a == "--json");
+    let mut json_rows: Vec<String> = Vec::new();
     println!(
         "{:<12} {:>10} {:>12} {:>14} {:>12} {:>8} {:>7} {:>7} {:>8}",
         "benchmark",
@@ -61,9 +66,30 @@ fn main() {
             t.fuses,
             added
         ));
+        json_rows.push(format!(
+            "  {{\"benchmark\": \"{}\", \"int_values\": {}, \"trump_pure\": {}, \
+             \"trump_hybrid\": {}, \"value_frac\": {:.4}, \"encodes\": {}, \
+             \"votes\": {}, \"fuses\": {}, \"insts_added\": {}}}",
+            w.name(),
+            c.int_values,
+            c.trump_pure,
+            c.trump_hybrid,
+            cov.trump_value_fraction(),
+            t.encodes,
+            t.votes,
+            t.fuses,
+            added
+        ));
     }
     match sor_bench::write_results("coverage.csv", &csv) {
         Ok(p) => eprintln!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    if want_json {
+        let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        match sor_bench::write_results("coverage.json", &json) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write results: {e}"),
+        }
     }
 }

@@ -1,0 +1,131 @@
+//! Per-fault-site triage report: runs provenance-annotated campaigns for
+//! every technique on one workload, then writes
+//! `results/triage_<technique>.json` (per-site vulnerability profiles with
+//! Wilson intervals) and `results/triage_heatmap.md` (the top-N most
+//! vulnerable static instructions per technique, with disassembly, plus
+//! the residual-SDC attribution table across protection roles).
+//!
+//! Flags: `--runs N` injections per technique (default 400), `--threads N`
+//! (default all cores), `--samples N` workload size (default 200),
+//! `--top N` heatmap rows per technique (default 10).
+
+use sor_core::Technique;
+use sor_harness::{
+    residual_sdc_table, run_triaged_campaign_in, ArtifactStore, CampaignConfig, TriagedCampaign,
+};
+use sor_regalloc::LowerConfig;
+use sor_workloads::{AdpcmDec, Workload};
+
+/// Lowercase filename slug for a technique ("TRUMP/SWIFT-R" → "trump-swift-r").
+fn slug(technique: Technique) -> String {
+    technique
+        .to_string()
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+fn main() {
+    let runs = sor_bench::runs_arg(400);
+    let threads: usize = sor_bench::arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let samples: u64 = sor_bench::arg_value("--samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let top: usize = sor_bench::arg_value("--top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+
+    let workload = AdpcmDec { samples, seed: 1 };
+    let cfg = CampaignConfig {
+        runs,
+        threads,
+        ..CampaignConfig::default()
+    };
+    let store = ArtifactStore::new();
+    let mut campaigns: Vec<TriagedCampaign> = Vec::new();
+    let mut heatmap = format!(
+        "# Per-fault-site triage heatmap\n\nWorkload `{}`, {runs} injections per technique.\n",
+        workload.name()
+    );
+
+    for technique in Technique::ALL {
+        eprintln!(
+            "triage: {} / {technique}, {runs} injections",
+            workload.name()
+        );
+        let t = run_triaged_campaign_in(&store, &workload, technique, &cfg);
+        let artifact = store.get(
+            &workload,
+            technique,
+            &cfg.transform,
+            &LowerConfig::default(),
+        );
+
+        let mut sites = String::new();
+        for (i, (pc, s)) in t.profile.top_vulnerable(usize::MAX).into_iter().enumerate() {
+            let (lo, hi) = s.counts.sdc_ci95();
+            if i > 0 {
+                sites.push_str(",\n");
+            }
+            sites.push_str(&format!(
+                "    {{\"pc\": {pc}, \"inst\": \"{}\", \"role\": \"{}\", \
+                 \"injections\": {}, \"sdc\": {}, \"sdc_pct\": {:.2}, \
+                 \"ci_lo\": {lo:.2}, \"ci_hi\": {hi:.2}}}",
+                artifact.program.insts[pc],
+                s.role,
+                s.counts.total(),
+                s.counts.sdc + s.counts.hang,
+                s.counts.pct_sdc(),
+            ));
+        }
+        let c = t.result.counts;
+        let json = format!(
+            "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{technique}\",\n  \
+             \"runs\": {runs},\n  \"golden_instrs\": {},\n  \
+             \"counts\": {{\"unace\": {}, \"sdc\": {}, \"segv\": {}, \
+             \"detected\": {}, \"hang\": {}, \"recoveries\": {}}},\n  \
+             \"sites\": [\n{sites}\n  ]\n}}\n",
+            workload.name(),
+            t.result.golden_instrs,
+            c.unace,
+            c.sdc,
+            c.segv,
+            c.detected,
+            c.hang,
+            c.recoveries,
+        );
+        let name = format!("triage_{}.json", slug(technique));
+        match sor_bench::write_results(&name, &json) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write {name}: {e}"),
+        }
+
+        heatmap.push_str(&format!(
+            "\n## {technique}\n\n| rank | pc | instruction | role | injections | SDC% | 95% CI |\n\
+             |---:|---:|---|---|---:|---:|---|\n"
+        ));
+        for (rank, (pc, s)) in t.profile.top_vulnerable(top).into_iter().enumerate() {
+            let (lo, hi) = s.counts.sdc_ci95();
+            heatmap.push_str(&format!(
+                "| {} | {pc} | `{}` | {} | {} | {:.1} | [{lo:.1}, {hi:.1}] |\n",
+                rank + 1,
+                artifact.program.insts[pc],
+                s.role,
+                s.counts.total(),
+                s.counts.pct_sdc(),
+            ));
+        }
+        campaigns.push(t);
+    }
+
+    heatmap.push_str("\n## Residual SDC by protection role\n\n");
+    heatmap.push_str(&residual_sdc_table(&campaigns));
+    match sor_bench::write_results("triage_heatmap.md", &heatmap) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write triage_heatmap.md: {e}"),
+    }
+    print!("{heatmap}");
+}

@@ -9,11 +9,17 @@
 //! * `headline` — the paper's §1/§9 summary numbers, derived from both
 //!   figures (uses fewer injections by default; `--runs N` to override).
 //! * `coverage` — the per-benchmark TRUMP/SWIFT-R protection split behind
-//!   the §7 instruction-mix discussion (extension experiment E5).
+//!   the §7 instruction-mix discussion (extension experiment E5; `--json`
+//!   additionally writes `results/coverage.json`).
 //! * `ablation` — design-choice sweeps: check-placement density and issue
 //!   width (DESIGN.md §7).
 //! * `campaign_bench` — fault-injection campaign throughput with
 //!   checkpoint-and-replay on vs. off (`BENCH_campaign.json`).
+//! * `triage` — per-fault-site vulnerability profiles for every technique:
+//!   `results/triage_<technique>.json` plus the `results/triage_heatmap.md`
+//!   top-N table and residual-SDC role attribution.
+//! * `triage_bench` — provenance-profiling overhead vs. the plain campaign
+//!   (`BENCH_triage.json`).
 //!
 //! Engineering benches (`cargo bench`): transform throughput, simulator
 //! throughput, end-to-end per-technique cost on a small kernel. They use

@@ -4,7 +4,9 @@ use crate::config::TransformConfig;
 use crate::nmr::{dup_into, emit_vote};
 use crate::rewrite::{Rewriter, ShadowMap};
 use crate::trump::{emit_check, emit_encode, emit_shadow_op};
-use sor_ir::{AluOp, Function, Inst, Module, Operand, RegClass, Terminator, Vreg, Width};
+use sor_ir::{
+    AluOp, Function, Inst, Module, Operand, ProtectionRole, RegClass, Terminator, Vreg, Width,
+};
 use std::collections::HashSet;
 
 /// TRUMP/MASK: TRUMP protects every provable arithmetic chain; MASK then
@@ -75,13 +77,16 @@ impl HybridPass<'_> {
 
     /// SWIFT-R two-copy replication after loads/calls/params.
     fn replicate(&mut self, rw: &mut Rewriter, v: Vreg) {
-        for sm in [&mut self.s1, &mut self.s2] {
+        let prev = rw.role();
+        for (copy, sm) in [(1u8, &mut self.s1), (2, &mut self.s2)] {
             let s = sm.shadow(rw, v);
+            rw.set_role(ProtectionRole::Redundant { copy });
             rw.emit(Inst::Mov {
                 dst: s,
                 src: Operand::reg(v),
             });
         }
+        rw.set_role(prev);
     }
 
     /// The Figure 7 fuse: builds `2·v' + v''` — an AN codeword of `v` that
@@ -89,6 +94,7 @@ impl HybridPass<'_> {
     /// transition.
     fn fuse(&mut self, rw: &mut Rewriter, v: Vreg) -> Vreg {
         rw.stats.fuses += 1;
+        let prev = rw.set_role(ProtectionRole::Redundant { copy: 1 });
         let v1 = self.s1.shadow(rw, v);
         let v2 = self.s2.shadow(rw, v);
         let tmp = rw.vreg(RegClass::Int);
@@ -107,6 +113,7 @@ impl HybridPass<'_> {
             a: Operand::reg(tmp),
             b: Operand::reg(v2),
         });
+        rw.set_role(prev);
         fused
     }
 
@@ -173,19 +180,13 @@ impl HybridPass<'_> {
                         inst.uses().iter().all(|u| !u.is_int() || !self.in_t(*u)),
                         "SWIFT-R dup of {inst} would need a TRUMP operand"
                     );
-                    let d1 = dup_into(rw, &mut self.s1, inst);
-                    rw.emit(d1);
-                    let d2 = dup_into(rw, &mut self.s2, inst);
-                    rw.emit(d2);
+                    self.dup_twice(rw, inst);
                 }
             }
             Inst::FCmp { dst, .. } | Inst::CvtFI { dst, .. } => {
                 rw.emit(inst.clone());
                 // Integer value born from the FP domain: recompute twice.
-                let d1 = dup_into(rw, &mut self.s1, inst);
-                rw.emit(d1);
-                let d2 = dup_into(rw, &mut self.s2, inst);
-                rw.emit(d2);
+                self.dup_twice(rw, inst);
                 let _ = dst;
             }
             Inst::Load { dst, base, .. } => {
@@ -226,10 +227,27 @@ impl HybridPass<'_> {
                 }
             }
             Inst::Fpu { .. } | Inst::FMovImm { .. } | Inst::FMov { .. } | Inst::CvtIF { .. } => {
-                rw.emit(inst.clone())
+                let prev = rw.set_role(ProtectionRole::Unprotected);
+                rw.emit(inst.clone());
+                rw.set_role(prev);
             }
-            Inst::Probe(_) => rw.emit(inst.clone()),
+            Inst::Probe(_) => {
+                let prev = rw.set_role(ProtectionRole::Unprotected);
+                rw.emit(inst.clone());
+                rw.set_role(prev);
+            }
         }
+    }
+
+    /// Emits both SWIFT-R shadow duplicates of `inst`, role-tagged.
+    fn dup_twice(&mut self, rw: &mut Rewriter, inst: &Inst) {
+        let d1 = dup_into(rw, &mut self.s1, inst);
+        let prev = rw.set_role(ProtectionRole::Redundant { copy: 1 });
+        rw.emit(d1);
+        let d2 = dup_into(rw, &mut self.s2, inst);
+        rw.set_role(ProtectionRole::Redundant { copy: 2 });
+        rw.emit(d2);
+        rw.set_role(prev);
     }
 
     fn rewrite_term(&mut self, rw: &mut Rewriter, term: &Terminator) {

@@ -15,7 +15,10 @@
 use crate::config::TransformConfig;
 use crate::trump::TrumpFuncInfo;
 use sor_analysis::{KnownBits, Liveness, LoopInfo};
-use sor_ir::{AluOp, Function, Inst, Module, Operand, Terminator, Vreg, Width};
+use sor_ir::{
+    AluOp, BlockRoles, FuncRoles, Function, Inst, Module, Operand, ProtectionRole, Terminator,
+    Vreg, Width,
+};
 
 /// Applies MASK to every function.
 ///
@@ -64,6 +67,22 @@ pub(crate) fn mask_func(
     live: &Liveness,
 ) -> u64 {
     let mut inserted = 0u64;
+
+    // Mirror every insertion into the provenance table so it stays aligned
+    // with the code. MASK edits in place, so when the function is still
+    // untagged (pure MASK, no Rewriter ran) an all-Original table is
+    // materialized first; it is only attached if something was inserted.
+    let had_roles = func.roles.is_some();
+    let mut roles = func.roles.take().unwrap_or_else(|| FuncRoles {
+        blocks: func
+            .blocks
+            .iter()
+            .map(|b| BlockRoles {
+                insts: vec![ProtectionRole::Original; b.insts.len()],
+                term: ProtectionRole::Original,
+            })
+            .collect(),
+    });
 
     let eligible = |v: Vreg| -> bool {
         if !v.is_int() {
@@ -119,10 +138,12 @@ pub(crate) fn mask_func(
                 .collect();
             carried.sort();
             let header = &mut func.blocks[l.header.index()];
+            let header_roles = &mut roles.blocks[l.header.index()].insts;
             let mut pos = 0;
             for v in carried {
                 for inst in enforcements(v) {
                     header.insts.insert(pos, inst);
+                    header_roles.insert(pos, ProtectionRole::MaskOp);
                     pos += 1;
                     inserted += 1;
                 }
@@ -131,14 +152,18 @@ pub(crate) fn mask_func(
     }
 
     if cfg.mask_branch_conds {
-        for block in &mut func.blocks {
+        for (bi, block) in func.blocks.iter_mut().enumerate() {
             if let Terminator::Branch { cond, .. } = block.term {
                 for inst in enforcements(cond) {
                     block.insts.push(inst);
+                    roles.blocks[bi].insts.push(ProtectionRole::MaskOp);
                     inserted += 1;
                 }
             }
         }
+    }
+    if had_roles || inserted > 0 {
+        func.roles = Some(roles);
     }
     inserted
 }

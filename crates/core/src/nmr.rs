@@ -10,7 +10,8 @@
 use crate::config::TransformConfig;
 use crate::rewrite::{Rewriter, ShadowMap};
 use sor_ir::{
-    BlockId, CmpOp, Function, Inst, Operand, ProbeEvent, Terminator, TrapKind, Vreg, Width,
+    BlockId, CmpOp, Function, Inst, Operand, ProbeEvent, ProtectionRole, Terminator, TrapKind,
+    Vreg, Width,
 };
 
 /// Emits the SWIFT-R majority vote (paper Figure 3's `majority(v, v', v'')`):
@@ -26,6 +27,7 @@ use sor_ir::{
 /// itself) can no longer occur. Fault-free dynamic cost: compare + branch.
 pub(crate) fn emit_vote(rw: &mut Rewriter, v: Vreg, v1: Vreg, v2: Vreg) {
     rw.stats.votes += 1;
+    let prev = rw.set_role(ProtectionRole::Voter);
     let c = rw.vreg(sor_ir::RegClass::Int);
     rw.emit(Inst::Cmp {
         op: CmpOp::Ne,
@@ -47,6 +49,7 @@ pub(crate) fn emit_vote(rw: &mut Rewriter, v: Vreg, v1: Vreg, v2: Vreg) {
     rw.emit(Inst::Probe(ProbeEvent::VoteRepair));
     rw.seal(Terminator::Jump(fall));
     rw.start_block(fall);
+    rw.set_role(prev);
 }
 
 /// Builds the duplicate of a pure computational instruction with every
@@ -122,17 +125,20 @@ impl Pass<'_> {
     /// Copies `v` into its shadow(s): the post-load / post-call sync.
     fn replicate(&mut self, rw: &mut Rewriter, v: Vreg) {
         let s1 = self.s1.shadow(rw, v);
+        let prev = rw.set_role(ProtectionRole::Redundant { copy: 1 });
         rw.emit(Inst::Mov {
             dst: s1,
             src: Operand::reg(v),
         });
         if self.mode == NmrMode::Vote {
             let s2 = self.s2.shadow(rw, v);
+            rw.set_role(ProtectionRole::Redundant { copy: 2 });
             rw.emit(Inst::Mov {
                 dst: s2,
                 src: Operand::reg(v),
             });
         }
+        rw.set_role(prev);
     }
 
     /// Emits the synchronization point for `v`: a detection check or a
@@ -148,6 +154,7 @@ impl Pass<'_> {
     fn check(&mut self, rw: &mut Rewriter, v: Vreg) {
         rw.stats.checks += 1;
         let s = self.s1.shadow(rw, v);
+        let prev = rw.set_role(ProtectionRole::Voter);
         let c = rw.vreg(sor_ir::RegClass::Int);
         rw.emit(Inst::Cmp {
             op: CmpOp::Ne,
@@ -170,6 +177,7 @@ impl Pass<'_> {
         rw.start_block(det);
         rw.seal(Terminator::Trap(TrapKind::Detected));
         rw.start_block(fall);
+        rw.set_role(prev);
     }
 
     fn vote(&mut self, rw: &mut Rewriter, v: Vreg) {
@@ -188,11 +196,14 @@ impl Pass<'_> {
 
     fn dup_compute(&mut self, rw: &mut Rewriter, inst: &Inst) {
         let d1 = dup_into(rw, &mut self.s1, inst);
+        let prev = rw.set_role(ProtectionRole::Redundant { copy: 1 });
         rw.emit(d1);
         if self.mode == NmrMode::Vote {
             let d2 = dup_into(rw, &mut self.s2, inst);
+            rw.set_role(ProtectionRole::Redundant { copy: 2 });
             rw.emit(d2);
         }
+        rw.set_role(prev);
     }
 
     fn rewrite_inst(&mut self, rw: &mut Rewriter, inst: &Inst) {
@@ -252,7 +263,11 @@ impl Pass<'_> {
             | Inst::FMovImm { .. }
             | Inst::FMov { .. }
             | Inst::CvtIF { .. }
-            | Inst::Probe(_) => rw.emit(inst.clone()),
+            | Inst::Probe(_) => {
+                let prev = rw.set_role(ProtectionRole::Unprotected);
+                rw.emit(inst.clone());
+                rw.set_role(prev);
+            }
         }
     }
 

@@ -17,7 +17,10 @@
 //! rejects any leftover `Trap(Abort)` so a forgotten seal fails
 //! verification instead of aborting at runtime.
 
-use sor_ir::{Block, BlockId, Function, Inst, RegClass, Terminator, TrapKind, Vreg};
+use sor_ir::{
+    Block, BlockId, BlockRoles, FuncRoles, Function, Inst, ProtectionRole, RegClass, Terminator,
+    TrapKind, Vreg,
+};
 use std::collections::HashMap;
 
 /// Counters of the protection constructs a transform emitted — the
@@ -52,6 +55,8 @@ impl RewriteStats {
 #[derive(Debug)]
 pub struct Rewriter {
     func: Function,
+    roles: FuncRoles,
+    role: ProtectionRole,
     cur: BlockId,
     /// What this rewrite emitted so far; the emit helpers in the technique
     /// modules bump these as they go.
@@ -68,14 +73,30 @@ impl Rewriter {
         func.params = old.params.clone();
         func.ret_count = old.ret_count;
         func.set_vreg_counts(old.int_vreg_count(), old.float_vreg_count());
+        let mut roles = FuncRoles::default();
         for _ in &old.blocks {
             func.push_block(Block::new(Terminator::Trap(TrapKind::Abort)));
+            roles.blocks.push(BlockRoles::default());
         }
         Rewriter {
             func,
+            roles,
+            role: ProtectionRole::Original,
             cur: BlockId(0),
             stats: RewriteStats::default(),
         }
+    }
+
+    /// Sets the [`ProtectionRole`] tagged onto subsequently emitted
+    /// instructions and terminators, returning the previous role so emit
+    /// helpers can restore it when their sequence ends.
+    pub fn set_role(&mut self, role: ProtectionRole) -> ProtectionRole {
+        std::mem::replace(&mut self.role, role)
+    }
+
+    /// The role currently tagged onto emitted instructions.
+    pub fn role(&self) -> ProtectionRole {
+        self.role
     }
 
     /// Switches emission to (the rebuilt copy of) block `b`.
@@ -93,21 +114,25 @@ impl Rewriter {
     /// (`old.blocks.len()..`), so already-emitted terminators targeting
     /// original ids stay valid.
     pub fn new_block(&mut self) -> BlockId {
+        self.roles.blocks.push(BlockRoles::default());
         self.func
             .push_block(Block::new(Terminator::Trap(TrapKind::Abort)))
     }
 
-    /// Appends an instruction to the current block.
+    /// Appends an instruction to the current block, tagged with the current
+    /// role.
     pub fn emit(&mut self, inst: Inst) {
         let cur = self.cur;
         self.func.block_mut(cur).insts.push(inst);
+        self.roles.blocks[cur.index()].insts.push(self.role);
     }
 
     /// Seals the current block with `term` (emission must continue in some
-    /// other block afterwards).
+    /// other block afterwards); the terminator carries the current role.
     pub fn seal(&mut self, term: Terminator) {
         let cur = self.cur;
         self.func.block_mut(cur).term = term;
+        self.roles.blocks[cur.index()].term = self.role;
     }
 
     /// Seals the current block with a two-way branch and moves emission to a
@@ -128,9 +153,11 @@ impl Rewriter {
         (taken, fall)
     }
 
-    /// Finishes the rewrite.
+    /// Finishes the rewrite, attaching the recorded role table.
     pub fn finish(self) -> Function {
-        self.func
+        let mut func = self.func;
+        func.roles = Some(self.roles);
+        func
     }
 }
 
@@ -281,6 +308,38 @@ mod tests {
                 "block {i} left unsealed"
             );
         }
+    }
+
+    #[test]
+    fn roles_track_emission_and_sealing() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main");
+        let v = f.movi(0);
+        f.ret(&[]);
+        let id = f.finish();
+        let m = mb.finish(id);
+        let old = &m.funcs[0];
+
+        let mut rw = Rewriter::new(old);
+        rw.start_block(BlockId(0));
+        rw.emit(old.blocks[0].insts[0].clone());
+        let prev = rw.set_role(ProtectionRole::Voter);
+        assert_eq!(prev, ProtectionRole::Original);
+        rw.emit(Inst::Mov {
+            dst: v,
+            src: Operand::reg(v),
+        });
+        rw.set_role(prev);
+        rw.seal(Terminator::Ret { vals: vec![] });
+        let new = rw.finish();
+        let roles = new.roles.as_ref().expect("finish attaches roles");
+        assert_eq!(
+            roles.blocks[0].insts,
+            vec![ProtectionRole::Original, ProtectionRole::Voter]
+        );
+        assert_eq!(roles.blocks[0].term, ProtectionRole::Original);
+        // Table stays aligned with the code.
+        assert_eq!(roles.blocks[0].insts.len(), new.blocks[0].insts.len());
     }
 
     #[test]

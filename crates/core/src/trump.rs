@@ -20,8 +20,8 @@ use crate::config::TransformConfig;
 use crate::rewrite::{Rewriter, ShadowMap};
 use sor_analysis::Ranges;
 use sor_ir::{
-    AluOp, CmpOp, Function, Inst, MemWidth, Module, Operand, ProbeEvent, RegClass, Terminator,
-    Vreg, Width,
+    AluOp, CmpOp, Function, Inst, MemWidth, Module, Operand, ProbeEvent, ProtectionRole, RegClass,
+    Terminator, Vreg, Width,
 };
 use std::collections::HashSet;
 
@@ -172,6 +172,7 @@ fn def_capable(inst: &Inst, dst: Vreg, ranges: &Ranges, t: &HashSet<Vreg>, hybri
 /// chain root. Returns nothing; the shadow map now tracks `v`.
 pub(crate) fn emit_encode(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
     rw.stats.encodes += 1;
+    let prev = rw.set_role(ProtectionRole::Redundant { copy: 1 });
     let tmp = rw.vreg(RegClass::Int);
     rw.emit(Inst::Alu {
         op: AluOp::Shl,
@@ -188,12 +189,14 @@ pub(crate) fn emit_encode(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
         a: Operand::reg(tmp),
         b: Operand::reg(v),
     });
+    rw.set_role(prev);
 }
 
 /// Emits the TRUMP check-and-recover sequence for `v` (Figures 4 and 5):
 /// fault-free cost is shift, add, compare, branch.
 pub(crate) fn emit_check(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
     rw.stats.checks += 1;
+    let prev = rw.set_role(ProtectionRole::AnCheck);
     let vt = tmap.shadow(rw, v);
     let tmp = rw.vreg(RegClass::Int);
     rw.emit(Inst::Alu {
@@ -277,6 +280,7 @@ pub(crate) fn emit_check(rw: &mut Rewriter, tmap: &mut ShadowMap, v: Vreg) {
     rw.emit(Inst::Probe(ProbeEvent::TrumpRecover));
     rw.seal(Terminator::Jump(fall));
     rw.start_block(fall);
+    rw.set_role(prev);
 }
 
 /// Emits the AN shadow of a protected ALU/Mov/Assume definition. `fuse`
@@ -293,6 +297,7 @@ pub(crate) fn emit_shadow_op(
             Operand::Reg(r) => Operand::reg(f(rw, *r)),
             Operand::Imm(i) => Operand::imm(((*i as u64).wrapping_mul(3)) as i64),
         };
+    let prev = rw.set_role(ProtectionRole::Redundant { copy: 1 });
     match inst {
         Inst::Mov { src, .. } => {
             let s = an_operand(rw, src, &mut an_src);
@@ -354,6 +359,7 @@ pub(crate) fn emit_shadow_op(
         }
         other => unreachable!("no AN shadow form for {other}"),
     }
+    rw.set_role(prev);
 }
 
 struct TrumpPass<'c> {

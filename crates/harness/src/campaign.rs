@@ -62,6 +62,24 @@ fn draw_fault(rng: &mut SmallRng, golden_len: u64) -> FaultSpec {
     FaultSpec::new(at, reg, bit)
 }
 
+/// Pre-draws the campaign's full fault list from the per-cell seed, so the
+/// distribution is a pure function of (config, workload, technique) —
+/// independent of thread count, and shared verbatim between plain and
+/// triaged campaigns.
+pub(crate) fn draw_faults(
+    cfg: &CampaignConfig,
+    wl_name: &str,
+    technique: Technique,
+    golden_len: u64,
+) -> Vec<FaultSpec> {
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed ^ (wl_name.len() as u64) ^ ((technique.letter() as u64) << 32),
+    );
+    (0..cfg.runs)
+        .map(|_| draw_fault(&mut rng, golden_len))
+        .collect()
+}
+
 /// Transforms, lowers and verifies a workload under `technique`, asserting
 /// output correctness against the native reference, then runs the campaign.
 ///
@@ -121,14 +139,7 @@ fn inject(
     let runner = Runner::new(program, &mcfg);
     let golden_len = runner.golden().dyn_instrs;
 
-    // Pre-draw all fault points so the distribution is independent of the
-    // thread count.
-    let mut rng = SmallRng::seed_from_u64(
-        cfg.seed ^ (wl_name.len() as u64) ^ ((technique.letter() as u64) << 32),
-    );
-    let faults: Vec<FaultSpec> = (0..cfg.runs)
-        .map(|_| draw_fault(&mut rng, golden_len))
-        .collect();
+    let faults = draw_faults(cfg, wl_name, technique, golden_len);
 
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()

@@ -20,6 +20,12 @@
 //!   three times. The `*_in` entry points ([`run_campaign_in`],
 //!   [`measure_perf_in`], [`FigureEight::run_in`], [`FigureNine::run_in`])
 //!   take an explicit store; the plain entry points use a private one.
+//! * [`run_triaged_campaign`] — the same campaign with per-fault
+//!   attribution: every injection also feeds a
+//!   `sor_triage::VulnerabilityProfile` keyed by the static instruction's
+//!   provenance (pc, `ProtectionRole`), merged across worker threads.
+//!   [`residual_sdc_table`] renders the cross-technique residual-SDC-by-role
+//!   markdown table used by the `triage` report binary.
 
 mod artifact;
 mod campaign;
@@ -27,10 +33,14 @@ mod figures;
 mod perf;
 mod report;
 mod stats;
+mod triage;
 
 pub use artifact::{Artifact, ArtifactKey, ArtifactStore};
 pub use campaign::{run_campaign, run_campaign_in, CampaignConfig, CampaignResult};
 pub use figures::{FigureEight, FigureNine};
 pub use perf::{measure_perf, measure_perf_in, PerfConfig, PerfResult};
 pub use report::{headline, Headline};
-pub use stats::OutcomeCounts;
+pub use stats::{wilson_ci, OutcomeCounts};
+pub use triage::{
+    residual_sdc_table, run_triaged_campaign, run_triaged_campaign_in, TriagedCampaign,
+};

@@ -1,169 +1,5 @@
-//! Outcome aggregation.
+//! Outcome aggregation — re-exported from [`sor_stats`], where the types
+//! moved so the triage subsystem can share them without depending on the
+//! whole harness.
 
-use sor_sim::Outcome;
-use std::ops::AddAssign;
-
-/// Counts of fault-run outcomes for one (workload, technique) campaign.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct OutcomeCounts {
-    /// Correct output.
-    pub unace: u64,
-    /// Silent data corruption.
-    pub sdc: u64,
-    /// Abnormal termination.
-    pub segv: u64,
-    /// Detected (SWIFT trap) — kept separate for the detection baseline.
-    pub detected: u64,
-    /// Instruction-budget exhaustion.
-    pub hang: u64,
-    /// Recovery events observed across all runs (votes + AN recoveries).
-    pub recoveries: u64,
-}
-
-impl OutcomeCounts {
-    /// Records one classified run.
-    pub fn record(&mut self, outcome: Outcome, recoveries: u64) {
-        match outcome {
-            Outcome::UnAce => self.unace += 1,
-            Outcome::Sdc => self.sdc += 1,
-            Outcome::Segv => self.segv += 1,
-            Outcome::Detected => self.detected += 1,
-            Outcome::Hang => self.hang += 1,
-        }
-        self.recoveries += recoveries;
-    }
-
-    /// Total classified runs.
-    pub fn total(&self) -> u64 {
-        self.unace + self.sdc + self.segv + self.detected + self.hang
-    }
-
-    /// Percentage helpers using the paper's three buckets
-    /// (hang → SDC, detected → SEGV).
-    pub fn pct_unace(&self) -> f64 {
-        100.0 * self.unace as f64 / self.total().max(1) as f64
-    }
-
-    /// SDC percentage (hangs folded in).
-    pub fn pct_sdc(&self) -> f64 {
-        100.0 * (self.sdc + self.hang) as f64 / self.total().max(1) as f64
-    }
-
-    /// SEGV percentage (detected faults folded in).
-    pub fn pct_segv(&self) -> f64 {
-        100.0 * (self.segv + self.detected) as f64 / self.total().max(1) as f64
-    }
-
-    /// The fraction of runs that were *not* unACE — the "deleterious" rate
-    /// whose reduction the paper's abstract quotes.
-    pub fn pct_bad(&self) -> f64 {
-        self.pct_sdc() + self.pct_segv()
-    }
-
-    /// 95% Wilson score interval for the unACE percentage — how far the
-    /// sampled rate can plausibly sit from the true rate at this campaign
-    /// size (the paper's 250-run cells have ~±5-point intervals near 75%).
-    pub fn unace_ci95(&self) -> (f64, f64) {
-        wilson_ci(self.unace, self.total())
-    }
-}
-
-/// 95% Wilson score interval for `successes` out of `n`, in percent.
-fn wilson_ci(successes: u64, n: u64) -> (f64, f64) {
-    if n == 0 {
-        return (0.0, 100.0);
-    }
-    let z = 1.96f64;
-    let n = n as f64;
-    let p = successes as f64 / n;
-    let denom = 1.0 + z * z / n;
-    let center = (p + z * z / (2.0 * n)) / denom;
-    let half = (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
-    (
-        100.0 * (center - half).max(0.0),
-        100.0 * (center + half).min(1.0),
-    )
-}
-
-impl AddAssign for OutcomeCounts {
-    fn add_assign(&mut self, rhs: Self) {
-        self.unace += rhs.unace;
-        self.sdc += rhs.sdc;
-        self.segv += rhs.segv;
-        self.detected += rhs.detected;
-        self.hang += rhs.hang;
-        self.recoveries += rhs.recoveries;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn percentages_fold_to_three_buckets() {
-        let mut c = OutcomeCounts::default();
-        c.record(Outcome::UnAce, 0);
-        c.record(Outcome::Sdc, 1);
-        c.record(Outcome::Hang, 0);
-        c.record(Outcome::Segv, 0);
-        c.record(Outcome::Detected, 0);
-        assert_eq!(c.total(), 5);
-        assert!((c.pct_unace() - 20.0).abs() < 1e-9);
-        assert!((c.pct_sdc() - 40.0).abs() < 1e-9);
-        assert!((c.pct_segv() - 40.0).abs() < 1e-9);
-        assert!((c.pct_bad() - 80.0).abs() < 1e-9);
-        assert_eq!(c.recoveries, 1);
-    }
-
-    #[test]
-    fn wilson_interval_brackets_the_rate_and_shrinks_with_n() {
-        let mut small = OutcomeCounts::default();
-        for _ in 0..30 {
-            small.record(Outcome::UnAce, 0);
-        }
-        for _ in 0..10 {
-            small.record(Outcome::Sdc, 0);
-        }
-        let (lo, hi) = small.unace_ci95();
-        assert!(lo < 75.0 && 75.0 < hi, "[{lo}, {hi}]");
-
-        let mut big = OutcomeCounts::default();
-        for _ in 0..3000 {
-            big.record(Outcome::UnAce, 0);
-        }
-        for _ in 0..1000 {
-            big.record(Outcome::Sdc, 0);
-        }
-        let (blo, bhi) = big.unace_ci95();
-        assert!(bhi - blo < hi - lo, "more runs must tighten the interval");
-        assert!(blo < 75.0 && 75.0 < bhi);
-    }
-
-    #[test]
-    fn wilson_edge_cases() {
-        let empty = OutcomeCounts::default();
-        assert_eq!(empty.unace_ci95(), (0.0, 100.0));
-        let mut perfect = OutcomeCounts::default();
-        for _ in 0..100 {
-            perfect.record(Outcome::UnAce, 0);
-        }
-        let (lo, hi) = perfect.unace_ci95();
-        assert!(hi <= 100.0 && lo > 90.0, "[{lo}, {hi}]");
-    }
-
-    #[test]
-    fn add_assign_merges() {
-        let mut a = OutcomeCounts {
-            unace: 1,
-            sdc: 2,
-            segv: 3,
-            detected: 4,
-            hang: 5,
-            recoveries: 6,
-        };
-        a += a;
-        assert_eq!(a.total(), 30);
-        assert_eq!(a.recoveries, 12);
-    }
-}
+pub use sor_stats::{wilson_ci, OutcomeCounts};

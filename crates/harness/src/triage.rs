@@ -1,0 +1,278 @@
+//! Triage-enabled campaigns and residual-SDC attribution.
+//!
+//! A triaged campaign runs the exact same pre-drawn fault list as
+//! [`run_campaign`](crate::run_campaign) — same seed derivation, same
+//! work-stealing workers — but each worker records provenance-annotated
+//! [`sor_sim::FaultRecord`]s into a local [`VulnerabilityProfile`], and the
+//! per-worker profiles are merged (commutatively, so results are
+//! thread-count independent) into the campaign profile. The aggregate
+//! outcome counts of the profile are identical to the plain campaign's.
+
+use crate::artifact::ArtifactStore;
+use crate::campaign::{draw_faults, CampaignConfig, CampaignResult};
+use sor_core::Technique;
+use sor_ir::{Program, ProtectionRole};
+use sor_regalloc::LowerConfig;
+use sor_sim::{MachineConfig, Runner};
+use sor_triage::VulnerabilityProfile;
+use sor_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A campaign result plus its per-site vulnerability profile.
+#[derive(Debug, Clone)]
+pub struct TriagedCampaign {
+    /// The campaign summary; `result.counts == profile.totals()`.
+    pub result: CampaignResult,
+    /// Per-site / per-role / per-register attribution of every injection.
+    pub profile: VulnerabilityProfile,
+}
+
+/// [`run_campaign`](crate::run_campaign), with per-fault-site triage.
+pub fn run_triaged_campaign(
+    workload: &dyn Workload,
+    technique: Technique,
+    cfg: &CampaignConfig,
+) -> TriagedCampaign {
+    run_triaged_campaign_in(&ArtifactStore::new(), workload, technique, cfg)
+}
+
+/// [`run_triaged_campaign`] with program preparation served from a shared
+/// [`ArtifactStore`].
+pub fn run_triaged_campaign_in(
+    store: &ArtifactStore,
+    workload: &dyn Workload,
+    technique: Technique,
+    cfg: &CampaignConfig,
+) -> TriagedCampaign {
+    let artifact = store.get(workload, technique, &cfg.transform, &LowerConfig::default());
+    let (profile, golden_instrs) =
+        inject_profiled(&artifact.program, cfg, workload.name(), technique);
+    let result = CampaignResult {
+        workload: workload.name().to_string(),
+        technique,
+        counts: profile.totals(),
+        golden_instrs,
+    };
+    TriagedCampaign { result, profile }
+}
+
+fn inject_profiled(
+    program: &Program,
+    cfg: &CampaignConfig,
+    wl_name: &str,
+    technique: Technique,
+) -> (VulnerabilityProfile, u64) {
+    let mcfg = MachineConfig {
+        checkpoint_interval: cfg.checkpoint_interval,
+        ..MachineConfig::default()
+    };
+    let runner = Runner::new(program, &mcfg);
+    let golden_len = runner.golden().dyn_instrs;
+    let faults = draw_faults(cfg, wl_name, technique, golden_len);
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+
+    // Same work-stealing shape as the plain campaign; profile merge is
+    // commutative and associative, so the merged profile is independent of
+    // thread count and interleaving.
+    let next = AtomicUsize::new(0);
+    let mut whole = VulnerabilityProfile::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.max(1).min(faults.len().max(1)) {
+            let runner = &runner;
+            let faults = &faults;
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut replayer = runner.replayer();
+                let mut profile = VulnerabilityProfile::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&fault) = faults.get(i) else { break };
+                    let (rec, res) = replayer.run_fault_record(fault);
+                    profile.record(&rec, res.probes.vote_repairs + res.probes.trump_recovers);
+                }
+                profile
+            }));
+        }
+        for h in handles {
+            whole.merge(&h.join().expect("triage worker panicked"));
+        }
+    });
+    (whole, golden_len)
+}
+
+/// Renders the residual-SDC attribution table: for each triaged campaign,
+/// how that technique's surviving SDCs (hangs folded in) distribute over
+/// the protection roles the faults landed on. A markdown table, one row
+/// per campaign, one column per role.
+pub fn residual_sdc_table(campaigns: &[TriagedCampaign]) -> String {
+    let mut out = String::from("| workload | technique | total SDC |");
+    for role in ProtectionRole::ALL {
+        out.push_str(&format!(" {role} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|---|---:|");
+    for _ in ProtectionRole::ALL {
+        out.push_str("---:|");
+    }
+    out.push('\n');
+    for c in campaigns {
+        let total_sdc = c.result.counts.sdc + c.result.counts.hang;
+        out.push_str(&format!(
+            "| {} | {} | {} |",
+            c.result.workload, c.result.technique, total_sdc
+        ));
+        for role in ProtectionRole::ALL {
+            let rc = c.profile.role_counts(role);
+            let sdc = rc.sdc + rc.hang;
+            if total_sdc == 0 {
+                out.push_str(&format!(" {sdc} |"));
+            } else {
+                out.push_str(&format!(
+                    " {sdc} ({:.0}%) |",
+                    100.0 * sdc as f64 / total_sdc as f64
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use sor_triage::SectionalTriage;
+    use sor_workloads::{AdpcmDec, Mpeg2Enc, Workload};
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig {
+            runs: 60,
+            seed: 42,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn triaged_campaign_matches_plain_campaign_counts() {
+        let w = AdpcmDec {
+            samples: 150,
+            seed: 7,
+        };
+        let plain = run_campaign(&w, Technique::SwiftR, &small_cfg());
+        let triaged = run_triaged_campaign(&w, Technique::SwiftR, &small_cfg());
+        assert_eq!(triaged.result.counts, plain.counts);
+        assert_eq!(triaged.result.golden_instrs, plain.golden_instrs);
+        assert_eq!(triaged.profile.totals(), plain.counts);
+        assert!(triaged.profile.sites().count() > 0);
+    }
+
+    #[test]
+    fn triaged_campaign_is_deterministic_across_thread_counts() {
+        let w = AdpcmDec {
+            samples: 100,
+            seed: 3,
+        };
+        let mut c1 = small_cfg();
+        c1.threads = 1;
+        let mut c4 = small_cfg();
+        c4.threads = 4;
+        let a = run_triaged_campaign(&w, Technique::Trump, &c1);
+        let b = run_triaged_campaign(&w, Technique::Trump, &c4);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    /// The sectional-triage exactness pin: composing independently
+    /// profiled sections reproduces the monolithic profile bit-for-bit,
+    /// across two workloads and three techniques.
+    #[test]
+    fn sectional_composition_matches_monolithic_bit_for_bit() {
+        let store = ArtifactStore::new();
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(AdpcmDec {
+                samples: 120,
+                seed: 7,
+            }),
+            Box::new(Mpeg2Enc { blocks: 2, seed: 1 }),
+        ];
+        let cfg = CampaignConfig {
+            runs: 40,
+            seed: 11,
+            threads: 1,
+            ..Default::default()
+        };
+        for w in &workloads {
+            for technique in [Technique::SwiftR, Technique::Trump, Technique::Swift] {
+                let artifact = store.get(
+                    w.as_ref(),
+                    technique,
+                    &cfg.transform,
+                    &LowerConfig::default(),
+                );
+                let runner = Runner::new(&artifact.program, &MachineConfig::default());
+                let faults = draw_faults(&cfg, w.name(), technique, runner.golden().dyn_instrs);
+
+                let monolithic = SectionalTriage::run(&runner, &faults, 1).compose();
+                let mut sectional = SectionalTriage::run(&runner, &faults, 4);
+                assert_eq!(
+                    sectional.compose(),
+                    monolithic,
+                    "{}/{technique}: sectional composition diverged",
+                    w.name()
+                );
+                // Re-injecting sections is idempotent: same faults, same
+                // deterministic machine, same composed profile.
+                sectional.reinject(&runner, &[1, 3]);
+                assert_eq!(
+                    sectional.compose(),
+                    monolithic,
+                    "{}/{technique}: re-injection changed the composition",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attribution_table_lists_roles_and_techniques() {
+        let w = AdpcmDec {
+            samples: 120,
+            seed: 7,
+        };
+        let results: Vec<TriagedCampaign> = [Technique::Noft, Technique::SwiftR]
+            .iter()
+            .map(|&t| run_triaged_campaign(&w, t, &small_cfg()))
+            .collect();
+        let table = residual_sdc_table(&results);
+        assert!(table.contains("| adpcmdec | NOFT |"), "{table}");
+        assert!(table.contains("SWIFT-R"), "{table}");
+        for role in ProtectionRole::ALL {
+            assert!(table.contains(&role.to_string()), "{table}");
+        }
+        // NOFT programs carry no protection instructions, so nothing can
+        // be attributed to voter or redundant roles.
+        let noft = &results[0];
+        assert_eq!(noft.profile.role_counts(ProtectionRole::Voter).total(), 0);
+        // SWIFT-R faults do land on transform-introduced instructions.
+        let swiftr = &results[1];
+        let protected = swiftr
+            .profile
+            .role_counts(ProtectionRole::Redundant { copy: 1 })
+            .total()
+            + swiftr
+                .profile
+                .role_counts(ProtectionRole::Redundant { copy: 2 })
+                .total()
+            + swiftr.profile.role_counts(ProtectionRole::Voter).total();
+        assert!(protected > 0, "no faults attributed to SWIFT-R roles");
+    }
+}

@@ -1,6 +1,7 @@
 //! Functions: parameter lists, virtual register bookkeeping and blocks.
 
 use crate::block::{Block, BlockId};
+use crate::provenance::FuncRoles;
 use crate::reg::{RegClass, Vreg};
 use std::fmt;
 
@@ -32,7 +33,7 @@ impl fmt::Debug for FuncId {
 /// Block 0 is the entry block. Parameters materialize in the listed virtual
 /// registers on entry; the calling convention is applied later by the
 /// lowering pass in `sor-regalloc`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Function {
     /// Human-readable name.
     pub name: String,
@@ -42,8 +43,29 @@ pub struct Function {
     pub ret_count: usize,
     /// Basic blocks; index 0 is the entry.
     pub blocks: Vec<Block>,
+    /// Protection-role side table, parallel to `blocks`. `None` means
+    /// untagged: every instruction is implicitly
+    /// [`crate::ProtectionRole::Original`]. Attached by the rewriting
+    /// passes in `sor-core`; consumed by `sor-regalloc` lowering.
+    pub roles: Option<FuncRoles>,
     next_int: u32,
     next_float: u32,
+}
+
+/// Equality ignores the provenance side table: two functions with identical
+/// code are the same function whether or not roles were recorded. This
+/// keeps identity-rewrite invariants (e.g. "a no-op pass reproduces the
+/// function bit for bit") independent of role tagging, which is metadata
+/// about how the code was produced, not part of the code.
+impl PartialEq for Function {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.params == other.params
+            && self.ret_count == other.ret_count
+            && self.blocks == other.blocks
+            && self.next_int == other.next_int
+            && self.next_float == other.next_float
+    }
 }
 
 impl Function {
@@ -54,6 +76,7 @@ impl Function {
             params: Vec::new(),
             ret_count: 0,
             blocks: Vec::new(),
+            roles: None,
             next_int: 0,
             next_float: 0,
         }

@@ -10,6 +10,7 @@
 use crate::inst::{ExtFunc, ProbeEvent, TrapKind};
 use crate::module::GlobalData;
 use crate::opcode::{AluOp, CmpOp, FpOp};
+use crate::provenance::ProtectionRole;
 use crate::reg::Preg;
 use crate::types::{MemWidth, Width};
 use std::fmt;
@@ -275,6 +276,12 @@ pub struct Program {
     pub name: String,
     /// Flat instruction array.
     pub insts: Vec<PInst>,
+    /// Protection role of each instruction, parallel to `insts`. The
+    /// lowering pass always fills it (untagged modules lower to
+    /// [`ProtectionRole::Original`] plus [`ProtectionRole::SpillCode`] for
+    /// synthesized code); it is empty only in hand-built images, where every
+    /// instruction is treated as `Original`.
+    pub roles: Vec<ProtectionRole>,
     /// Index of the entry function's `Enter` instruction.
     pub entry: usize,
     /// Initialized global data.
@@ -292,6 +299,12 @@ impl Program {
     /// Whether the image is empty.
     pub fn is_empty(&self) -> bool {
         self.insts.is_empty()
+    }
+
+    /// The protection role of the instruction at `pc` (Original when the
+    /// image carries no role table).
+    pub fn role_of(&self, pc: usize) -> ProtectionRole {
+        self.roles.get(pc).copied().unwrap_or_default()
     }
 }
 
@@ -477,6 +490,7 @@ mod tests {
                     frame_size: 0,
                 },
             ],
+            roles: vec![],
             entry: 0,
             globals: vec![],
             global_extent: 0,

@@ -38,6 +38,7 @@ mod module;
 mod opcode;
 mod parser;
 mod printer;
+mod provenance;
 mod reg;
 mod types;
 mod verify;
@@ -51,6 +52,7 @@ pub use inst::{Callee, ExtFunc, Inst, Operand, ProbeEvent, TrapKind};
 pub use module::{layout, GlobalData, Module};
 pub use opcode::{AluOp, CmpOp, FpOp};
 pub use parser::parse_module;
+pub use provenance::{BlockRoles, FuncRoles, ProtectionRole};
 pub use reg::{Preg, RegClass, Vreg};
 pub use types::{MemWidth, Width};
 pub use verify::verify;

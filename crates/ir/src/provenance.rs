@@ -1,0 +1,147 @@
+//! Fault-site provenance: which protection role each instruction plays.
+//!
+//! The reliability transforms in `sor-core` emit a mixture of carried-over
+//! original instructions, redundant shadow computation, voters, AN-code
+//! checks and masking operations. Triage (`sor-triage`) wants to know, for
+//! every injected fault, *what kind* of instruction the machine was about
+//! to execute — that attribution explains residual SDC: a fault that lands
+//! on a voter input after the vote, or on spill code the transform never
+//! saw, has a very different story from one landing on a protected original.
+//!
+//! Roles are recorded per function as a [`FuncRoles`] side table exactly
+//! parallel to the block/instruction structure, then flattened by
+//! `sor-regalloc` into `Program::roles`, one entry per lowered instruction.
+//! A function without a table (`Function::roles == None`) is untagged —
+//! every instruction is implicitly [`ProtectionRole::Original`].
+
+use std::fmt;
+
+/// The protection role of one emitted instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtectionRole {
+    /// A carried-through instruction of the source program (also the
+    /// implicit role of every instruction in an untagged function).
+    #[default]
+    Original,
+    /// Redundant computation: shadow duplicates, replication moves, AN-code
+    /// shadow arithmetic and encodes. `copy` distinguishes the shadow
+    /// streams (1 and 2 in SWIFT-R's triple-redundancy scheme; TRUMP's
+    /// single AN shadow is copy 1).
+    Redundant {
+        /// Which redundant stream the instruction belongs to.
+        copy: u8,
+    },
+    /// SWIFT-R majority-vote sequences and SWIFT detection checks: the
+    /// compare/branch/repair code that consumes the redundant copies.
+    Voter,
+    /// TRUMP AN-code check and recovery sequences (§4's divisibility test
+    /// and survivor inference).
+    AnCheck,
+    /// MASK invariant-enforcement ops (§5's known-bits And/Or).
+    MaskOp,
+    /// Code synthesized by lowering after the transforms ran: prologues,
+    /// spill stores, reloads and rematerialization — the classic
+    /// "instructions the pass never saw" vulnerability window.
+    SpillCode,
+    /// Instructions a protecting transform deliberately passed through
+    /// unprotected (the paper's uncovered FP domain).
+    Unprotected,
+}
+
+impl ProtectionRole {
+    /// Every role, in a fixed reporting order (redundant streams 1 and 2).
+    pub const ALL: [ProtectionRole; 8] = [
+        ProtectionRole::Original,
+        ProtectionRole::Redundant { copy: 1 },
+        ProtectionRole::Redundant { copy: 2 },
+        ProtectionRole::Voter,
+        ProtectionRole::AnCheck,
+        ProtectionRole::MaskOp,
+        ProtectionRole::SpillCode,
+        ProtectionRole::Unprotected,
+    ];
+
+    /// A short stable label for tables and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtectionRole::Original => "original",
+            ProtectionRole::Redundant { copy: 2 } => "redundant2",
+            ProtectionRole::Redundant { .. } => "redundant1",
+            ProtectionRole::Voter => "voter",
+            ProtectionRole::AnCheck => "an-check",
+            ProtectionRole::MaskOp => "mask-op",
+            ProtectionRole::SpillCode => "spill-code",
+            ProtectionRole::Unprotected => "unprotected",
+        }
+    }
+}
+
+impl fmt::Display for ProtectionRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-block role table: one role per instruction plus the terminator's.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockRoles {
+    /// Role of each instruction, parallel to `Block::insts`.
+    pub insts: Vec<ProtectionRole>,
+    /// Role of the block terminator.
+    pub term: ProtectionRole,
+}
+
+/// Per-function role table, parallel to `Function::blocks`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncRoles {
+    /// Role table of each block, parallel to `Function::blocks`.
+    pub blocks: Vec<BlockRoles>,
+}
+
+impl FuncRoles {
+    /// The role of instruction `inst` in block `block`, or of the block's
+    /// terminator when `inst` equals the instruction count.
+    ///
+    /// Returns `None` when the indices fall outside the table (an untagged
+    /// or misaligned function); callers should treat that as
+    /// [`ProtectionRole::Original`].
+    pub fn role_of(&self, block: usize, inst: usize) -> Option<ProtectionRole> {
+        let b = self.blocks.get(block)?;
+        if inst < b.insts.len() {
+            Some(b.insts[inst])
+        } else if inst == b.insts.len() {
+            Some(b.term)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_ordered() {
+        let mut seen = std::collections::HashSet::new();
+        for r in ProtectionRole::ALL {
+            assert!(seen.insert(r.label()), "duplicate label {}", r.label());
+            assert_eq!(r.to_string(), r.label());
+        }
+        assert_eq!(seen.len(), ProtectionRole::ALL.len());
+    }
+
+    #[test]
+    fn role_lookup_covers_terminator() {
+        let fr = FuncRoles {
+            blocks: vec![BlockRoles {
+                insts: vec![ProtectionRole::Original, ProtectionRole::Voter],
+                term: ProtectionRole::MaskOp,
+            }],
+        };
+        assert_eq!(fr.role_of(0, 1), Some(ProtectionRole::Voter));
+        assert_eq!(fr.role_of(0, 2), Some(ProtectionRole::MaskOp));
+        assert_eq!(fr.role_of(0, 3), None);
+        assert_eq!(fr.role_of(1, 0), None);
+    }
+}

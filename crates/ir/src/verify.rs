@@ -51,6 +51,27 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
             problems.push(format!("function '{fname}' has no blocks"));
             continue;
         }
+        // The provenance side table, when present, must mirror the code
+        // structure exactly — a desynced table would silently misattribute
+        // every downstream triage fault.
+        if let Some(roles) = &func.roles {
+            if roles.blocks.len() != func.blocks.len() {
+                problems.push(format!(
+                    "fn{fi} '{fname}': role table has {} blocks, function has {}",
+                    roles.blocks.len(),
+                    func.blocks.len()
+                ));
+            }
+            for (bi, (rb, b)) in roles.blocks.iter().zip(&func.blocks).enumerate() {
+                if rb.insts.len() != b.insts.len() {
+                    problems.push(format!(
+                        "fn{fi} '{fname}' b{bi}: role table has {} insts, block has {}",
+                        rb.insts.len(),
+                        b.insts.len()
+                    ));
+                }
+            }
+        }
         let nblocks = func.blocks.len() as u32;
         let check_reg = |v: Vreg, want: RegClass, what: &str, problems: &mut Vec<String>| {
             if v.class() != want {

@@ -3,7 +3,7 @@
 use crate::alloc::{allocate, Allocation, Loc, FLOAT_SCRATCH, INT_SCRATCH};
 use sor_ir::{
     verify, Block, Callee, FuncId, Function, Inst, MemWidth, Module, Operand, PArg, PInst, PLoc,
-    POperand, Preg, Program, RegClass, Terminator, Vreg, SP,
+    POperand, Preg, Program, ProtectionRole, RegClass, Terminator, Vreg, SP,
 };
 use std::collections::HashMap;
 use std::error::Error;
@@ -85,6 +85,10 @@ pub fn lower(module: &Module, cfg: &LowerConfig) -> Result<Program, LowerError> 
     }
 
     let mut insts: Vec<PInst> = Vec::with_capacity(module.inst_count() * 2);
+    // Protection role of each lowered instruction, kept exactly parallel to
+    // `insts`: IR roles are carried through; lowering-synthesized code
+    // (prologues, reloads, remat, spill stores) is tagged `SpillCode`.
+    let mut roles: Vec<ProtectionRole> = Vec::with_capacity(module.inst_count() * 2);
     let mut func_entry: Vec<usize> = Vec::with_capacity(module.funcs.len());
     // (position, callee) pairs to patch once every entry point is known.
     let mut call_fixups: Vec<(usize, FuncId)> = Vec::new();
@@ -92,8 +96,9 @@ pub fn lower(module: &Module, cfg: &LowerConfig) -> Result<Program, LowerError> 
     for func in &module.funcs {
         let alloc = allocate(func, cfg.int_reg_limit);
         func_entry.push(insts.len());
-        lower_func(func, &alloc, &mut insts, &mut call_fixups);
+        lower_func(func, &alloc, &mut insts, &mut roles, &mut call_fixups);
     }
+    debug_assert_eq!(roles.len(), insts.len(), "role table desynced");
     for (pos, callee) in call_fixups {
         let target = func_entry[callee.index()];
         match &mut insts[pos] {
@@ -105,6 +110,7 @@ pub fn lower(module: &Module, cfg: &LowerConfig) -> Result<Program, LowerError> 
     Ok(Program {
         name: module.name.clone(),
         insts,
+        roles,
         entry: func_entry[module.entry.index()],
         globals: module.globals.clone(),
         global_extent: module.global_extent(),
@@ -123,7 +129,12 @@ fn slot_offset(slot: u32) -> i64 {
     (slot as i64) * 8
 }
 
-fn prepare_uses(uses: &[Vreg], alloc: &Allocation, out: &mut Vec<PInst>) -> UseCtx {
+fn prepare_uses(
+    uses: &[Vreg],
+    alloc: &Allocation,
+    out: &mut Vec<PInst>,
+    roles: &mut Vec<ProtectionRole>,
+) -> UseCtx {
     let mut ctx = UseCtx {
         map: HashMap::new(),
         int_scratch_used: 0,
@@ -149,6 +160,7 @@ fn prepare_uses(uses: &[Vreg], alloc: &Allocation, out: &mut Vec<PInst>) -> UseC
                             width: MemWidth::B8,
                             signed: false,
                         });
+                        roles.push(ProtectionRole::SpillCode);
                         p
                     }
                     RegClass::Float => {
@@ -159,6 +171,7 @@ fn prepare_uses(uses: &[Vreg], alloc: &Allocation, out: &mut Vec<PInst>) -> UseC
                             base: SP,
                             offset: slot_offset(s),
                         });
+                        roles.push(ProtectionRole::SpillCode);
                         p
                     }
                 };
@@ -172,6 +185,7 @@ fn prepare_uses(uses: &[Vreg], alloc: &Allocation, out: &mut Vec<PInst>) -> UseC
                     dst: p,
                     src: POperand::Imm(imm),
                 });
+                roles.push(ProtectionRole::SpillCode);
                 ctx.map.insert(v, p);
             }
         }
@@ -218,7 +232,7 @@ impl UseCtx {
     }
 }
 
-fn spill_store(dst: Preg, slot: u32, out: &mut Vec<PInst>) {
+fn spill_store(dst: Preg, slot: u32, out: &mut Vec<PInst>, roles: &mut Vec<ProtectionRole>) {
     match dst.class() {
         RegClass::Int => out.push(PInst::Store {
             base: SP,
@@ -232,6 +246,7 @@ fn spill_store(dst: Preg, slot: u32, out: &mut Vec<PInst>) {
             src: dst,
         }),
     }
+    roles.push(ProtectionRole::SpillCode);
 }
 
 fn parg(o: Operand, alloc: &Allocation) -> PArg {
@@ -259,6 +274,7 @@ fn lower_func(
     func: &Function,
     alloc: &Allocation,
     insts: &mut Vec<PInst>,
+    roles: &mut Vec<ProtectionRole>,
     call_fixups: &mut Vec<(usize, FuncId)>,
 ) {
     // Prologue.
@@ -266,18 +282,34 @@ fn lower_func(
         frame_size: alloc.frame_size(),
         params: func.params.iter().map(|p| ploc(*p, alloc)).collect(),
     });
+    roles.push(ProtectionRole::SpillCode);
 
     let nblocks = func.blocks.len();
     let mut block_pos = vec![0usize; nblocks];
     // (position, block index) to patch.
     let mut jump_fixups: Vec<(usize, usize)> = Vec::new();
 
+    // The IR role of (block, inst), Original for untagged functions.
+    let ir_role = |bi: usize, ii: usize| -> ProtectionRole {
+        func.roles
+            .as_ref()
+            .and_then(|r| r.role_of(bi, ii))
+            .unwrap_or_default()
+    };
+
     for (bi, block) in func.blocks.iter().enumerate() {
         block_pos[bi] = insts.len();
-        for inst in &block.insts {
-            lower_inst(inst, alloc, insts, call_fixups);
+        for (ii, inst) in block.insts.iter().enumerate() {
+            lower_inst(inst, ir_role(bi, ii), alloc, insts, roles, call_fixups);
         }
-        lower_term(block, alloc, insts, &mut jump_fixups);
+        lower_term(
+            block,
+            ir_role(bi, block.insts.len()),
+            alloc,
+            insts,
+            roles,
+            &mut jump_fixups,
+        );
     }
 
     for (pos, target_block) in jump_fixups {
@@ -298,8 +330,10 @@ fn lower_func(
 
 fn lower_inst(
     inst: &Inst,
+    role: ProtectionRole,
     alloc: &Allocation,
     out: &mut Vec<PInst>,
+    roles: &mut Vec<ProtectionRole>,
     call_fixups: &mut Vec<(usize, FuncId)>,
 ) {
     match inst {
@@ -322,17 +356,19 @@ fn lower_inst(
                     });
                 }
             }
+            roles.push(role);
             return;
         }
         Inst::Probe(e) => {
             out.push(PInst::Probe(*e));
+            roles.push(role);
             return;
         }
         _ => {}
     }
 
     let uses = inst.uses();
-    let ctx = prepare_uses(&uses, alloc, out);
+    let ctx = prepare_uses(&uses, alloc, out, roles);
     let mut pending_spill: Option<(Preg, u32)> = None;
     let mut def = |d: Vreg| -> Preg {
         let (p, slot) = ctx.def(d, alloc);
@@ -450,15 +486,18 @@ fn lower_inst(
         Inst::Call { .. } | Inst::Probe(_) => unreachable!("handled above"),
     };
     out.push(lowered);
+    roles.push(role);
     if let Some((p, s)) = pending_spill {
-        spill_store(p, s, out);
+        spill_store(p, s, out, roles);
     }
 }
 
 fn lower_term(
     block: &Block,
+    role: ProtectionRole,
     alloc: &Allocation,
     out: &mut Vec<PInst>,
+    roles: &mut Vec<ProtectionRole>,
     jump_fixups: &mut Vec<(usize, usize)>,
 ) {
     match &block.term {
@@ -468,7 +507,7 @@ fn lower_term(
             jump_fixups.push((pos, b.index()));
         }
         Terminator::Branch { cond, t, f } => {
-            let ctx = prepare_uses(&[*cond], alloc, out);
+            let ctx = prepare_uses(&[*cond], alloc, out, roles);
             let pos = out.len();
             out.push(PInst::Branch {
                 cond: ctx.reg(*cond),
@@ -488,6 +527,7 @@ fn lower_term(
         }
         Terminator::Trap(k) => out.push(PInst::Trap(*k)),
     }
+    roles.push(role);
 }
 
 #[cfg(test)]

@@ -39,5 +39,5 @@ pub use fault::{FaultSpec, INJECTABLE_REGS};
 pub use machine::{Machine, MachineConfig, ProbeCounts, RunResult, RunStatus};
 pub use mem::{MemError, Memory, PageSnapshot, PAGE_SIZE};
 pub use outcome::{classify, Outcome};
-pub use runner::{Replayer, Runner};
+pub use runner::{FaultRecord, Replayer, Runner};
 pub use timing::{Latencies, Timing, TimingConfig};

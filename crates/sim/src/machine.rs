@@ -81,6 +81,11 @@ pub struct RunResult {
     pub probes: ProbeCounts,
     /// Whether the armed fault actually fired.
     pub injected: bool,
+    /// Static instruction (program counter) about to execute when the fault
+    /// fired; `None` for fault-free runs. Combined with
+    /// [`Program::role_of`](sor_ir::Program::role_of) this attributes the
+    /// fault to a protection role for triage.
+    pub fault_pc: Option<usize>,
     /// Cycles, when the timing model was enabled.
     pub cycles: Option<u64>,
     /// L1-D hits, when the timing model was enabled.
@@ -155,6 +160,7 @@ pub struct Machine<'p> {
     timing: Option<Timing>,
     lat: crate::timing::Latencies,
     injected: bool,
+    fault_pc: Option<usize>,
 }
 
 const SP_IDX: usize = 1;
@@ -190,6 +196,7 @@ impl<'p> Machine<'p> {
                 .map(|t| t.lat.clone())
                 .unwrap_or_default(),
             injected: false,
+            fault_pc: None,
         }
     }
 
@@ -211,6 +218,7 @@ impl<'p> Machine<'p> {
                 if !self.injected && self.dyn_count == f.at_instr {
                     self.iregs[f.reg as usize] ^= 1u64 << f.bit;
                     self.injected = true;
+                    self.fault_pc = Some(self.pc);
                 }
             }
             match self.step() {
@@ -229,6 +237,7 @@ impl<'p> Machine<'p> {
             dyn_instrs: self.dyn_count,
             probes: self.probes,
             injected: self.injected,
+            fault_pc: self.fault_pc,
             cycles: self.timing.as_ref().map(Timing::cycles),
             cache_hits: self.timing.as_ref().map(Timing::cache_hits),
             cache_misses: self.timing.as_ref().map(Timing::cache_misses),
@@ -258,6 +267,7 @@ impl<'p> Machine<'p> {
         self.dyn_count = 0;
         self.probes = ProbeCounts::default();
         self.injected = false;
+        self.fault_pc = None;
         self.mem.reset_tracked();
     }
 
@@ -303,6 +313,7 @@ impl<'p> Machine<'p> {
         self.out.clear();
         self.out.extend_from_slice(&golden_output[..ck.out_len]);
         self.injected = false;
+        self.fault_pc = None;
         self.mem.reset_tracked();
         for c in prefix {
             self.mem.apply_pages(&c.pages);

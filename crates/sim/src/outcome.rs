@@ -90,6 +90,7 @@ mod tests {
             dyn_instrs: 10,
             probes: ProbeCounts::default(),
             injected: true,
+            fault_pc: None,
             cycles: None,
             cache_hits: None,
             cache_misses: None,
@@ -126,10 +127,23 @@ mod tests {
         );
     }
 
+    /// Exhaustive over `Outcome::ALL`: every outcome maps to one of the
+    /// paper's three buckets, the fold is idempotent, and each bucket is
+    /// pinned explicitly.
     #[test]
-    fn figure8_buckets() {
+    fn figure8_buckets_exhaustive() {
+        for o in Outcome::ALL {
+            let bucket = o.figure8_bucket();
+            assert!(
+                matches!(bucket, Outcome::UnAce | Outcome::Sdc | Outcome::Segv),
+                "{o} folded to non-bucket {bucket}"
+            );
+            assert_eq!(bucket.figure8_bucket(), bucket, "fold must be idempotent");
+        }
+        assert_eq!(Outcome::UnAce.figure8_bucket(), Outcome::UnAce);
+        assert_eq!(Outcome::Sdc.figure8_bucket(), Outcome::Sdc);
+        assert_eq!(Outcome::Segv.figure8_bucket(), Outcome::Segv);
         assert_eq!(Outcome::Hang.figure8_bucket(), Outcome::Sdc);
         assert_eq!(Outcome::Detected.figure8_bucket(), Outcome::Segv);
-        assert_eq!(Outcome::UnAce.figure8_bucket(), Outcome::UnAce);
     }
 }

@@ -4,6 +4,32 @@ use crate::checkpoint::CheckpointStore;
 use crate::fault::FaultSpec;
 use crate::machine::{Machine, MachineConfig, RunResult};
 use crate::outcome::{classify, Outcome};
+use sor_ir::ProtectionRole;
+
+/// One fault injection annotated with its static provenance: which static
+/// instruction the flip landed on and what protection role that instruction
+/// plays. The unit of aggregation for per-site vulnerability triage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The injected fault (register, bit, dynamic slot).
+    pub spec: FaultSpec,
+    /// Classified outcome of the run.
+    pub outcome: Outcome,
+    /// Static instruction (program counter) about to execute when the flip
+    /// landed; `None` when the fault point was past the end of the run, so
+    /// the fault never fired.
+    pub static_inst: Option<usize>,
+    /// Protection role of that instruction ([`ProtectionRole::Original`]
+    /// for images lowered from untagged modules or unfired faults).
+    pub role: ProtectionRole,
+}
+
+impl FaultRecord {
+    /// The dynamic instruction slot the fault was armed for.
+    pub fn dynamic_slot(&self) -> u64 {
+        self.spec.at_instr
+    }
+}
 
 /// Auto-sizes the checkpoint interval from the golden run length: 64
 /// checkpoints across the run, clamped so tiny programs don't checkpoint
@@ -157,6 +183,24 @@ impl Replayer<'_, '_> {
         }
         let result = self.machine.run_mut(Some(fault));
         (classify(&self.runner.golden, &result), result)
+    }
+
+    /// Runs once with `fault` injected and returns the provenance-annotated
+    /// [`FaultRecord`] alongside the raw result, attributing the fault to
+    /// the static instruction and protection role it landed on.
+    pub fn run_fault_record(&mut self, fault: FaultSpec) -> (FaultRecord, RunResult) {
+        let (outcome, result) = self.run_fault(fault);
+        let role = result
+            .fault_pc
+            .map(|pc| self.runner.prog.role_of(pc))
+            .unwrap_or_default();
+        let record = FaultRecord {
+            spec: fault,
+            outcome,
+            static_inst: result.fault_pc,
+            role,
+        };
+        (record, result)
     }
 }
 

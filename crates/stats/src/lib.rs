@@ -1,0 +1,221 @@
+//! # sor-stats — shared outcome aggregation and interval statistics
+//!
+//! The statistical vocabulary common to the campaign harness and the triage
+//! subsystem: [`OutcomeCounts`] (the paper's unACE / SDC / SEGV buckets with
+//! hang and detected kept separate until reporting) and [`wilson_ci`] (the
+//! 95% Wilson score interval used both for figure error bars and for the
+//! adaptive-sampling stop rule).
+
+use sor_sim::Outcome;
+use std::ops::AddAssign;
+
+/// Counts of fault-run outcomes for one (workload, technique) campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Correct output.
+    pub unace: u64,
+    /// Silent data corruption.
+    pub sdc: u64,
+    /// Abnormal termination.
+    pub segv: u64,
+    /// Detected (SWIFT trap) — kept separate for the detection baseline.
+    pub detected: u64,
+    /// Instruction-budget exhaustion.
+    pub hang: u64,
+    /// Recovery events observed across all runs (votes + AN recoveries).
+    pub recoveries: u64,
+}
+
+impl OutcomeCounts {
+    /// Records one classified run.
+    pub fn record(&mut self, outcome: Outcome, recoveries: u64) {
+        match outcome {
+            Outcome::UnAce => self.unace += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Segv => self.segv += 1,
+            Outcome::Detected => self.detected += 1,
+            Outcome::Hang => self.hang += 1,
+        }
+        self.recoveries += recoveries;
+    }
+
+    /// Total classified runs.
+    pub fn total(&self) -> u64 {
+        self.unace + self.sdc + self.segv + self.detected + self.hang
+    }
+
+    /// Percentage helpers using the paper's three buckets
+    /// (hang → SDC, detected → SEGV).
+    pub fn pct_unace(&self) -> f64 {
+        100.0 * self.unace as f64 / self.total().max(1) as f64
+    }
+
+    /// SDC percentage (hangs folded in).
+    pub fn pct_sdc(&self) -> f64 {
+        100.0 * (self.sdc + self.hang) as f64 / self.total().max(1) as f64
+    }
+
+    /// SEGV percentage (detected faults folded in).
+    pub fn pct_segv(&self) -> f64 {
+        100.0 * (self.segv + self.detected) as f64 / self.total().max(1) as f64
+    }
+
+    /// The fraction of runs that were *not* unACE — the "deleterious" rate
+    /// whose reduction the paper's abstract quotes.
+    pub fn pct_bad(&self) -> f64 {
+        self.pct_sdc() + self.pct_segv()
+    }
+
+    /// 95% Wilson score interval for the unACE percentage — how far the
+    /// sampled rate can plausibly sit from the true rate at this campaign
+    /// size (the paper's 250-run cells have ~±5-point intervals near 75%).
+    pub fn unace_ci95(&self) -> (f64, f64) {
+        wilson_ci(self.unace, self.total())
+    }
+
+    /// 95% Wilson score interval for the SDC percentage (hangs folded in),
+    /// the quantity the triage subsystem thresholds on.
+    pub fn sdc_ci95(&self) -> (f64, f64) {
+        wilson_ci(self.sdc + self.hang, self.total())
+    }
+}
+
+/// 95% Wilson score interval for `successes` out of `n`, in percent.
+///
+/// Returns the vacuous `(0.0, 100.0)` for `n == 0`; endpoints are clamped
+/// to `[0, 100]`. Unlike the normal approximation, the interval stays
+/// informative near 0% and 100% and at tiny `n`, which is exactly where
+/// per-fault-site triage operates.
+pub fn wilson_ci(successes: u64, n: u64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 100.0);
+    }
+    let z = 1.96f64;
+    let n = n as f64;
+    let p = successes as f64 / n;
+    let denom = 1.0 + z * z / n;
+    let center = (p + z * z / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
+    (
+        100.0 * (center - half).max(0.0),
+        100.0 * (center + half).min(1.0),
+    )
+}
+
+impl AddAssign for OutcomeCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.unace += rhs.unace;
+        self.sdc += rhs.sdc;
+        self.segv += rhs.segv;
+        self.detected += rhs.detected;
+        self.hang += rhs.hang;
+        self.recoveries += rhs.recoveries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_fold_to_three_buckets() {
+        let mut c = OutcomeCounts::default();
+        c.record(Outcome::UnAce, 0);
+        c.record(Outcome::Sdc, 1);
+        c.record(Outcome::Hang, 0);
+        c.record(Outcome::Segv, 0);
+        c.record(Outcome::Detected, 0);
+        assert_eq!(c.total(), 5);
+        assert!((c.pct_unace() - 20.0).abs() < 1e-9);
+        assert!((c.pct_sdc() - 40.0).abs() < 1e-9);
+        assert!((c.pct_segv() - 40.0).abs() < 1e-9);
+        assert!((c.pct_bad() - 80.0).abs() < 1e-9);
+        assert_eq!(c.recoveries, 1);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_rate_and_shrinks_with_n() {
+        let (lo, hi) = wilson_ci(30, 40);
+        assert!(lo < 75.0 && 75.0 < hi, "[{lo}, {hi}]");
+        let (blo, bhi) = wilson_ci(3000, 4000);
+        assert!(bhi - blo < hi - lo, "more runs must tighten the interval");
+        assert!(blo < 75.0 && 75.0 < bhi);
+    }
+
+    #[test]
+    fn wilson_zero_trials_is_vacuous() {
+        assert_eq!(wilson_ci(0, 0), (0.0, 100.0));
+    }
+
+    #[test]
+    fn wilson_zero_successes_starts_at_zero() {
+        let (lo, hi) = wilson_ci(0, 50);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 15.0, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn wilson_all_successes_ends_at_hundred() {
+        let (lo, hi) = wilson_ci(50, 50);
+        assert_eq!(hi, 100.0);
+        assert!(lo > 85.0 && lo < 100.0, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn wilson_single_trial_is_wide_but_bounded() {
+        let (lo0, hi0) = wilson_ci(0, 1);
+        let (lo1, hi1) = wilson_ci(1, 1);
+        assert_eq!(lo0, 0.0);
+        assert_eq!(hi1, 100.0);
+        // One observation pins its own endpoint but says little else: the
+        // interval must stay proper and cover most of the range.
+        assert!(hi0 > 70.0 && hi0 < 100.0, "[{lo0}, {hi0}]");
+        assert!(lo1 > 0.0 && lo1 < 30.0, "[{lo1}, {hi1}]");
+        // Symmetry of the score interval under success/failure exchange.
+        assert!((hi0 - (100.0 - lo1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sdc_interval_counts_hangs() {
+        let mut c = OutcomeCounts::default();
+        for _ in 0..10 {
+            c.record(Outcome::UnAce, 0);
+        }
+        for _ in 0..5 {
+            c.record(Outcome::Sdc, 0);
+        }
+        for _ in 0..5 {
+            c.record(Outcome::Hang, 0);
+        }
+        let (lo, hi) = c.sdc_ci95();
+        assert!(lo < 50.0 && 50.0 < hi, "[{lo}, {hi}]");
+        assert_eq!((lo, hi), wilson_ci(10, 20));
+    }
+
+    #[test]
+    fn unace_edge_cases() {
+        let empty = OutcomeCounts::default();
+        assert_eq!(empty.unace_ci95(), (0.0, 100.0));
+        let mut perfect = OutcomeCounts::default();
+        for _ in 0..100 {
+            perfect.record(Outcome::UnAce, 0);
+        }
+        let (lo, hi) = perfect.unace_ci95();
+        assert!(hi <= 100.0 && lo > 90.0, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = OutcomeCounts {
+            unace: 1,
+            sdc: 2,
+            segv: 3,
+            detected: 4,
+            hang: 5,
+            recoveries: 6,
+        };
+        a += a;
+        assert_eq!(a.total(), 30);
+        assert_eq!(a.recoveries, 12);
+    }
+}
