@@ -1,0 +1,280 @@
+//! Dynamic register liveness and fault-site equivalence classes.
+//!
+//! The fault space of one (program, input) pair is the cube
+//! `golden_len x injectable registers x 64 bits`. Two observations make
+//! exhausting it tractable:
+//!
+//! 1. **Dead sites are provably unACE.** Integer register writes are
+//!    full-width (64-bit), so a write fully clobbers any earlier flip. A
+//!    faulty run is bit-identical to the golden run up to the first golden
+//!    read of the flipped register; if the register is written first, or
+//!    never accessed again before the run ends, the flip can never be
+//!    observed: the run completes with the golden output, no probe fires
+//!    beyond the golden ones, and the outcome is unACE by definition. Such
+//!    sites are pruned analytically, without running anything.
+//! 2. **Live sites collapse into read-window equivalence classes.** A flip
+//!    of register *r* injected anywhere in the window `(prev_access, s]`,
+//!    where *s* is the next golden read of *r*, produces the *same*
+//!    machine state when execution reaches *s* — golden state plus the one
+//!    flipped bit — and deterministic execution then produces the same
+//!    outcome. One injection per bit at the representative slot *s*
+//!    certifies the whole window.
+//!
+//! Both facts require the def-use masks to mirror the machine's functional
+//! semantics exactly; `sor-sim` guarantees that (see
+//! [`sor_sim::TraceSink`]), and the harness oracle test pins the composed
+//! claim against brute-force injection of every site.
+
+use crate::trace::DefUseTrace;
+use sor_ir::NUM_IREGS;
+use sor_sim::INJECTABLE_REGS;
+
+/// What happens to a flip of one register injected at one dynamic slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteFate {
+    /// The register is written before being read, or never accessed again:
+    /// the flip is clobbered or ignored — provably unACE for every bit.
+    Dead,
+    /// The golden run reads the register at `first_read` (>= the injection
+    /// slot) before any write: the flip reaches that reader intact.
+    Live {
+        /// The slot of the first golden read that observes the flip.
+        first_read: u64,
+    },
+}
+
+/// Per-register access-event index over one golden trace.
+///
+/// For each integer register, the ordered list of dynamic slots at which
+/// the golden run accesses it, each tagged read or write. An instruction
+/// that both reads and writes a register counts as a *read*: the machine
+/// evaluates sources before writing destinations, so an injected flip is
+/// observed.
+#[derive(Debug, Clone)]
+pub struct LivenessIndex {
+    /// `events[reg]` = ordered `(slot, is_read)` accesses of `reg`.
+    events: Vec<Vec<(u64, bool)>>,
+    golden_len: u64,
+}
+
+impl LivenessIndex {
+    /// Builds the index from a recorded trace.
+    pub fn build(trace: &DefUseTrace) -> Self {
+        let mut events: Vec<Vec<(u64, bool)>> = vec![Vec::new(); NUM_IREGS];
+        for slot in 0..trace.len() {
+            let reads = trace.reads(slot);
+            let mut touched = reads | trace.writes(slot);
+            while touched != 0 {
+                let reg = touched.trailing_zeros();
+                touched &= touched - 1;
+                events[reg as usize].push((slot, reads & (1 << reg) != 0));
+            }
+        }
+        LivenessIndex {
+            events,
+            golden_len: trace.len(),
+        }
+    }
+
+    /// Golden run length the index was built over.
+    pub fn golden_len(&self) -> u64 {
+        self.golden_len
+    }
+
+    /// Classifies a flip of `reg` injected immediately before dynamic slot
+    /// `at`. An access *at* `at` itself counts: the injection lands before
+    /// the instruction executes.
+    pub fn classify(&self, reg: u8, at: u64) -> SiteFate {
+        let evs = &self.events[reg as usize];
+        let i = evs.partition_point(|&(slot, _)| slot < at);
+        match evs.get(i) {
+            Some(&(slot, true)) => SiteFate::Live { first_read: slot },
+            _ => SiteFate::Dead,
+        }
+    }
+
+    /// The ordered access events of one register.
+    pub fn events(&self, reg: u8) -> &[(u64, bool)] {
+        &self.events[reg as usize]
+    }
+}
+
+/// A maximal run of dynamic slots `lo..=hi` over which flips of `reg`
+/// share one fate. For a live range, `hi` is the first-read slot — the
+/// representative every slot in the window is certified by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRange {
+    /// Flipped register.
+    pub reg: u8,
+    /// First slot of the window (inclusive).
+    pub lo: u64,
+    /// Last slot of the window (inclusive).
+    pub hi: u64,
+}
+
+impl SlotRange {
+    /// Number of (slot, reg) pairs in the window.
+    pub fn span(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+}
+
+/// The certification plan for one golden run: every fault site of the
+/// full cube, partitioned into analytically-dead windows and live
+/// read-window equivalence classes.
+#[derive(Debug, Clone)]
+pub struct CertPlan {
+    /// Golden run length (dynamic instructions).
+    pub golden_len: u64,
+    /// Live equivalence classes; the representative injection slot is
+    /// `range.hi` (the first-read slot). One injection per bit per class
+    /// certifies `range.span() * 64` sites.
+    pub classes: Vec<SlotRange>,
+    /// Dead windows: provably unACE, never executed.
+    pub dead: Vec<SlotRange>,
+}
+
+impl CertPlan {
+    /// Partitions the full fault space of `trace` into dead windows and
+    /// live equivalence classes.
+    pub fn build(trace: &DefUseTrace) -> CertPlan {
+        let index = LivenessIndex::build(trace);
+        let golden_len = trace.len();
+        let mut classes = Vec::new();
+        let mut dead = Vec::new();
+        for &reg in &INJECTABLE_REGS {
+            let mut covered = 0u64;
+            let mut prev: Option<u64> = None;
+            for &(slot, is_read) in index.events(reg) {
+                let lo = prev.map_or(0, |p| p + 1);
+                let range = SlotRange { reg, lo, hi: slot };
+                if is_read {
+                    classes.push(range);
+                } else {
+                    dead.push(range);
+                }
+                covered += range.span();
+                prev = Some(slot);
+            }
+            let tail_lo = prev.map_or(0, |p| p + 1);
+            if tail_lo < golden_len {
+                let tail = SlotRange {
+                    reg,
+                    lo: tail_lo,
+                    hi: golden_len - 1,
+                };
+                covered += tail.span();
+                dead.push(tail);
+            }
+            debug_assert_eq!(covered, golden_len, "r{reg} windows must tile the run");
+        }
+        CertPlan {
+            golden_len,
+            classes,
+            dead,
+        }
+    }
+
+    /// Total fault sites in the cube: `golden_len x registers x 64 bits`.
+    pub fn total_sites(&self) -> u64 {
+        self.golden_len * INJECTABLE_REGS.len() as u64 * 64
+    }
+
+    /// Sites pruned analytically (all bits of all dead-window slots).
+    pub fn dead_sites(&self) -> u64 {
+        self.dead.iter().map(|r| r.span() * 64).sum()
+    }
+
+    /// Sites covered by executed representatives.
+    pub fn live_sites(&self) -> u64 {
+        self.classes.iter().map(|r| r.span() * 64).sum()
+    }
+
+    /// Injections an exhaustive certification actually executes: one per
+    /// bit per live class.
+    pub fn injections(&self) -> u64 {
+        self.classes.len() as u64 * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sor_sim::TraceSink;
+
+    /// Hand-built trace: three instructions touching r2 and r5.
+    ///   slot 0: writes r2
+    ///   slot 1: reads r2, writes r5
+    ///   slot 2: reads r5 and writes r5 (read-modify-write -> read event)
+    fn tiny_trace() -> DefUseTrace {
+        let mut t = DefUseTrace::default();
+        t.record(0, 10, 0, 1 << 2);
+        t.record(1, 11, 1 << 2, 1 << 5);
+        t.record(2, 12, 1 << 5, 1 << 5);
+        t
+    }
+
+    #[test]
+    fn classify_follows_first_access() {
+        let index = LivenessIndex::build(&tiny_trace());
+        // A flip of r2 before slot 0 is clobbered by the write at slot 0.
+        assert_eq!(index.classify(2, 0), SiteFate::Dead);
+        // Before slot 1 it reaches the read at slot 1.
+        assert_eq!(index.classify(2, 1), SiteFate::Live { first_read: 1 });
+        // After the read, nothing touches r2 again.
+        assert_eq!(index.classify(2, 2), SiteFate::Dead);
+        // r5: written at 1, read at 2 — a flip at 0 or 1 dies at slot 1's
+        // write, a flip at 2 lands before the read-modify-write.
+        assert_eq!(index.classify(5, 0), SiteFate::Dead);
+        assert_eq!(index.classify(5, 1), SiteFate::Dead);
+        assert_eq!(index.classify(5, 2), SiteFate::Live { first_read: 2 });
+        // An untouched register is dead everywhere.
+        for at in 0..3 {
+            assert_eq!(index.classify(9, at), SiteFate::Dead);
+        }
+    }
+
+    #[test]
+    fn plan_tiles_the_cube_exactly() {
+        let plan = CertPlan::build(&tiny_trace());
+        assert_eq!(plan.golden_len, 3);
+        assert_eq!(plan.total_sites(), 3 * 31 * 64);
+        assert_eq!(plan.dead_sites() + plan.live_sites(), plan.total_sites());
+        // r2 contributes one class ([1,1]), r5 one class ([2,2]).
+        assert_eq!(plan.classes.len(), 2);
+        assert!(plan.classes.contains(&SlotRange {
+            reg: 2,
+            lo: 1,
+            hi: 1
+        }));
+        assert!(plan.classes.contains(&SlotRange {
+            reg: 5,
+            lo: 2,
+            hi: 2
+        }));
+        assert_eq!(plan.injections(), 2 * 64);
+        // Every class fate agrees with point classification.
+        let index = LivenessIndex::build(&tiny_trace());
+        for c in &plan.classes {
+            for at in c.lo..=c.hi {
+                assert_eq!(
+                    index.classify(c.reg, at),
+                    SiteFate::Live { first_read: c.hi }
+                );
+            }
+        }
+        for d in &plan.dead {
+            for at in d.lo..=d.hi {
+                assert_eq!(index.classify(d.reg, at), SiteFate::Dead);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_all_dead_nothing_to_run() {
+        let plan = CertPlan::build(&DefUseTrace::default());
+        assert_eq!(plan.total_sites(), 0);
+        assert_eq!(plan.injections(), 0);
+        assert!(plan.classes.is_empty() && plan.dead.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! The recorded def-use trace of a golden run.
+
+use sor_sim::{Runner, TraceSink};
+
+/// Per-slot def-use record of one golden run: for every dynamic
+/// instruction, the pc the fault check for that slot lands on and the
+/// integer registers the instruction reads and writes (bitmasks, bit *i* =
+/// register *i*).
+///
+/// Stored column-wise (three flat `Vec`s) so a multi-million-instruction
+/// trace costs 16 bytes per slot and scans linearly.
+#[derive(Debug, Clone, Default)]
+pub struct DefUseTrace {
+    check_pcs: Vec<usize>,
+    reads: Vec<u32>,
+    writes: Vec<u32>,
+}
+
+impl TraceSink for DefUseTrace {
+    fn record(&mut self, slot: u64, check_pc: usize, reads: u32, writes: u32) {
+        debug_assert_eq!(slot as usize, self.check_pcs.len(), "slots arrive in order");
+        self.check_pcs.push(check_pc);
+        self.reads.push(reads);
+        self.writes.push(writes);
+    }
+}
+
+impl DefUseTrace {
+    /// Records the def-use trace of `runner`'s golden run.
+    pub fn record(runner: &Runner) -> Self {
+        let mut trace = DefUseTrace::default();
+        runner.trace_golden(&mut trace);
+        trace
+    }
+
+    /// Dynamic instructions traced (the golden run length).
+    pub fn len(&self) -> u64 {
+        self.check_pcs.len() as u64
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.check_pcs.is_empty()
+    }
+
+    /// The pc a fault armed for `slot` fires at.
+    pub fn check_pc(&self, slot: u64) -> usize {
+        self.check_pcs[slot as usize]
+    }
+
+    /// Integer registers read at `slot` (bitmask).
+    pub fn reads(&self, slot: u64) -> u32 {
+        self.reads[slot as usize]
+    }
+
+    /// Integer registers written at `slot` (bitmask).
+    pub fn writes(&self, slot: u64) -> u32 {
+        self.writes[slot as usize]
+    }
+}

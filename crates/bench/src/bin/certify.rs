@@ -1,0 +1,129 @@
+//! Exhaustive fault-space certification (extension experiment E9): for
+//! every technique, certifies the *entire* `golden x register x bit` cube
+//! of one workload via `sor-ace` dynamic-liveness pruning and writes
+//! `results/certified_<technique>.json` — exact unACE/SDC/SEGV fractions
+//! with per-protection-role attribution, no sampling and no confidence
+//! interval.
+//!
+//! Flags: `--samples N` workload size (default 40; the fault space is
+//! quadratic-ish in it, but only live equivalence classes are executed),
+//! `--threads N` (default all cores).
+
+use sor_core::Technique;
+use sor_harness::{run_certified_campaign_in, ArtifactStore, CertifyConfig};
+use sor_workloads::{AdpcmDec, Workload};
+
+/// Lowercase filename slug for a technique ("TRUMP/SWIFT-R" → "trump-swift-r").
+fn slug(technique: Technique) -> String {
+    technique
+        .to_string()
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+fn main() {
+    let samples: u64 = sor_bench::arg_value("--samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let threads: usize = sor_bench::arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let workload = AdpcmDec { samples, seed: 1 };
+    let cfg = CertifyConfig {
+        threads,
+        ..CertifyConfig::default()
+    };
+    let store = ArtifactStore::new();
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
+        "technique",
+        "total-sites",
+        "dead-sites",
+        "classes",
+        "injections",
+        "pruning",
+        "unACE%",
+        "SEGV%",
+        "SDC%"
+    );
+    for technique in Technique::ALL {
+        let start = std::time::Instant::now();
+        let r = run_certified_campaign_in(&store, &workload, technique, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "{:<14} {:>12} {:>12} {:>9} {:>11} {:>7.1}x {:>8.2} {:>8.2} {:>8.2}",
+            technique.to_string(),
+            r.total_sites,
+            r.dead_sites,
+            r.classes,
+            r.injections_executed,
+            r.pruning_factor(),
+            r.counts.pct_unace(),
+            r.counts.pct_segv(),
+            r.counts.pct_sdc(),
+        );
+        eprintln!(
+            "certified {} / {technique} in {secs:.2}s ({} injections for {} sites)",
+            workload.name(),
+            r.injections_executed,
+            r.total_sites
+        );
+
+        let roles: Vec<String> = r
+            .roles
+            .iter()
+            .map(|(role, c)| {
+                format!(
+                    "    {{\"role\": \"{role}\", \"sites\": {}, \"unace\": {}, \
+                     \"sdc\": {}, \"segv\": {}, \"detected\": {}, \"hang\": {}, \
+                     \"recoveries\": {}}}",
+                    c.total(),
+                    c.unace,
+                    c.sdc,
+                    c.segv,
+                    c.detected,
+                    c.hang,
+                    c.recoveries,
+                )
+            })
+            .collect();
+        let c = r.counts;
+        let json = format!(
+            "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{technique}\",\n  \
+             \"golden_instrs\": {},\n  \"total_sites\": {},\n  \
+             \"dead_sites\": {},\n  \"live_sites\": {},\n  \"classes\": {},\n  \
+             \"injections_executed\": {},\n  \"pruning_factor\": {:.2},\n  \
+             \"counts\": {{\"unace\": {}, \"sdc\": {}, \"segv\": {}, \
+             \"detected\": {}, \"hang\": {}, \"recoveries\": {}}},\n  \
+             \"unace_pct\": {:.4},\n  \"segv_pct\": {:.4},\n  \"sdc_pct\": {:.4},\n  \
+             \"roles\": [\n{}\n  ]\n}}\n",
+            workload.name(),
+            r.golden_instrs,
+            r.total_sites,
+            r.dead_sites,
+            r.live_sites,
+            r.classes,
+            r.injections_executed,
+            r.pruning_factor(),
+            c.unace,
+            c.sdc,
+            c.segv,
+            c.detected,
+            c.hang,
+            c.recoveries,
+            c.pct_unace(),
+            c.pct_segv(),
+            c.pct_sdc(),
+            roles.join(",\n"),
+        );
+        let name = format!("certified_{}.json", slug(technique));
+        match sor_bench::write_results(&name, &json) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write {name}: {e}"),
+        }
+    }
+}

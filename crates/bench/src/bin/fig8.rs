@@ -1,6 +1,10 @@
 //! Regenerates **Figure 8**: reliability percentage (unACE/SEGV/SDC) for
 //! NOFT, MASK, TRUMP, TRUMP/MASK, TRUMP/SWIFT-R and SWIFT-R over the ten
 //! benchmark kernels, 250 SEU injections per cell (paper §7.1).
+//!
+//! Flags: `--runs N` injections per cell (default 250), `--seed S`
+//! campaign seed (default `0x5EED`), `--json` to additionally write
+//! `results/fig8.json`.
 
 use sor_harness::{CampaignConfig, FigureEight};
 use sor_workloads::all_workloads;
@@ -10,6 +14,7 @@ fn main() {
     let seed = sor_bench::arg_value("--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0x5EED);
+    let want_json = std::env::args().any(|a| a == "--json");
     let cfg = CampaignConfig {
         runs,
         seed,
@@ -21,10 +26,14 @@ fn main() {
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
     println!("{fig}");
     println!("{}", fig.to_chart());
-    for (name, contents) in [
+    let mut outputs = vec![
         ("fig8.csv", fig.to_csv()),
         ("fig8.txt", format!("{fig}\n{}", fig.to_chart())),
-    ] {
+    ];
+    if want_json {
+        outputs.push(("fig8.json", fig.to_json()));
+    }
+    for (name, contents) in outputs {
         match sor_bench::write_results(name, &contents) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write results: {e}"),

@@ -3,6 +3,10 @@
 //! (paper: 89.39% for SWIFT-R, 52.48% for TRUMP), and the geometric-mean
 //! normalized execution time (paper: 1.99x SWIFT-R, 1.36x TRUMP, ~1.00x
 //! MASK, 1.37x TRUMP/MASK, 1.98x TRUMP/SWIFT-R).
+//!
+//! Flags: `--runs N` injections per cell (default 250), `--seed S`
+//! campaign seed (default `0x5EED`), `--json` to additionally write
+//! `results/headline.json`.
 
 use sor_core::Technique;
 use sor_harness::{headline, ArtifactStore, CampaignConfig, FigureEight, FigureNine, PerfConfig};
@@ -10,9 +14,14 @@ use sor_workloads::all_workloads;
 
 fn main() {
     let runs = sor_bench::runs_arg(250);
+    let seed = sor_bench::arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED);
+    let want_json = std::env::args().any(|a| a == "--json");
     let suite = all_workloads();
     let cfg = CampaignConfig {
         runs,
+        seed,
         ..CampaignConfig::default()
     };
     // One artifact store for both figures: the timing runs reuse every
@@ -42,5 +51,11 @@ fn main() {
     match sor_bench::write_results("headline.csv", &csv) {
         Ok(p) => eprintln!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    if want_json {
+        match sor_bench::write_results("headline.json", &h.to_json()) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write results: {e}"),
+        }
     }
 }

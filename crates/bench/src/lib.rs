@@ -3,11 +3,12 @@
 //! Binaries (run with `--release`):
 //!
 //! * `fig8` — the Figure 8 reliability matrix (`--runs N` to override the
-//!   paper's 250 injections per cell; results also written to
-//!   `results/fig8.csv`).
-//! * `fig9` — the Figure 9 normalized execution times (`results/fig9.csv`).
+//!   paper's 250 injections per cell, `--seed S`, `--json`; results also
+//!   written to `results/fig8.csv`).
+//! * `fig9` — the Figure 9 normalized execution times (`results/fig9.csv`;
+//!   `--json`).
 //! * `headline` — the paper's §1/§9 summary numbers, derived from both
-//!   figures (uses fewer injections by default; `--runs N` to override).
+//!   figures (`--runs N`, `--seed S`, `--json`).
 //! * `coverage` — the per-benchmark TRUMP/SWIFT-R protection split behind
 //!   the §7 instruction-mix discussion (extension experiment E5; `--json`
 //!   additionally writes `results/coverage.json`).
@@ -20,6 +21,16 @@
 //!   top-N table and residual-SDC role attribution.
 //! * `triage_bench` — provenance-profiling overhead vs. the plain campaign
 //!   (`BENCH_triage.json`).
+//! * `certify` — exhaustive `sor-ace` certification of one workload's
+//!   entire fault space per technique, exact fractions with per-role
+//!   attribution (`results/certified_<technique>.json`; extension
+//!   experiment E9).
+//! * `ace_bench` — certification efficiency vs. true brute-force injection
+//!   of every site: asserts identical histograms, then reports the
+//!   injection-count reduction and wall-clock speedup (`BENCH_ace.json`).
+//!
+//! All bins spell their common flags the same way: `--runs N`, `--seed S`,
+//! `--threads N`, `--samples N`, `--json`.
 //!
 //! Engineering benches (`cargo bench`): transform throughput, simulator
 //! throughput, end-to-end per-technique cost on a small kernel. They use

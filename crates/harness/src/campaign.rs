@@ -6,7 +6,7 @@ use sor_core::Technique;
 use sor_ir::Program;
 use sor_regalloc::LowerConfig;
 use sor_rng::SmallRng;
-use sor_sim::{FaultSpec, MachineConfig, Runner, INJECTABLE_REGS};
+use sor_sim::{FaultSpec, MachineConfig, Runner};
 use sor_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -53,19 +53,11 @@ pub struct CampaignResult {
     pub golden_instrs: u64,
 }
 
-/// Draws the paper's fault distribution: uniform over dynamic instructions,
-/// injectable integer registers and bit positions.
-fn draw_fault(rng: &mut SmallRng, golden_len: u64) -> FaultSpec {
-    let at = rng.gen_range(0, golden_len.max(1));
-    let reg = *rng.choose(&INJECTABLE_REGS);
-    let bit = rng.gen_range(0, 64) as u8;
-    FaultSpec::new(at, reg, bit)
-}
-
 /// Pre-draws the campaign's full fault list from the per-cell seed, so the
 /// distribution is a pure function of (config, workload, technique) —
 /// independent of thread count, and shared verbatim between plain and
-/// triaged campaigns.
+/// triaged campaigns. Each fault comes from [`FaultSpec::sample`], the
+/// sampling routine shared with the adaptive triage sampler.
 pub(crate) fn draw_faults(
     cfg: &CampaignConfig,
     wl_name: &str,
@@ -76,7 +68,7 @@ pub(crate) fn draw_faults(
         cfg.seed ^ (wl_name.len() as u64) ^ ((technique.letter() as u64) << 32),
     );
     (0..cfg.runs)
-        .map(|_| draw_fault(&mut rng, golden_len))
+        .map(|_| FaultSpec::sample(&mut rng, golden_len))
         .collect()
 }
 
@@ -196,6 +188,34 @@ mod tests {
             threads: 2,
             ..Default::default()
         }
+    }
+
+    /// The sampling-dedupe pin: [`draw_faults`] built on
+    /// [`FaultSpec::sample`] must draw the exact sequence the pre-dedupe
+    /// hand-rolled code drew (slot, then register via `choose`, then bit),
+    /// so recorded campaign results stay reproducible across the refactor.
+    #[test]
+    fn draw_faults_sequence_is_pinned_to_the_historical_draws() {
+        let cfg = CampaignConfig {
+            runs: 300,
+            seed: 0x5EED,
+            ..Default::default()
+        };
+        let golden_len = 12_345;
+        let faults = draw_faults(&cfg, "adpcmdec", Technique::SwiftR, golden_len);
+        // The historical inline implementation, re-derived verbatim.
+        let mut rng = SmallRng::seed_from_u64(
+            cfg.seed ^ ("adpcmdec".len() as u64) ^ ((Technique::SwiftR.letter() as u64) << 32),
+        );
+        let expected: Vec<FaultSpec> = (0..cfg.runs)
+            .map(|_| {
+                let at = rng.gen_range(0, golden_len.max(1));
+                let reg = *rng.choose(&sor_sim::INJECTABLE_REGS);
+                let bit = rng.gen_range(0, 64) as u8;
+                FaultSpec::new(at, reg, bit)
+            })
+            .collect();
+        assert_eq!(faults, expected);
     }
 
     #[test]

@@ -122,6 +122,30 @@ impl FigureEight {
         }
         s
     }
+
+    /// JSON form (one object per cell), mirroring [`to_csv`](Self::to_csv).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "  {{\"workload\": \"{}\", \"technique\": \"{}\", \"runs\": {}, \
+                     \"unace_pct\": {:.2}, \"sdc_pct\": {:.2}, \"segv_pct\": {:.2}, \
+                     \"recoveries\": {}, \"golden_instrs\": {}}}",
+                    c.workload,
+                    c.technique,
+                    c.counts.total(),
+                    c.counts.pct_unace(),
+                    c.counts.pct_sdc(),
+                    c.counts.pct_segv(),
+                    c.counts.recoveries,
+                    c.golden_instrs,
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    }
 }
 
 impl fmt::Display for FigureEight {
@@ -251,6 +275,27 @@ impl FigureNine {
         }
         s
     }
+
+    /// JSON form (one object per cell), mirroring [`to_csv`](Self::to_csv).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "  {{\"workload\": \"{}\", \"technique\": \"{}\", \"cycles\": {}, \
+                     \"dyn_instrs\": {}, \"ipc\": {:.3}, \"normalized\": {:.3}}}",
+                    c.workload,
+                    c.technique,
+                    c.cycles,
+                    c.dyn_instrs,
+                    c.ipc(),
+                    self.normalized(&c.workload, c.technique).unwrap_or(1.0),
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    }
 }
 
 impl fmt::Display for FigureNine {
@@ -316,6 +361,13 @@ mod tests {
             chart.lines().filter(|l| l.contains('|')).count(),
             fig.cells.len()
         );
+        let json = fig.to_json();
+        assert_eq!(
+            json.matches("\"workload\"").count(),
+            fig.cells.len(),
+            "{json}"
+        );
+        assert!(json.contains("\"unace_pct\""), "{json}");
     }
 
     /// Both figures through one store: every Figure 9 cell reuses the

@@ -26,9 +26,18 @@
 //!   provenance (pc, `ProtectionRole`), merged across worker threads.
 //!   [`residual_sdc_table`] renders the cross-technique residual-SDC-by-role
 //!   markdown table used by the `triage` report binary.
+//! * [`run_certified_campaign`] — the exhaustive, exact counterpart to the
+//!   sampled campaign: `sor_ace` liveness analysis prunes provably-unACE
+//!   sites and collapses the rest into read-window equivalence classes,
+//!   and only the class representatives are executed (same
+//!   checkpoint-and-replay + work-stealing machinery). The resulting
+//!   [`CertifiedCoverage`](sor_ace::CertifiedCoverage) covers *every*
+//!   (slot, register, bit) site with exact unACE/SDC/DUE fractions and
+//!   per-role attribution — no Wilson interval.
 
 mod artifact;
 mod campaign;
+mod certify;
 mod figures;
 mod perf;
 mod report;
@@ -37,6 +46,9 @@ mod triage;
 
 pub use artifact::{Artifact, ArtifactKey, ArtifactStore};
 pub use campaign::{run_campaign, run_campaign_in, CampaignConfig, CampaignResult};
+pub use certify::{
+    certify_program, run_certified_campaign, run_certified_campaign_in, CertifyConfig,
+};
 pub use figures::{FigureEight, FigureNine};
 pub use perf::{measure_perf, measure_perf_in, PerfConfig, PerfResult};
 pub use report::{headline, Headline};

@@ -66,6 +66,31 @@ impl Headline {
     pub fn row(&self, t: Technique) -> Option<&HeadlineRow> {
         self.rows.iter().find(|r| r.technique == t)
     }
+
+    /// JSON form (one object per technique row).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"technique\": \"{}\", \"unace_pct\": {:.2}, \
+                     \"unace_ci95\": [{:.2}, {:.2}], \"segv_pct\": {:.2}, \
+                     \"sdc_pct\": {:.2}, \"bad_reduction_pct\": {:.2}, \
+                     \"norm_time\": {:.3}}}",
+                    r.technique,
+                    r.unace_pct,
+                    r.unace_ci95.0,
+                    r.unace_ci95.1,
+                    r.segv_pct,
+                    r.sdc_pct,
+                    r.bad_reduction_pct,
+                    r.norm_time,
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    }
 }
 
 impl fmt::Display for Headline {
@@ -119,5 +144,8 @@ mod tests {
         assert!(noft.bad_reduction_pct.abs() < 1e-9);
         let text = h.to_string();
         assert!(text.contains("SWIFT-R"));
+        let json = h.to_json();
+        assert_eq!(json.matches("\"technique\"").count(), 6, "{json}");
+        assert!(json.contains("\"bad_reduction_pct\""), "{json}");
     }
 }

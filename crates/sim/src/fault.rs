@@ -1,6 +1,7 @@
 //! The single-event-upset fault specification.
 
 use sor_ir::{NUM_IREGS, SP};
+use sor_rng::SmallRng;
 use std::fmt;
 
 /// One SEU: flip `bit` of integer register `reg` immediately before the
@@ -35,6 +36,28 @@ impl FaultSpec {
     /// Registers eligible for injection (everything but the SP).
     pub fn injectable_regs() -> impl Iterator<Item = u8> {
         INJECTABLE_REGS.iter().copied()
+    }
+
+    /// Draws the paper's §7.1 fault distribution: uniform over the golden
+    /// run's dynamic instructions, the injectable registers and the 64 bit
+    /// positions — the one sampling routine every campaign shares.
+    ///
+    /// The draw order (slot, then register, then bit, via
+    /// [`FaultSpec::sample_point`]) is load-bearing: campaign fault
+    /// sequences are seed-stable artifacts, pinned by tests at the call
+    /// sites, so reordering the draws is a breaking change.
+    pub fn sample(rng: &mut SmallRng, golden_len: u64) -> FaultSpec {
+        let at = rng.gen_range(0, golden_len.max(1));
+        let (reg, bit) = FaultSpec::sample_point(rng);
+        FaultSpec::new(at, reg, bit)
+    }
+
+    /// Draws a uniform (register, bit) target — register first, then bit —
+    /// over the full injectable fault space.
+    pub fn sample_point(rng: &mut SmallRng) -> (u8, u8) {
+        let reg = *rng.choose(&INJECTABLE_REGS);
+        let bit = rng.gen_range(0, 64) as u8;
+        (reg, bit)
     }
 }
 
@@ -84,6 +107,34 @@ mod tests {
     #[should_panic(expected = "stack pointer")]
     fn sp_is_rejected() {
         let _ = FaultSpec::new(0, SP.index(), 0);
+    }
+
+    /// The shared sampler draws (slot, register, bit) in that exact order:
+    /// the sequence for a fixed seed is a stable artifact that campaign
+    /// tests pin against re-derived draws.
+    #[test]
+    fn sample_is_in_range_and_order_stable() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut check = SmallRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let f = FaultSpec::sample(&mut rng, 1000);
+            assert!(f.at_instr < 1000);
+            assert!((f.reg as usize) < NUM_IREGS && f.reg != SP.index());
+            assert!(f.bit < 64);
+            let at = check.gen_range(0, 1000);
+            let reg = *check.choose(&INJECTABLE_REGS);
+            let bit = check.gen_range(0, 64) as u8;
+            assert_eq!(
+                f,
+                FaultSpec {
+                    at_instr: at,
+                    reg,
+                    bit
+                }
+            );
+        }
+        // A zero-length run clamps the slot range instead of panicking.
+        assert_eq!(FaultSpec::sample(&mut rng, 0).at_instr, 0);
     }
 
     #[test]

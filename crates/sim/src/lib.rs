@@ -32,6 +32,7 @@ mod mem;
 mod outcome;
 mod runner;
 mod timing;
+mod trace;
 
 pub use cache::{Cache, CacheConfig};
 pub use checkpoint::{Checkpoint, CheckpointStore};
@@ -41,3 +42,4 @@ pub use mem::{MemError, Memory, PageSnapshot, PAGE_SIZE};
 pub use outcome::{classify, Outcome};
 pub use runner::{FaultRecord, Replayer, Runner};
 pub use timing::{Latencies, Timing, TimingConfig};
+pub use trace::TraceSink;

@@ -5,6 +5,7 @@ use crate::checkpoint::Checkpoint;
 use crate::fault::FaultSpec;
 use crate::mem::Memory;
 use crate::timing::{Timing, TimingConfig};
+use crate::trace::TraceSink;
 use sor_ir::{
     layout, AluOp, CmpOp, ExtFunc, FpOp, MemWidth, PArg, PInst, PLoc, POperand, Preg, ProbeEvent,
     Program, RegClass, TrapKind, Width, NUM_FREGS, NUM_IREGS,
@@ -347,6 +348,150 @@ impl<'p> Machine<'p> {
             }
         };
         (self.take_result(status), cps)
+    }
+
+    /// Runs the fault-free golden execution, reporting one def-use event
+    /// per counted dynamic instruction to `sink` (see [`TraceSink`]).
+    ///
+    /// Events are emitted immediately before each instruction executes and
+    /// mirror the functional semantics exactly. The reported `check_pc`
+    /// reproduces the pc the fault check for that slot observes in
+    /// [`Machine::run_mut`] — the pc at the *first* top-of-loop check with
+    /// that dynamic count, which is a probe's pc when probes precede the
+    /// counted instruction.
+    pub fn run_golden_traced(&mut self, sink: &mut dyn TraceSink) -> RunResult {
+        debug_assert!(self.timing.is_none(), "tracing is functional-only");
+        let mut check_pc = self.pc;
+        let mut checked: Option<u64> = None;
+        let status = loop {
+            if self.dyn_count >= self.fuel {
+                break RunStatus::OutOfFuel;
+            }
+            if checked != Some(self.dyn_count) {
+                checked = Some(self.dyn_count);
+                check_pc = self.pc;
+            }
+            if !matches!(self.prog.insts[self.pc], PInst::Probe(_)) {
+                let (reads, writes) = self.dyn_int_accesses();
+                sink.record(self.dyn_count, check_pc, reads, writes);
+            }
+            match self.step() {
+                Step::Next => self.pc += 1,
+                Step::Goto(t) => self.pc = t,
+                Step::Done(s) => break s,
+            }
+        };
+        self.take_result(status)
+    }
+
+    /// Integer-register (read, write) bitmasks of the instruction at the
+    /// current pc, evaluated against current machine state — dynamic where
+    /// the semantics are dynamic: a `Select` reads only the operand its
+    /// condition actually chooses, a `Ret` writes the pending caller
+    /// frame's return destinations, spill-slot arguments read the SP.
+    ///
+    /// Must be called before the instruction executes; the pc must not
+    /// point at a probe.
+    fn dyn_int_accesses(&self) -> (u32, u32) {
+        let mut reads = 0u32;
+        let mut writes = 0u32;
+        let read_reg = |p: Preg, m: &mut u32| {
+            if p.class() == RegClass::Int {
+                *m |= 1 << p.index();
+            }
+        };
+        let read_op = |o: &POperand, m: &mut u32| {
+            if let POperand::Reg(r) = o {
+                *m |= 1 << r.index();
+            }
+        };
+        // Spill-slot arguments and locations are addressed off the SP.
+        let read_arg = |a: &PArg, m: &mut u32| match a {
+            PArg::Reg(p) => read_reg(*p, m),
+            PArg::Slot(..) => *m |= 1 << SP_IDX,
+            PArg::Imm(_) => {}
+        };
+        match &self.prog.insts[self.pc] {
+            PInst::Alu { dst, a, b, .. } | PInst::Cmp { dst, a, b, .. } => {
+                read_op(a, &mut reads);
+                read_op(b, &mut reads);
+                writes |= 1 << dst.index();
+            }
+            PInst::Mov { dst, src } => {
+                read_op(src, &mut reads);
+                writes |= 1 << dst.index();
+            }
+            PInst::Select { dst, cond, t, f } => {
+                reads |= 1 << cond.index();
+                read_op(if self.reg_i(*cond) != 0 { t } else { f }, &mut reads);
+                writes |= 1 << dst.index();
+            }
+            PInst::Load { dst, base, .. } => {
+                reads |= 1 << base.index();
+                writes |= 1 << dst.index();
+            }
+            PInst::Store { base, src, .. } => {
+                reads |= 1 << base.index();
+                read_op(src, &mut reads);
+            }
+            PInst::Fpu { .. } | PInst::FMovImm { .. } | PInst::FMov { .. } => {}
+            PInst::FCmp { dst, .. } | PInst::CvtFI { dst, .. } => {
+                writes |= 1 << dst.index();
+            }
+            PInst::CvtIF { src, .. } => {
+                reads |= 1 << src.index();
+            }
+            PInst::FLoad { base, .. } | PInst::FStore { base, .. } => {
+                reads |= 1 << base.index();
+            }
+            PInst::Jump(_) | PInst::Trap(_) => {}
+            PInst::Branch { cond, .. } => {
+                reads |= 1 << cond.index();
+            }
+            PInst::CallInt { args, .. } => {
+                for a in args {
+                    read_arg(a, &mut reads);
+                }
+            }
+            // The functional path reads only the emitted value; further
+            // args are timing-model sources and timing is off here.
+            PInst::CallExt { args, .. } => read_arg(&args[0], &mut reads),
+            PInst::Enter { params, .. } => {
+                reads |= 1 << SP_IDX;
+                writes |= 1 << SP_IDX;
+                for l in params {
+                    match l {
+                        PLoc::Reg(p) => {
+                            if p.class() == RegClass::Int {
+                                writes |= 1 << p.index();
+                            }
+                        }
+                        PLoc::Slot(..) => reads |= 1 << SP_IDX,
+                    }
+                }
+            }
+            PInst::Ret { vals, .. } => {
+                for v in vals {
+                    read_arg(v, &mut reads);
+                }
+                reads |= 1 << SP_IDX;
+                writes |= 1 << SP_IDX;
+                if let Some(frame) = self.frames.last() {
+                    for l in frame.ret_dsts.as_slice() {
+                        match l {
+                            PLoc::Reg(p) => {
+                                if p.class() == RegClass::Int {
+                                    writes |= 1 << p.index();
+                                }
+                            }
+                            PLoc::Slot(..) => reads |= 1 << SP_IDX,
+                        }
+                    }
+                }
+            }
+            PInst::Probe(_) => unreachable!("probes produce no trace event"),
+        }
+        (reads, writes)
     }
 
     #[inline]

@@ -4,6 +4,7 @@ use crate::checkpoint::CheckpointStore;
 use crate::fault::FaultSpec;
 use crate::machine::{Machine, MachineConfig, RunResult};
 use crate::outcome::{classify, Outcome};
+use crate::trace::TraceSink;
 use sor_ir::ProtectionRole;
 
 /// One fault injection annotated with its static provenance: which static
@@ -137,6 +138,24 @@ impl<'p> Runner<'p> {
     /// The recorded golden-run checkpoints (empty when disabled).
     pub fn checkpoints(&self) -> &CheckpointStore {
         &self.ckpts
+    }
+
+    /// Re-executes the golden run with def-use tracing, feeding one event
+    /// per counted dynamic instruction to `sink` (see
+    /// [`crate::TraceSink`]), and asserts the traced run is bit-identical
+    /// to the recorded golden run.
+    pub fn trace_golden(&self, sink: &mut dyn TraceSink) -> RunResult {
+        let traced = Machine::new(self.prog, &self.cfg).run_golden_traced(sink);
+        assert_eq!(
+            (traced.status, traced.dyn_instrs, &traced.output),
+            (
+                self.golden.status,
+                self.golden.dyn_instrs,
+                &self.golden.output
+            ),
+            "golden re-execution diverged while tracing"
+        );
+        traced
     }
 
     /// Creates a reusable fault-run executor backed by its own machine.
@@ -387,5 +406,37 @@ mod tests {
         let first: Vec<Outcome> = probe.iter().map(|&f| replayer.run_fault(f).0).collect();
         let second: Vec<Outcome> = probe.iter().map(|&f| replayer.run_fault(f).0).collect();
         assert_eq!(first, second, "reuse changed outcomes");
+    }
+
+    #[derive(Default)]
+    struct VecSink(Vec<(u64, usize, u32, u32)>);
+
+    impl TraceSink for VecSink {
+        fn record(&mut self, slot: u64, check_pc: usize, reads: u32, writes: u32) {
+            self.0.push((slot, check_pc, reads, writes));
+        }
+    }
+
+    /// The def-use trace covers every dynamic slot exactly once, in order,
+    /// and each slot's `check_pc` is precisely the pc an injection armed
+    /// for that slot observes as its `fault_pc`.
+    #[test]
+    fn trace_slots_are_contiguous_and_check_pcs_match_fault_pcs() {
+        for prog in [program(), looping_program()] {
+            let r = Runner::new(&prog, &MachineConfig::default());
+            let mut sink = VecSink::default();
+            r.trace_golden(&mut sink);
+            assert_eq!(sink.0.len() as u64, r.golden().dyn_instrs);
+            let mut replayer = r.replayer();
+            for (i, &(slot, check_pc, _, _)) in sink.0.iter().enumerate() {
+                assert_eq!(slot, i as u64, "trace slots must be contiguous");
+                let (_, res) = replayer.run_fault(FaultSpec::new(slot, 8, 0));
+                assert_eq!(
+                    res.fault_pc,
+                    Some(check_pc),
+                    "slot {slot}: trace check_pc diverged from injection fault_pc"
+                );
+            }
+        }
     }
 }

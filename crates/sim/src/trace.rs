@@ -1,0 +1,38 @@
+//! Def-use trace recording for the golden run.
+//!
+//! Exhaustive-certification tooling (the `sor-ace` crate) needs to know,
+//! for every dynamic instruction of the golden run, which integer
+//! registers that instruction reads and writes and which static
+//! instruction the fault-injection check for that slot would land on. The
+//! [`TraceSink`] hook delivers exactly that, one event per counted
+//! instruction, while [`crate::Machine::run_golden_traced`] executes the
+//! fault-free run.
+//!
+//! The masks mirror the machine's *functional* semantics bit-for-bit —
+//! e.g. a `Select` reads its condition and only the operand it actually
+//! chooses, and a `Ret` writes the caller's dynamic return destinations —
+//! because the liveness analysis built on top of them claims *exact*
+//! (not approximate) equivalence with brute-force injection.
+
+/// Receives the golden run's dynamic def-use trace.
+///
+/// One [`record`](TraceSink::record) call per counted dynamic instruction,
+/// in execution order, before the instruction executes. Probes are free
+/// instrumentation and produce no event (they neither count nor touch
+/// integer registers).
+pub trait TraceSink {
+    /// Records the event for dynamic instruction `slot` (0-based).
+    ///
+    /// * `check_pc` — the program counter at the point where a fault armed
+    ///   for `slot` would fire: the first top-of-loop check with that
+    ///   dynamic count. This can differ from the counted instruction's own
+    ///   pc when probes precede it, and matches
+    ///   [`RunResult::fault_pc`](crate::RunResult::fault_pc) exactly.
+    /// * `reads` / `writes` — bitmasks over the 32 integer registers the
+    ///   instruction reads / writes (bit *i* = register *i*). A register
+    ///   both read and written (e.g. `add r3, r3, 1`) appears in both
+    ///   masks; reads happen first, so a fault landing at this slot is
+    ///   observed before the write clobbers it. Float registers are not
+    ///   tracked: the fault model only targets the integer file.
+    fn record(&mut self, slot: u64, check_pc: usize, reads: u32, writes: u32);
+}

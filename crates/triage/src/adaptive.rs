@@ -95,8 +95,15 @@ fn straddling(profile: &VulnerabilityProfile, threshold_pct: f64) -> Vec<usize> 
         .collect()
 }
 
-/// Draws a (register, bit) pair from the configured fault space.
+/// Draws a (register, bit) pair from the configured fault space. The
+/// unrestricted case delegates to [`FaultSpec::sample_point`] — the
+/// sampling routine shared with the campaign harness — which draws
+/// register-then-bit in the same order as the restricted arms, so
+/// sequences are stable whichever arms a config restricts.
 fn draw_point(rng: &mut SmallRng, cfg: &AdaptiveConfig) -> (u8, u8) {
+    if cfg.regs.is_empty() && cfg.bits.is_empty() {
+        return FaultSpec::sample_point(rng);
+    }
     let reg = if cfg.regs.is_empty() {
         *rng.choose(&INJECTABLE_REGS)
     } else {
@@ -254,6 +261,43 @@ mod tests {
         f.ret(&[]);
         let id = f.finish();
         lower(&mb.finish(id), &LowerConfig::default()).unwrap()
+    }
+
+    /// The sampling-dedupe pin: the unrestricted [`draw_point`] path (now
+    /// delegating to [`FaultSpec::sample_point`]) must draw the exact
+    /// sequence the pre-dedupe inline code drew — register via `choose`
+    /// over [`INJECTABLE_REGS`], then bit via `gen_range` — so adaptive
+    /// profiles recorded before the refactor stay reproducible.
+    #[test]
+    fn draw_point_sequence_is_pinned_to_the_historical_draws() {
+        let cfg = AdaptiveConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0xADA9);
+        let drawn: Vec<(u8, u8)> = (0..500).map(|_| draw_point(&mut rng, &cfg)).collect();
+        let mut rng = SmallRng::seed_from_u64(0xADA9);
+        let expected: Vec<(u8, u8)> = (0..500)
+            .map(|_| {
+                let reg = *rng.choose(&INJECTABLE_REGS);
+                let bit = rng.gen_range(0, 64) as u8;
+                (reg, bit)
+            })
+            .collect();
+        assert_eq!(drawn, expected);
+    }
+
+    /// Restricting either arm keeps drawing from the restricted lists.
+    #[test]
+    fn draw_point_respects_restrictions() {
+        let cfg = AdaptiveConfig {
+            regs: vec![8, 9],
+            bits: vec![0, 63],
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let (reg, bit) = draw_point(&mut rng, &cfg);
+            assert!(cfg.regs.contains(&reg));
+            assert!(cfg.bits.contains(&bit));
+        }
     }
 
     #[test]

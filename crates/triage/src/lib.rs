@@ -23,11 +23,19 @@
 //!   spend the remaining budget only on sites whose SDC confidence
 //!   interval still straddles the decision threshold, under a fixed-budget
 //!   stop rule.
+//!
+//! [`cross_validate`] closes the loop against `sor-ace`: given a
+//! [`CertifiedCoverage`](sor_ace::CertifiedCoverage) for the same program,
+//! it checks that each well-sampled site's Wilson interval covers the
+//! certified *exact* SDC rate — a calibration check on the sampler that no
+//! amount of re-sampling can provide.
 
 mod adaptive;
+mod crosscheck;
 mod profile;
 mod section;
 
 pub use adaptive::{adaptive_profile, AdaptiveConfig, AdaptiveResult};
+pub use crosscheck::{cross_validate, CrossCheck, CrossMiss};
 pub use profile::{SiteStats, VulnerabilityProfile};
 pub use section::{Section, SectionalTriage};
