@@ -23,6 +23,7 @@
 use sor_core::{Pipeline, PipelineReport, Technique, TransformConfig};
 use sor_ir::{Module, Program};
 use sor_regalloc::{lower, LowerConfig};
+use sor_sim::DecodedProg;
 use sor_workloads::Workload;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +52,10 @@ pub struct Artifact {
     pub module: Module,
     /// The lowered executable image.
     pub program: Program,
+    /// The program predecoded for the micro-op engine, translated once
+    /// here so every campaign/certify/triage consumer of this artifact
+    /// shares one image instead of re-decoding per [`sor_sim::Runner`].
+    pub decoded: Arc<DecodedProg>,
     /// Per-pass instrumentation from the pipeline run.
     pub report: PipelineReport,
 }
@@ -157,10 +162,12 @@ fn build_artifact(source: Module, key: &ArtifactKey) -> Artifact {
         .expect("verification disabled; passes are infallible");
     let program = lower(&out.module, &key.lower)
         .unwrap_or_else(|e| panic!("{}/{}: {e}", key.workload, key.technique));
+    let decoded = Arc::new(DecodedProg::new(&program));
     Artifact {
         source,
         module: out.module,
         program,
+        decoded,
         report: out.report,
     }
 }

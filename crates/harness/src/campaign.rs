@@ -6,9 +6,10 @@ use sor_core::Technique;
 use sor_ir::Program;
 use sor_regalloc::LowerConfig;
 use sor_rng::SmallRng;
-use sor_sim::{FaultSpec, MachineConfig, Runner};
+use sor_sim::{DecodedProg, ExecEngine, FaultSpec, MachineConfig, Runner};
 use sor_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -24,6 +25,10 @@ pub struct CampaignConfig {
     /// injection from scratch, [`MachineConfig::AUTO_CHECKPOINT`] (the
     /// default) auto-sizes from the golden run length.
     pub checkpoint_interval: u64,
+    /// Interpreter core the injection machines run on (see
+    /// [`ExecEngine`]): the predecoded micro-op engine by default, with
+    /// the legacy step path available as the differential-testing oracle.
+    pub engine: ExecEngine,
     /// Transform configuration.
     pub transform: sor_core::TransformConfig,
 }
@@ -35,6 +40,7 @@ impl Default for CampaignConfig {
             seed: 0x5EED,
             threads: 0,
             checkpoint_interval: MachineConfig::AUTO_CHECKPOINT,
+            engine: ExecEngine::default(),
             transform: sor_core::TransformConfig::default(),
         }
     }
@@ -109,7 +115,13 @@ pub fn run_campaign_in(
     cfg: &CampaignConfig,
 ) -> CampaignResult {
     let artifact = store.get(workload, technique, &cfg.transform, &LowerConfig::default());
-    let counts = inject(&artifact.program, cfg, workload.name(), technique);
+    let counts = inject(
+        &artifact.program,
+        Some(Arc::clone(&artifact.decoded)),
+        cfg,
+        workload.name(),
+        technique,
+    );
     CampaignResult {
         workload: workload.name().to_string(),
         technique,
@@ -120,15 +132,17 @@ pub fn run_campaign_in(
 
 fn inject(
     program: &Program,
+    decoded: Option<Arc<DecodedProg>>,
     cfg: &CampaignConfig,
     wl_name: &str,
     technique: Technique,
 ) -> (OutcomeCounts, u64) {
     let mcfg = MachineConfig {
         checkpoint_interval: cfg.checkpoint_interval,
+        engine: cfg.engine,
         ..MachineConfig::default()
     };
-    let runner = Runner::new(program, &mcfg);
+    let runner = Runner::with_decoded(program, &mcfg, decoded);
     let golden_len = runner.golden().dyn_instrs;
 
     let faults = draw_faults(cfg, wl_name, technique, golden_len);

@@ -16,10 +16,11 @@ use sor_ace::{CertPlan, CertifiedCoverage, DefUseTrace};
 use sor_core::Technique;
 use sor_ir::Program;
 use sor_regalloc::LowerConfig;
-use sor_sim::{FaultSpec, MachineConfig, Runner};
+use sor_sim::{DecodedProg, FaultSpec, MachineConfig, Runner};
 use sor_stats::OutcomeCounts;
 use sor_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Certified-campaign parameters.
 #[derive(Debug, Clone)]
@@ -62,8 +63,9 @@ pub fn run_certified_campaign_in(
     cfg: &CertifyConfig,
 ) -> CertifiedCoverage {
     let artifact = store.get(workload, technique, &cfg.transform, &LowerConfig::default());
-    certify_program(
+    certify_program_with(
         &artifact.program,
+        Some(Arc::clone(&artifact.decoded)),
         workload.name(),
         &technique.to_string(),
         cfg.threads,
@@ -85,11 +87,31 @@ pub fn certify_program(
     threads: usize,
     checkpoint_interval: u64,
 ) -> CertifiedCoverage {
+    certify_program_with(
+        program,
+        None,
+        workload,
+        technique,
+        threads,
+        checkpoint_interval,
+    )
+}
+
+/// [`certify_program`] reusing an already-predecoded image (the artifact
+/// store memoizes one per lowered program) instead of translating again.
+pub fn certify_program_with(
+    program: &Program,
+    decoded: Option<Arc<DecodedProg>>,
+    workload: &str,
+    technique: &str,
+    threads: usize,
+    checkpoint_interval: u64,
+) -> CertifiedCoverage {
     let mcfg = MachineConfig {
         checkpoint_interval,
         ..MachineConfig::default()
     };
-    let runner = Runner::new(program, &mcfg);
+    let runner = Runner::with_decoded(program, &mcfg, decoded);
     let trace = DefUseTrace::record(&runner);
     let plan = CertPlan::build(&trace);
     let golden_recoveries =

@@ -47,7 +47,8 @@ mod triage;
 pub use artifact::{Artifact, ArtifactKey, ArtifactStore};
 pub use campaign::{run_campaign, run_campaign_in, CampaignConfig, CampaignResult};
 pub use certify::{
-    certify_program, run_certified_campaign, run_certified_campaign_in, CertifyConfig,
+    certify_program, certify_program_with, run_certified_campaign, run_certified_campaign_in,
+    CertifyConfig,
 };
 pub use figures::{FigureEight, FigureNine};
 pub use perf::{measure_perf, measure_perf_in, PerfConfig, PerfResult};

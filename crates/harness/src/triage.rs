@@ -13,10 +13,11 @@ use crate::campaign::{draw_faults, CampaignConfig, CampaignResult};
 use sor_core::Technique;
 use sor_ir::{Program, ProtectionRole};
 use sor_regalloc::LowerConfig;
-use sor_sim::{MachineConfig, Runner};
+use sor_sim::{DecodedProg, MachineConfig, Runner};
 use sor_triage::VulnerabilityProfile;
 use sor_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A campaign result plus its per-site vulnerability profile.
 #[derive(Debug, Clone)]
@@ -45,8 +46,13 @@ pub fn run_triaged_campaign_in(
     cfg: &CampaignConfig,
 ) -> TriagedCampaign {
     let artifact = store.get(workload, technique, &cfg.transform, &LowerConfig::default());
-    let (profile, golden_instrs) =
-        inject_profiled(&artifact.program, cfg, workload.name(), technique);
+    let (profile, golden_instrs) = inject_profiled(
+        &artifact.program,
+        Some(Arc::clone(&artifact.decoded)),
+        cfg,
+        workload.name(),
+        technique,
+    );
     let result = CampaignResult {
         workload: workload.name().to_string(),
         technique,
@@ -58,15 +64,17 @@ pub fn run_triaged_campaign_in(
 
 fn inject_profiled(
     program: &Program,
+    decoded: Option<Arc<DecodedProg>>,
     cfg: &CampaignConfig,
     wl_name: &str,
     technique: Technique,
 ) -> (VulnerabilityProfile, u64) {
     let mcfg = MachineConfig {
         checkpoint_interval: cfg.checkpoint_interval,
+        engine: cfg.engine,
         ..MachineConfig::default()
     };
-    let runner = Runner::new(program, &mcfg);
+    let runner = Runner::with_decoded(program, &mcfg, decoded);
     let golden_len = runner.golden().dyn_instrs;
     let faults = draw_faults(cfg, wl_name, technique, golden_len);
 

@@ -1,0 +1,190 @@
+//! Decoded-vs-legacy differential matrix: the predecoded micro-op engine
+//! must be observationally indistinguishable from the legacy step
+//! interpreter. Every cell of `Technique::ALL x workloads` pins, across
+//! both engines:
+//!
+//! * the golden [`RunResult`] (status, output, dynamic count, probes),
+//! * the recorded checkpoint sequence, snapshot by snapshot (via
+//!   [`Checkpoint::fingerprint`], which digests every architectural field),
+//! * the def-use trace event stream (slots, check pcs, read/write masks),
+//! * seeded fault injections, as full provenance-annotated
+//!   [`FaultRecord`]s plus raw results — including `fault_pc`,
+//! * whole campaign histograms under identical seeds.
+
+use sor_core::Technique;
+use sor_harness::{run_campaign, ArtifactStore, CampaignConfig};
+use sor_regalloc::LowerConfig;
+use sor_rng::SmallRng;
+use sor_sim::{ExecEngine, FaultSpec, MachineConfig, Runner, TraceSink};
+use sor_workloads::{AdpcmDec, Art, Mpeg2Dec, Mpeg2Enc, Workload};
+use std::sync::Arc;
+
+/// Small parameterizations of four structurally different workloads:
+/// integer DSP (adpcmdec), block transforms (mpeg2dec/enc) and a
+/// float-heavy neural net (art) — enough to exercise every micro-op family
+/// including the FPU, conversions and calls.
+fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(AdpcmDec {
+            samples: 80,
+            seed: 7,
+        }),
+        Box::new(Mpeg2Dec { blocks: 3, seed: 2 }),
+        Box::new(Mpeg2Enc { blocks: 2, seed: 1 }),
+        Box::new(Art {
+            neurons: 4,
+            inputs: 4,
+            epochs: 2,
+            seed: 3,
+        }),
+    ]
+}
+
+fn engine_cfg(engine: ExecEngine, checkpoint_interval: u64) -> MachineConfig {
+    MachineConfig {
+        engine,
+        checkpoint_interval,
+        ..MachineConfig::default()
+    }
+}
+
+#[derive(Default, PartialEq, Debug)]
+struct VecSink(Vec<(u64, usize, u32, u32)>);
+
+impl TraceSink for VecSink {
+    fn record(&mut self, slot: u64, check_pc: usize, reads: u32, writes: u32) {
+        self.0.push((slot, check_pc, reads, writes));
+    }
+}
+
+/// The headline oracle: on every technique x workload cell, golden run,
+/// checkpoint stream, trace stream and a seeded battery of fault
+/// injections agree bit-for-bit between the two engines.
+#[test]
+fn decoded_engine_matches_legacy_bit_for_bit() {
+    let store = ArtifactStore::new();
+    for w in &workloads() {
+        for technique in Technique::ALL {
+            let artifact = store.get(
+                w.as_ref(),
+                technique,
+                &Default::default(),
+                &LowerConfig::default(),
+            );
+            let label = format!("{}/{technique}", w.name());
+            // Interval 7 forces many mid-frame, mid-loop snapshots even on
+            // these small runs.
+            let decoded = Runner::with_decoded(
+                &artifact.program,
+                &engine_cfg(ExecEngine::Decoded, 7),
+                Some(Arc::clone(&artifact.decoded)),
+            );
+            let legacy = Runner::new(&artifact.program, &engine_cfg(ExecEngine::Legacy, 7));
+            assert!(decoded.decoded().is_some(), "{label}");
+            assert!(legacy.decoded().is_none(), "{label}");
+
+            // Golden runs: the whole observable result, field for field.
+            assert_eq!(decoded.golden(), legacy.golden(), "{label}: golden run");
+
+            // Checkpoints: same capture points, same architectural state.
+            let (d_cps, l_cps) = (decoded.checkpoints(), legacy.checkpoints());
+            assert_eq!(d_cps.len(), l_cps.len(), "{label}: checkpoint count");
+            assert!(d_cps.len() > 2, "{label}: interval 7 must checkpoint");
+            for (d, l) in d_cps.as_slice().iter().zip(l_cps.as_slice()) {
+                assert_eq!(d.at, l.at, "{label}: checkpoint slot");
+                assert_eq!(
+                    d.fingerprint(),
+                    l.fingerprint(),
+                    "{label}: checkpoint state diverged at slot {}",
+                    d.at
+                );
+            }
+
+            // Def-use traces: identical event streams, identical results.
+            let (mut d_sink, mut l_sink) = (VecSink::default(), VecSink::default());
+            let d_traced = decoded.trace_golden(&mut d_sink);
+            let l_traced = legacy.trace_golden(&mut l_sink);
+            assert_eq!(d_traced, l_traced, "{label}: traced run");
+            assert_eq!(d_sink, l_sink, "{label}: trace events");
+
+            // Seeded faults plus targeted boundary slots (first, near-end,
+            // past-end): full records and raw results must match, which
+            // pins outcome, fault_pc/role attribution, output, dynamic
+            // count and probe counters at once.
+            let golden_len = legacy.golden().dyn_instrs;
+            let mut rng = SmallRng::seed_from_u64(0xD1FF ^ golden_len);
+            let mut faults: Vec<FaultSpec> = (0..16)
+                .map(|_| FaultSpec::sample(&mut rng, golden_len))
+                .collect();
+            faults.push(FaultSpec::new(0, 3, 63));
+            faults.push(FaultSpec::new(golden_len - 1, 4, 1));
+            faults.push(FaultSpec::new(golden_len + 9, 5, 2));
+            let mut d_replayer = decoded.replayer();
+            let mut l_replayer = legacy.replayer();
+            for f in faults {
+                let (d_rec, d_res) = d_replayer.run_fault_record(f);
+                let (l_rec, l_res) = l_replayer.run_fault_record(f);
+                assert_eq!(d_rec, l_rec, "{label}: {f} record diverged");
+                assert_eq!(d_res, l_res, "{label}: {f} result diverged");
+            }
+        }
+    }
+}
+
+/// Same-seed campaigns classify identically whichever engine runs them —
+/// the whole histogram, not just totals.
+#[test]
+fn campaign_histograms_agree_across_engines() {
+    let w = AdpcmDec {
+        samples: 100,
+        seed: 3,
+    };
+    for technique in [Technique::SwiftR, Technique::Trump] {
+        let cfg = |engine| CampaignConfig {
+            runs: 40,
+            seed: 11,
+            threads: 2,
+            engine,
+            ..Default::default()
+        };
+        let d = run_campaign(&w, technique, &cfg(ExecEngine::Decoded));
+        let l = run_campaign(&w, technique, &cfg(ExecEngine::Legacy));
+        assert_eq!(d.counts, l.counts, "{technique}: histogram diverged");
+        assert_eq!(d.golden_instrs, l.golden_instrs, "{technique}");
+    }
+}
+
+/// Checkpointing stays an engine-independent pure optimization: decoded
+/// replay with checkpoints equals legacy from-scratch execution, the
+/// strongest cross-engine x cross-strategy cell of the matrix.
+#[test]
+fn decoded_checkpointed_replay_matches_legacy_from_scratch() {
+    let store = ArtifactStore::new();
+    let w = AdpcmDec {
+        samples: 60,
+        seed: 9,
+    };
+    let artifact = store.get(
+        &w,
+        Technique::SwiftR,
+        &Default::default(),
+        &LowerConfig::default(),
+    );
+    let decoded = Runner::with_decoded(
+        &artifact.program,
+        &engine_cfg(ExecEngine::Decoded, 5),
+        Some(Arc::clone(&artifact.decoded)),
+    );
+    let legacy_scratch = Runner::new(&artifact.program, &engine_cfg(ExecEngine::Legacy, 0));
+    let golden_len = legacy_scratch.golden().dyn_instrs;
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    let mut d_replayer = decoded.replayer();
+    let mut l_replayer = legacy_scratch.replayer();
+    for _ in 0..24 {
+        let f = FaultSpec::sample(&mut rng, golden_len);
+        let (d_outcome, d_res) = d_replayer.run_fault(f);
+        let (l_outcome, l_res) = l_replayer.run_fault(f);
+        assert_eq!(d_outcome, l_outcome, "{f}");
+        assert_eq!(d_res, l_res, "{f}");
+    }
+}

@@ -27,9 +27,15 @@ impl Default for CacheConfig {
 }
 
 /// LRU set-associative cache. Tracks hits/misses; data lives in [`super::Memory`].
+///
+/// Ways are stored in one flat pre-sized array indexed `set * assoc + way`
+/// rather than a `Vec` per set: machine clones (checkpoint replay builds
+/// one machine per campaign worker) copy a single allocation, and lookups
+/// stay on one cache line per set. A way with stamp `0` is empty — real
+/// stamps start at `1` because `access` pre-increments.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<(u64, u64)>>, // (tag, last-used stamp)
+    sets: Vec<(u64, u64)>, // (tag, last-used stamp); stamp 0 = empty way
     num_sets: u64,
     line_shift: u32,
     assoc: usize,
@@ -54,7 +60,7 @@ impl Cache {
             "set count must be a power of two"
         );
         Cache {
-            sets: vec![Vec::with_capacity(cfg.assoc); num_sets as usize],
+            sets: vec![(0, 0); num_sets as usize * cfg.assoc],
             num_sets,
             line_shift: cfg.line.trailing_zeros(),
             assoc: cfg.assoc,
@@ -70,22 +76,20 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set = (line % self.num_sets) as usize;
         let tag = line / self.num_sets;
-        let ways = &mut self.sets[set];
-        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
+        let ways = &mut self.sets[set * self.assoc..][..self.assoc];
+        if let Some(w) = ways.iter_mut().find(|(t, s)| *s != 0 && *t == tag) {
             w.1 = self.stamp;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        if ways.len() < self.assoc {
-            ways.push((tag, self.stamp));
-        } else {
-            let lru = ways
-                .iter_mut()
-                .min_by_key(|(_, s)| *s)
-                .expect("non-empty set");
-            *lru = (tag, self.stamp);
-        }
+        // Empty ways carry stamp 0, so the minimum-stamp victim fills the
+        // set in order before evicting the true LRU way.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|(_, s)| *s)
+            .expect("positive associativity");
+        *victim = (tag, self.stamp);
         false
     }
 
@@ -133,6 +137,16 @@ mod tests {
         assert!(c.access(d));
         assert!(c.access(b));
         assert!(!c.access(a), "a was evicted");
+    }
+
+    /// Address 0 decodes to tag 0, which must not falsely hit an empty way
+    /// (empty ways store tag 0 with the stamp-0 sentinel).
+    #[test]
+    fn tag_zero_does_not_hit_an_empty_way() {
+        let mut c = Cache::new(&CacheConfig::default());
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
     }
 
     #[test]

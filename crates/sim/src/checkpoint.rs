@@ -34,6 +34,88 @@ pub struct Checkpoint {
     pub(crate) pages: PageSnapshot,
 }
 
+impl Checkpoint {
+    /// Order-sensitive FNV-1a digest over every architectural field, with
+    /// floats folded in by bit pattern. Two checkpoints with equal
+    /// fingerprints captured the same state at the same boundary; the
+    /// differential tests use this to pin snapshot equality across
+    /// execution engines without exposing the internals.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::default();
+        h.u64(self.at);
+        for r in self.iregs {
+            h.u64(r);
+        }
+        for f in self.fregs {
+            h.u64(f.to_bits());
+        }
+        h.u64(self.pc as u64);
+        h.u64(self.frames.len() as u64);
+        for frame in &self.frames {
+            h.u64(frame.ret_pc as u64);
+            let dsts = frame.ret_dsts.as_slice();
+            h.u64(dsts.len() as u64);
+            for d in dsts {
+                std::hash::Hash::hash(d, &mut h);
+            }
+        }
+        h.u64(self.pending_args.len() as u64);
+        for v in &self.pending_args {
+            match v {
+                Val::I(i) => {
+                    h.u64(0);
+                    h.u64(*i);
+                }
+                Val::F(f) => {
+                    h.u64(1);
+                    h.u64(f.to_bits());
+                }
+            }
+        }
+        h.u64(self.out_len as u64);
+        h.u64(self.probes.vote_repairs);
+        h.u64(self.probes.trump_recovers);
+        h.u64(self.pages.len() as u64);
+        for (page, bytes) in self.pages.entries() {
+            h.u64(*page as u64);
+            h.bytes(bytes);
+        }
+        h.0
+    }
+}
+
+/// FNV-1a, also usable as a [`std::hash::Hasher`] so derived-`Hash` types
+/// (e.g. [`sor_ir::PLoc`]) fold in deterministically.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv {
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.bytes(bytes);
+    }
+}
+
 /// The ordered checkpoint sequence of one golden run.
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointStore {
@@ -55,6 +137,11 @@ impl CheckpointStore {
     /// Number of stored checkpoints.
     pub fn len(&self) -> usize {
         self.cps.len()
+    }
+
+    /// All checkpoints in capture order.
+    pub fn as_slice(&self) -> &[Checkpoint] {
+        &self.cps
     }
 
     /// Whether checkpointing is disabled (no checkpoints stored).

@@ -1,0 +1,504 @@
+//! The decoded execution engine: superblock dispatch over a
+//! [`DecodedProg`], bit-for-bit equivalent to the legacy `Machine::step`
+//! loop.
+//!
+//! # Observation scheduling
+//!
+//! The legacy loop interleaves three observers with execution at every
+//! top-of-loop: the fuel check, the fault-injection check, and (in the
+//! recording/tracing variants) checkpoint capture. All three key on the
+//! *dynamic instruction count*, which probes do not advance. The decoded
+//! engine hoists them out of the per-instruction path: each outer-loop
+//! iteration services whichever observers are due, then computes a
+//! **budget** — the number of counted instructions until the nearest
+//! future observation (fuel exhaustion, fault slot, checkpoint boundary) —
+//! and hands it to [`Machine::exec_span`], which executes exactly that
+//! many counted instructions with no checks in between.
+//!
+//! # Slot exactness
+//!
+//! `exec_span` returns with `dyn_count` equal to the observation slot and
+//! `pc` at the *first* instruction boundary with that count — before any
+//! pending probe executes — which is precisely where the legacy loop
+//! performs its first check for that count. Observers therefore see
+//! identical `(dyn_count, pc)` pairs on both engines, making `fault_pc`,
+//! trace `check_pc` values and checkpoint snapshots (whose `pc` field
+//! participates in restore) bit-identical. Probes encountered *inside* a
+//! span are executed for free, exactly like the legacy path; a superblock
+//! effectively splits at any slot an observer is due.
+
+use crate::decode::{DArg, DLoc, DecodedProg, Ext, Src, UOp};
+use crate::fault::FaultSpec;
+use crate::machine::{Frame, Machine, ProbeCounts, RunResult, RunStatus, Val, MAX_FRAMES, SP_IDX};
+use crate::trace::TraceSink;
+use crate::Checkpoint;
+use sor_ir::{layout, CmpOp, ExtFunc, ProbeEvent, Width};
+
+/// Why [`Machine::exec_span`] stopped.
+enum SpanExit {
+    /// The counted-instruction budget was exhausted; `pc`/`dyn_count` sit
+    /// at the observation boundary.
+    Budget,
+    /// The program terminated.
+    Done(RunStatus),
+}
+
+impl Machine<'_> {
+    /// Decoded-engine counterpart of the [`Machine::run_mut`] loop.
+    pub(crate) fn run_mut_decoded(
+        &mut self,
+        d: &DecodedProg,
+        fault: Option<FaultSpec>,
+    ) -> RunResult {
+        let status = loop {
+            if self.dyn_count >= self.fuel {
+                break RunStatus::OutOfFuel;
+            }
+            let mut budget = self.fuel - self.dyn_count;
+            if let Some(f) = fault {
+                if !self.injected {
+                    if self.dyn_count == f.at_instr {
+                        self.iregs[f.reg as usize] ^= 1u64 << f.bit;
+                        self.injected = true;
+                        self.fault_pc = Some(self.pc);
+                    } else if f.at_instr > self.dyn_count {
+                        budget = budget.min(f.at_instr - self.dyn_count);
+                    }
+                }
+            }
+            match self.exec_span(d, budget) {
+                SpanExit::Budget => continue,
+                SpanExit::Done(s) => break s,
+            }
+        };
+        self.take_result(status)
+    }
+
+    /// Decoded-engine counterpart of
+    /// [`Machine::run_golden_with_checkpoints`].
+    pub(crate) fn run_golden_with_checkpoints_decoded(
+        &mut self,
+        d: &DecodedProg,
+        interval: u64,
+    ) -> (RunResult, Vec<Checkpoint>) {
+        let mut cps = Vec::new();
+        let mut next_at = 0u64;
+        let status = loop {
+            if self.dyn_count >= self.fuel {
+                break RunStatus::OutOfFuel;
+            }
+            if self.dyn_count >= next_at {
+                cps.push(self.capture());
+                next_at = self.dyn_count.saturating_add(interval);
+            }
+            let budget = (self.fuel - self.dyn_count).min(next_at - self.dyn_count);
+            match self.exec_span(d, budget) {
+                SpanExit::Budget => continue,
+                SpanExit::Done(s) => break s,
+            }
+        };
+        (self.take_result(status), cps)
+    }
+
+    /// Decoded-engine counterpart of [`Machine::run_golden_traced`].
+    ///
+    /// Tracing observes every counted slot, so spans degenerate to single
+    /// instructions; the win here is the predecoded dispatch, not the
+    /// superblocks. The `checked`/`check_pc` bookkeeping replicates the
+    /// legacy loop exactly, and the def-use masks come from the same
+    /// [`Machine::dyn_int_accesses`] since instruction indices agree.
+    pub(crate) fn run_golden_traced_decoded(
+        &mut self,
+        d: &DecodedProg,
+        sink: &mut dyn TraceSink,
+    ) -> RunResult {
+        let mut check_pc = self.pc;
+        let mut checked: Option<u64> = None;
+        let status = loop {
+            if self.dyn_count >= self.fuel {
+                break RunStatus::OutOfFuel;
+            }
+            if checked != Some(self.dyn_count) {
+                checked = Some(self.dyn_count);
+                check_pc = self.pc;
+            }
+            if let UOp::Probe(e) = &d.uops[self.pc] {
+                bump_probe(&mut self.probes, *e);
+                self.pc += 1;
+                continue;
+            }
+            let (reads, writes) = self.dyn_int_accesses();
+            sink.record(self.dyn_count, check_pc, reads, writes);
+            match self.exec_span(d, 1) {
+                SpanExit::Budget => continue,
+                SpanExit::Done(s) => break s,
+            }
+        };
+        self.take_result(status)
+    }
+
+    /// Executes up to `budget` *counted* instructions (probes ride along
+    /// for free), stopping early only on termination. On `Budget` exit the
+    /// machine sits at the first instruction boundary whose dynamic count
+    /// equals the observation slot — before any probe at that boundary has
+    /// executed (see the module docs for why).
+    fn exec_span(&mut self, d: &DecodedProg, mut left: u64) -> SpanExit {
+        loop {
+            let pc = self.pc;
+            let run = d.run_len[pc] as u64;
+            if run > 0 {
+                if left == 0 {
+                    return SpanExit::Budget;
+                }
+                // Superblock: burn through the straight-line run (or the
+                // budgeted prefix of it) with no dispatch-loop re-entry.
+                // Iterating the micro-op slice keeps `pc`/`dyn_count` out
+                // of the per-instruction path (one bounds check and one
+                // counter update per block, not per op); on a fault the
+                // counters are settled to the exact instruction, matching
+                // the legacy count-then-execute order.
+                let n = run.min(left) as usize;
+                left -= n as u64;
+                for (i, u) in d.uops[pc..pc + n].iter().enumerate() {
+                    if let Err(s) = self.exec_straight(u) {
+                        self.dyn_count += i as u64 + 1;
+                        self.pc = pc + i;
+                        return SpanExit::Done(s);
+                    }
+                }
+                self.dyn_count += n as u64;
+                self.pc = pc + n;
+                continue;
+            }
+            if let UOp::Probe(e) = &d.uops[pc] {
+                if left == 0 {
+                    // The observation for this slot happens at the probe's
+                    // pc, before the probe runs — stop here.
+                    return SpanExit::Budget;
+                }
+                bump_probe(&mut self.probes, *e);
+                self.pc += 1;
+                continue;
+            }
+            // Counted control flow.
+            if left == 0 {
+                return SpanExit::Budget;
+            }
+            left -= 1;
+            self.dyn_count += 1;
+            match &d.uops[pc] {
+                UOp::Jump(t) => self.pc = *t as usize,
+                UOp::Branch { cond, t, f } => {
+                    self.pc = if self.ireg(*cond) != 0 {
+                        *t as usize
+                    } else {
+                        *f as usize
+                    };
+                }
+                UOp::CallInt {
+                    target,
+                    ret_pc,
+                    args,
+                    ret_dsts,
+                } => {
+                    if self.frames.len() >= MAX_FRAMES {
+                        return SpanExit::Done(RunStatus::Segv);
+                    }
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args.iter() {
+                        match self.read_darg(a) {
+                            Ok(v) => vals.push(v),
+                            Err(()) => return SpanExit::Done(RunStatus::Segv),
+                        }
+                    }
+                    self.pending_args = vals;
+                    self.frames.push(Frame {
+                        ret_pc: *ret_pc as usize,
+                        ret_dsts: ret_dsts.clone(),
+                    });
+                    self.pc = *target as usize;
+                }
+                UOp::Ret { frame_size, vals } => {
+                    let mut out_vals = Vec::with_capacity(vals.len());
+                    for v in vals.iter() {
+                        match self.read_darg(v) {
+                            Ok(x) => out_vals.push(x),
+                            Err(()) => return SpanExit::Done(RunStatus::Segv),
+                        }
+                    }
+                    self.iregs[SP_IDX] = self.iregs[SP_IDX].wrapping_add(*frame_size);
+                    match self.frames.pop() {
+                        None => return SpanExit::Done(RunStatus::Completed),
+                        Some(frame) => {
+                            let dsts = frame.ret_dsts.as_slice();
+                            if out_vals.len() != dsts.len() {
+                                return SpanExit::Done(RunStatus::Segv);
+                            }
+                            for (l, v) in dsts.iter().zip(out_vals) {
+                                if self.write_ploc(l, v).is_err() {
+                                    return SpanExit::Done(RunStatus::Segv);
+                                }
+                            }
+                            self.pc = frame.ret_pc;
+                        }
+                    }
+                }
+                UOp::Trap(s) => return SpanExit::Done(*s),
+                _ => unreachable!("straight-line op with run_len 0"),
+            }
+        }
+    }
+
+    /// Executes one straight-line micro-op (anything `run_len` counts);
+    /// the caller advances `pc` and `dyn_count`.
+    #[inline]
+    fn exec_straight(&mut self, u: &UOp) -> Result<(), RunStatus> {
+        match u {
+            UOp::Alu64 { op, dst, a, b } => {
+                let x = self.src_val(a);
+                let y = self.src_val(b);
+                // The literal width lets the inlined evaluator fold every
+                // truncation away (same for the three arms below).
+                match crate::alu::alu_eval(*op, Width::W64, x, y) {
+                    Some(r) => self.set_ireg(*dst, r),
+                    None => return Err(RunStatus::Segv), // division fault
+                }
+            }
+            UOp::Alu32 { op, dst, a, b } => {
+                let x = self.src_val(a);
+                let y = self.src_val(b);
+                match crate::alu::alu_eval(*op, Width::W32, x, y) {
+                    Some(r) => self.set_ireg(*dst, r),
+                    None => return Err(RunStatus::Segv), // division fault
+                }
+            }
+            UOp::Cmp64 { op, dst, a, b } => {
+                let x = self.src_val(a);
+                let y = self.src_val(b);
+                let r = crate::alu::cmp_eval(*op, Width::W64, x, y) as u64;
+                self.set_ireg(*dst, r);
+            }
+            UOp::Cmp32 { op, dst, a, b } => {
+                let x = self.src_val(a);
+                let y = self.src_val(b);
+                let r = crate::alu::cmp_eval(*op, Width::W32, x, y) as u64;
+                self.set_ireg(*dst, r);
+            }
+            UOp::Mov { dst, src } => {
+                let v = self.src_val(src);
+                self.set_ireg(*dst, v);
+            }
+            UOp::Select { dst, cond, t, f } => {
+                let v = if self.ireg(*cond) != 0 {
+                    self.src_val(t)
+                } else {
+                    self.src_val(f)
+                };
+                self.set_ireg(*dst, v);
+            }
+            UOp::Load {
+                dst,
+                base,
+                offset,
+                bytes,
+                ext,
+            } => {
+                let addr = self.ireg(*base).wrapping_add(*offset);
+                if (layout::OUT_BASE..layout::OUT_BASE + layout::OUT_SIZE).contains(&addr) {
+                    return Err(RunStatus::Segv); // output page is write-only
+                }
+                let raw = match self.mem.read(addr, *bytes) {
+                    Ok(v) => v,
+                    Err(_) => return Err(RunStatus::Segv),
+                };
+                let v = match ext {
+                    Ext::Zero => raw,
+                    Ext::S1 => raw as u8 as i8 as i64 as u64,
+                    Ext::S2 => raw as u16 as i16 as i64 as u64,
+                    Ext::S4 => raw as u32 as i32 as i64 as u64,
+                };
+                self.set_ireg(*dst, v);
+            }
+            UOp::Store {
+                base,
+                offset,
+                src,
+                bytes,
+                mask,
+            } => {
+                let addr = self.ireg(*base).wrapping_add(*offset);
+                let v = self.src_val(src);
+                if addr >= layout::OUT_BASE && addr + bytes <= layout::OUT_BASE + layout::OUT_SIZE {
+                    self.out.push(v & mask);
+                } else if self.mem.write(addr, *bytes, v).is_err() {
+                    return Err(RunStatus::Segv);
+                }
+            }
+            UOp::Fpu { op, dst, a, b } => {
+                let r = op.eval(self.freg(*a), self.freg(*b));
+                self.set_freg(*dst, r);
+            }
+            UOp::FMovImm { dst, bits } => self.set_freg(*dst, f64::from_bits(*bits)),
+            UOp::FMov { dst, src } => {
+                let v = self.freg(*src);
+                self.set_freg(*dst, v);
+            }
+            UOp::FCmp { op, dst, a, b } => {
+                let x = self.freg(*a);
+                let y = self.freg(*b);
+                let r = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::LtS | CmpOp::LtU => x < y,
+                    CmpOp::LeS | CmpOp::LeU => x <= y,
+                };
+                self.set_ireg(*dst, r as u64);
+            }
+            UOp::CvtIF { dst, src } => {
+                let v = self.ireg(*src) as i64 as f64;
+                self.set_freg(*dst, v);
+            }
+            UOp::CvtFI { dst, src } => {
+                let v = self.freg(*src) as i64 as u64;
+                self.set_ireg(*dst, v);
+            }
+            UOp::FLoad { dst, base, offset } => {
+                let addr = self.ireg(*base).wrapping_add(*offset);
+                if addr >= layout::OUT_BASE {
+                    return Err(RunStatus::Segv);
+                }
+                let raw = match self.mem.read(addr, 8) {
+                    Ok(v) => v,
+                    Err(_) => return Err(RunStatus::Segv),
+                };
+                self.set_freg(*dst, f64::from_bits(raw));
+            }
+            UOp::FStore { base, offset, src } => {
+                let addr = self.ireg(*base).wrapping_add(*offset);
+                let bits = self.freg(*src).to_bits();
+                if addr >= layout::OUT_BASE && addr + 8 <= layout::OUT_BASE + layout::OUT_SIZE {
+                    self.out.push(bits);
+                } else if self.mem.write(addr, 8, bits).is_err() {
+                    return Err(RunStatus::Segv);
+                }
+            }
+            UOp::CallExt { func, arg } => {
+                let v = match self.read_darg(arg) {
+                    Ok(v) => v,
+                    Err(()) => return Err(RunStatus::Segv),
+                };
+                match (func, v) {
+                    (ExtFunc::Emit, Val::I(x)) => self.out.push(x),
+                    (ExtFunc::EmitF, Val::F(x)) => self.out.push(x.to_bits()),
+                    // Class mismatches cannot be produced by the lowering
+                    // pass; treat them as a fault if they ever appear.
+                    _ => return Err(RunStatus::Segv),
+                }
+            }
+            UOp::Enter { frame_size, params } => {
+                let new_sp = self.iregs[SP_IDX].wrapping_sub(*frame_size);
+                if !(layout::STACK_BASE..=layout::STACK_TOP).contains(&new_sp) {
+                    return Err(RunStatus::Segv);
+                }
+                self.iregs[SP_IDX] = new_sp;
+                let vals = std::mem::take(&mut self.pending_args);
+                if vals.len() != params.len() {
+                    return Err(RunStatus::Segv);
+                }
+                for (l, v) in params.iter().zip(vals) {
+                    if self.write_dloc(l, v).is_err() {
+                        return Err(RunStatus::Segv);
+                    }
+                }
+            }
+            UOp::Jump(_)
+            | UOp::Branch { .. }
+            | UOp::CallInt { .. }
+            | UOp::Ret { .. }
+            | UOp::Trap(_)
+            | UOp::Probe(_) => unreachable!("not a straight-line op"),
+        }
+        Ok(())
+    }
+
+    /// Reads integer register `r`. Decoded register indices are always in
+    /// range (they come from [`sor_ir::Preg::index`]); masking to the
+    /// 32-entry file makes that visible to the optimizer, eliding the
+    /// bounds check on the hot path.
+    #[inline(always)]
+    fn ireg(&self, r: u8) -> u64 {
+        self.iregs[r as usize & (sor_ir::NUM_IREGS - 1)]
+    }
+
+    #[inline(always)]
+    fn set_ireg(&mut self, r: u8, v: u64) {
+        self.iregs[r as usize & (sor_ir::NUM_IREGS - 1)] = v;
+    }
+
+    #[inline(always)]
+    fn freg(&self, r: u8) -> f64 {
+        self.fregs[r as usize & (sor_ir::NUM_FREGS - 1)]
+    }
+
+    #[inline(always)]
+    fn set_freg(&mut self, r: u8, v: f64) {
+        self.fregs[r as usize & (sor_ir::NUM_FREGS - 1)] = v;
+    }
+
+    /// Reads a predecoded integer operand.
+    #[inline]
+    fn src_val(&self, s: &Src) -> u64 {
+        match s {
+            Src::Reg(r) => self.ireg(*r),
+            Src::Imm(i) => *i,
+        }
+    }
+
+    /// Reads a predecoded call argument (decoded counterpart of the legacy
+    /// `read_parg`).
+    #[inline]
+    fn read_darg(&mut self, a: &DArg) -> Result<Val, ()> {
+        Ok(match a {
+            DArg::Imm(i) => Val::I(*i),
+            DArg::RegI(r) => Val::I(self.ireg(*r)),
+            DArg::RegF(r) => Val::F(self.freg(*r)),
+            DArg::SlotI(off) => {
+                let addr = self.iregs[SP_IDX].wrapping_add(*off);
+                Val::I(self.mem.read(addr, 8).map_err(|_| ())?)
+            }
+            DArg::SlotF(off) => {
+                let addr = self.iregs[SP_IDX].wrapping_add(*off);
+                Val::F(f64::from_bits(self.mem.read(addr, 8).map_err(|_| ())?))
+            }
+        })
+    }
+
+    /// Writes a call/param destination (decoded counterpart of the legacy
+    /// `write_ploc`: register writes dispatch on the value's class).
+    #[inline]
+    fn write_dloc(&mut self, l: &DLoc, v: Val) -> Result<(), ()> {
+        match l {
+            DLoc::Reg(i) => match v {
+                Val::I(x) => self.set_ireg(*i, x),
+                Val::F(x) => self.set_freg(*i, x),
+            },
+            DLoc::Slot(off) => {
+                let addr = self.iregs[SP_IDX].wrapping_add(*off);
+                let bits = match v {
+                    Val::I(x) => x,
+                    Val::F(x) => x.to_bits(),
+                };
+                self.mem.write(addr, 8, bits).map_err(|_| ())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn bump_probe(p: &mut ProbeCounts, e: ProbeEvent) {
+    match e {
+        ProbeEvent::VoteRepair => p.vote_repairs += 1,
+        ProbeEvent::TrumpRecover => p.trump_recovers += 1,
+    }
+}

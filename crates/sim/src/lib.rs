@@ -11,6 +11,14 @@
 //! * [`FaultSpec`] — one bit-flip in one integer register before one dynamic
 //!   instruction, the paper's §7.1 fault model. The stack pointer is never
 //!   targeted (the paper excluded SP and TOC).
+//! * [`DecodedProg`] / [`ExecEngine`] — the predecoded micro-op engine:
+//!   programs are translated once into fully-resolved micro-ops grouped
+//!   into straight-line superblocks, and the hot loop becomes a dense
+//!   array index plus jump-table dispatch with fault/trace/checkpoint
+//!   observation hoisted to superblock boundaries at exact dynamic-slot
+//!   granularity. Selected by [`MachineConfig::engine`] (the default);
+//!   the legacy tree-matching interpreter remains as the
+//!   differential-testing oracle and the timing-model driver.
 //! * [`Timing`] — an in-order, issue-width-limited scoreboard with an L1-D
 //!   cache model. It reproduces the two effects the paper's performance
 //!   numbers hinge on: spare ILP absorbing independent redundant
@@ -24,8 +32,11 @@
 //!   deterministic prefix — bit-exact with from-scratch execution, and
 //!   roughly halving the architectural work per injection on average.
 
+mod alu;
 mod cache;
 mod checkpoint;
+mod decode;
+mod exec;
 mod fault;
 mod machine;
 mod mem;
@@ -36,8 +47,9 @@ mod trace;
 
 pub use cache::{Cache, CacheConfig};
 pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use decode::DecodedProg;
 pub use fault::{FaultSpec, INJECTABLE_REGS};
-pub use machine::{Machine, MachineConfig, ProbeCounts, RunResult, RunStatus};
+pub use machine::{ExecEngine, Machine, MachineConfig, ProbeCounts, RunResult, RunStatus};
 pub use mem::{MemError, Memory, PageSnapshot, PAGE_SIZE};
 pub use outcome::{classify, Outcome};
 pub use runner::{FaultRecord, Replayer, Runner};

@@ -1,15 +1,35 @@
 //! The functional machine: executes program images instruction by
 //! instruction, optionally injecting one SEU and/or driving the timing model.
 
+use crate::alu::{alu_eval, cmp_eval, sign_extend};
 use crate::checkpoint::Checkpoint;
+use crate::decode::DecodedProg;
 use crate::fault::FaultSpec;
 use crate::mem::Memory;
 use crate::timing::{Timing, TimingConfig};
 use crate::trace::TraceSink;
 use sor_ir::{
-    layout, AluOp, CmpOp, ExtFunc, FpOp, MemWidth, PArg, PInst, PLoc, POperand, Preg, ProbeEvent,
-    Program, RegClass, TrapKind, Width, NUM_FREGS, NUM_IREGS,
+    layout, AluOp, CmpOp, ExtFunc, FpOp, PArg, PInst, PLoc, POperand, Preg, ProbeEvent, Program,
+    RegClass, TrapKind, NUM_FREGS, NUM_IREGS,
 };
+use std::sync::Arc;
+
+/// Which interpreter core executes the program.
+///
+/// Both engines are pinned bit-for-bit equivalent on every observable
+/// (results, fault outcomes, trace events, checkpoint snapshots); the
+/// legacy path is retained as the differential-testing oracle and as the
+/// only core that drives the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Predecoded micro-op engine with superblock dispatch (see
+    /// [`crate::DecodedProg`]). Functional-only: timing runs fall back to
+    /// the legacy core automatically.
+    #[default]
+    Decoded,
+    /// The original tree-matching interpreter over [`sor_ir::PInst`].
+    Legacy,
+}
 
 /// Machine parameters.
 #[derive(Debug, Clone)]
@@ -27,6 +47,10 @@ pub struct MachineConfig {
     /// golden run length, any other value is used as-is. Checkpointing is
     /// functional-only and is ignored when the timing model is enabled.
     pub checkpoint_interval: u64,
+    /// Interpreter core selection; see [`ExecEngine`]. The decoded engine
+    /// is functional-only, so it silently defers to the legacy core when
+    /// the timing model is enabled.
+    pub engine: ExecEngine,
 }
 
 impl MachineConfig {
@@ -41,6 +65,7 @@ impl Default for MachineConfig {
             fuel: 50_000_000,
             timing: None,
             checkpoint_interval: MachineConfig::AUTO_CHECKPOINT,
+            engine: ExecEngine::default(),
         }
     }
 }
@@ -70,7 +95,7 @@ pub enum RunStatus {
 }
 
 /// Everything observable about one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
     /// Terminal status.
     pub status: RunStatus,
@@ -111,7 +136,7 @@ pub(crate) enum RetDsts {
 }
 
 impl RetDsts {
-    fn from_slice(s: &[PLoc]) -> Self {
+    pub(crate) fn from_slice(s: &[PLoc]) -> Self {
         if s.len() <= 2 {
             let mut buf = [PLoc::Reg(sor_ir::SP); 2];
             buf[..s.len()].copy_from_slice(s);
@@ -124,7 +149,7 @@ impl RetDsts {
         }
     }
 
-    fn as_slice(&self) -> &[PLoc] {
+    pub(crate) fn as_slice(&self) -> &[PLoc] {
         match self {
             RetDsts::Inline { len, buf } => &buf[..*len as usize],
             RetDsts::Heap(v) => v,
@@ -134,8 +159,8 @@ impl RetDsts {
 
 #[derive(Debug, Clone)]
 pub(crate) struct Frame {
-    ret_pc: usize,
-    ret_dsts: RetDsts,
+    pub(crate) ret_pc: usize,
+    pub(crate) ret_dsts: RetDsts,
 }
 
 enum Step {
@@ -145,32 +170,74 @@ enum Step {
 }
 
 /// The machine: one run over one program image.
+///
+/// Fields are crate-visible because the decoded execution engine
+/// (`crate::exec`) drives the same architectural state from outside this
+/// module.
 #[derive(Debug)]
 pub struct Machine<'p> {
-    prog: &'p Program,
-    fuel: u64,
-    iregs: [u64; NUM_IREGS],
-    fregs: [f64; NUM_FREGS],
-    pc: usize,
-    mem: Memory,
-    out: Vec<u64>,
-    frames: Vec<Frame>,
-    pending_args: Vec<Val>,
-    dyn_count: u64,
-    probes: ProbeCounts,
+    pub(crate) prog: &'p Program,
+    pub(crate) fuel: u64,
+    pub(crate) iregs: [u64; NUM_IREGS],
+    pub(crate) fregs: [f64; NUM_FREGS],
+    pub(crate) pc: usize,
+    pub(crate) mem: Memory,
+    pub(crate) out: Vec<u64>,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) pending_args: Vec<Val>,
+    pub(crate) dyn_count: u64,
+    pub(crate) probes: ProbeCounts,
     timing: Option<Timing>,
     lat: crate::timing::Latencies,
-    injected: bool,
-    fault_pc: Option<usize>,
+    pub(crate) injected: bool,
+    pub(crate) fault_pc: Option<usize>,
+    /// `Some` exactly when this machine executes on the decoded engine:
+    /// the config selected [`ExecEngine::Decoded`] and the timing model is
+    /// off.
+    pub(crate) decoded: Option<Arc<DecodedProg>>,
 }
 
-const SP_IDX: usize = 1;
+pub(crate) const SP_IDX: usize = 1;
 /// Recursion guard independent of frame sizes.
-const MAX_FRAMES: usize = 1 << 16;
+pub(crate) const MAX_FRAMES: usize = 1 << 16;
 
 impl<'p> Machine<'p> {
-    /// Prepares a machine to run `prog`.
+    /// Prepares a machine to run `prog`, predecoding the program when the
+    /// config selects the decoded engine.
+    ///
+    /// Callers constructing many machines over the same program (campaign
+    /// workers) should predecode once and share it via
+    /// [`Machine::with_decoded`] instead of paying the translation per
+    /// machine.
     pub fn new(prog: &'p Program, cfg: &MachineConfig) -> Self {
+        let decoded = (cfg.engine == ExecEngine::Decoded && cfg.timing.is_none())
+            .then(|| Arc::new(DecodedProg::new(prog)));
+        Self::build(prog, cfg, decoded)
+    }
+
+    /// Prepares a machine to run `prog` on the decoded engine, sharing a
+    /// predecoded image instead of re-translating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded` was not produced from `prog` (length mismatch)
+    /// or if the config enables the timing model, which the decoded engine
+    /// does not drive.
+    pub fn with_decoded(prog: &'p Program, cfg: &MachineConfig, decoded: Arc<DecodedProg>) -> Self {
+        assert_eq!(
+            decoded.len(),
+            prog.insts.len(),
+            "decoded image does not match program '{}'",
+            prog.name
+        );
+        assert!(
+            cfg.timing.is_none(),
+            "the decoded engine is functional-only"
+        );
+        Self::build(prog, cfg, Some(decoded))
+    }
+
+    fn build(prog: &'p Program, cfg: &MachineConfig, decoded: Option<Arc<DecodedProg>>) -> Self {
         let init: Vec<(u64, &[u8])> = prog
             .globals
             .iter()
@@ -198,6 +265,7 @@ impl<'p> Machine<'p> {
                 .unwrap_or_default(),
             injected: false,
             fault_pc: None,
+            decoded,
         }
     }
 
@@ -211,6 +279,10 @@ impl<'p> Machine<'p> {
     /// the reusable-arena path fault campaigns use. The machine's
     /// architectural state is spent afterwards until restored.
     pub fn run_mut(&mut self, fault: Option<FaultSpec>) -> RunResult {
+        if let Some(d) = &self.decoded {
+            let d = Arc::clone(d);
+            return self.run_mut_decoded(&d, fault);
+        }
         let status = loop {
             if self.dyn_count >= self.fuel {
                 break RunStatus::OutOfFuel;
@@ -231,7 +303,7 @@ impl<'p> Machine<'p> {
         self.take_result(status)
     }
 
-    fn take_result(&mut self, status: RunStatus) -> RunResult {
+    pub(crate) fn take_result(&mut self, status: RunStatus) -> RunResult {
         RunResult {
             status,
             output: std::mem::take(&mut self.out),
@@ -275,7 +347,7 @@ impl<'p> Machine<'p> {
     /// Captures the complete architectural state at the current
     /// instruction boundary, taking the dirty pages accumulated since the
     /// previous capture as this checkpoint's copy-on-write memory delta.
-    fn capture(&mut self) -> Checkpoint {
+    pub(crate) fn capture(&mut self) -> Checkpoint {
         Checkpoint {
             at: self.dyn_count,
             iregs: self.iregs,
@@ -331,6 +403,10 @@ impl<'p> Machine<'p> {
     pub fn run_golden_with_checkpoints(&mut self, interval: u64) -> (RunResult, Vec<Checkpoint>) {
         debug_assert!(self.timing.is_none(), "checkpointing is functional-only");
         assert!(interval > 0, "checkpoint interval must be positive");
+        if let Some(d) = &self.decoded {
+            let d = Arc::clone(d);
+            return self.run_golden_with_checkpoints_decoded(&d, interval);
+        }
         let mut cps = Vec::new();
         let mut next_at = 0u64;
         let status = loop {
@@ -361,6 +437,10 @@ impl<'p> Machine<'p> {
     /// counted instruction.
     pub fn run_golden_traced(&mut self, sink: &mut dyn TraceSink) -> RunResult {
         debug_assert!(self.timing.is_none(), "tracing is functional-only");
+        if let Some(d) = &self.decoded {
+            let d = Arc::clone(d);
+            return self.run_golden_traced_decoded(&d, sink);
+        }
         let mut check_pc = self.pc;
         let mut checked: Option<u64> = None;
         let status = loop {
@@ -392,7 +472,7 @@ impl<'p> Machine<'p> {
     ///
     /// Must be called before the instruction executes; the pc must not
     /// point at a probe.
-    fn dyn_int_accesses(&self) -> (u32, u32) {
+    pub(crate) fn dyn_int_accesses(&self) -> (u32, u32) {
         let mut reads = 0u32;
         let mut writes = 0u32;
         let read_reg = |p: Preg, m: &mut u32| {
@@ -555,7 +635,7 @@ impl<'p> Machine<'p> {
         })
     }
 
-    fn write_ploc(&mut self, l: &PLoc, v: Val) -> Result<(), ()> {
+    pub(crate) fn write_ploc(&mut self, l: &PLoc, v: Val) -> Result<(), ()> {
         match l {
             PLoc::Reg(p) => match v {
                 Val::I(x) => self.set_i(*p, x),
@@ -628,15 +708,7 @@ impl<'p> Machine<'p> {
             } => {
                 let x = self.ival(*a);
                 let y = self.ival(*b);
-                let (x, y) = match width {
-                    Width::W32 => (x as u32 as u64, y as u32 as u64),
-                    Width::W64 => (x, y),
-                };
-                let r = match (width, op) {
-                    (Width::W32, CmpOp::LtS) => ((x as u32 as i32) < (y as u32 as i32)) as u64,
-                    (Width::W32, CmpOp::LeS) => ((x as u32 as i32) <= (y as u32 as i32)) as u64,
-                    _ => op.eval(x, y) as u64,
-                };
+                let r = cmp_eval(*op, *width, x, y) as u64;
                 let mut srcs = [*dst; 3];
                 let mut n = 0;
                 Self::op_src(*a, &mut srcs, &mut n);
@@ -902,149 +974,5 @@ impl<'p> Machine<'p> {
             PInst::Trap(TrapKind::Abort) => Step::Done(RunStatus::Aborted),
             PInst::Probe(_) => unreachable!("handled before counting"),
         }
-    }
-}
-
-fn sign_extend(raw: u64, width: MemWidth) -> u64 {
-    match width {
-        MemWidth::B1 => raw as u8 as i8 as i64 as u64,
-        MemWidth::B2 => raw as u16 as i16 as i64 as u64,
-        MemWidth::B4 => raw as u32 as i32 as i64 as u64,
-        MemWidth::B8 => raw,
-    }
-}
-
-/// Evaluates an ALU operation; `None` signals a division fault.
-fn alu_eval(op: AluOp, width: Width, a: u64, b: u64) -> Option<u64> {
-    match width {
-        Width::W64 => {
-            let r = match op {
-                AluOp::Add => a.wrapping_add(b),
-                AluOp::Sub => a.wrapping_sub(b),
-                AluOp::Mul => a.wrapping_mul(b),
-                AluOp::DivU => {
-                    if b == 0 {
-                        return None;
-                    }
-                    a / b
-                }
-                AluOp::DivS => {
-                    if b == 0 {
-                        return None;
-                    }
-                    (a as i64).wrapping_div(b as i64) as u64
-                }
-                AluOp::RemU => {
-                    if b == 0 {
-                        return None;
-                    }
-                    a % b
-                }
-                AluOp::RemS => {
-                    if b == 0 {
-                        return None;
-                    }
-                    (a as i64).wrapping_rem(b as i64) as u64
-                }
-                AluOp::And => a & b,
-                AluOp::Or => a | b,
-                AluOp::Xor => a ^ b,
-                AluOp::Shl => a.wrapping_shl((b % 64) as u32),
-                AluOp::ShrL => a.wrapping_shr((b % 64) as u32),
-                AluOp::ShrA => ((a as i64).wrapping_shr((b % 64) as u32)) as u64,
-            };
-            Some(r)
-        }
-        Width::W32 => {
-            let x = a as u32;
-            let y = b as u32;
-            let r = match op {
-                AluOp::Add => x.wrapping_add(y),
-                AluOp::Sub => x.wrapping_sub(y),
-                AluOp::Mul => x.wrapping_mul(y),
-                AluOp::DivU => {
-                    if y == 0 {
-                        return None;
-                    }
-                    x / y
-                }
-                AluOp::DivS => {
-                    if y == 0 {
-                        return None;
-                    }
-                    (x as i32).wrapping_div(y as i32) as u32
-                }
-                AluOp::RemU => {
-                    if y == 0 {
-                        return None;
-                    }
-                    x % y
-                }
-                AluOp::RemS => {
-                    if y == 0 {
-                        return None;
-                    }
-                    (x as i32).wrapping_rem(y as i32) as u32
-                }
-                AluOp::And => x & y,
-                AluOp::Or => x | y,
-                AluOp::Xor => x ^ y,
-                AluOp::Shl => x.wrapping_shl(y % 32),
-                AluOp::ShrL => x.wrapping_shr(y % 32),
-                AluOp::ShrA => ((x as i32).wrapping_shr(y % 32)) as u32,
-            };
-            Some(r as u64)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn alu_w32_wraps_and_zero_extends() {
-        assert_eq!(
-            alu_eval(AluOp::Add, Width::W32, u32::MAX as u64, 1),
-            Some(0)
-        );
-        assert_eq!(
-            alu_eval(AluOp::Sub, Width::W32, 0, 1),
-            Some(u32::MAX as u64)
-        );
-        assert_eq!(
-            alu_eval(AluOp::ShrA, Width::W32, 0x8000_0000, 31),
-            Some(0xFFFF_FFFF)
-        );
-    }
-
-    #[test]
-    fn division_by_zero_faults() {
-        for op in [AluOp::DivU, AluOp::DivS, AluOp::RemU, AluOp::RemS] {
-            assert_eq!(alu_eval(op, Width::W64, 5, 0), None);
-            assert_eq!(alu_eval(op, Width::W32, 5, 0), None);
-        }
-    }
-
-    #[test]
-    fn signed_ops_are_signed() {
-        let minus_one = (-1i64) as u64;
-        assert_eq!(
-            alu_eval(AluOp::DivS, Width::W64, minus_one, 1),
-            Some(minus_one)
-        );
-        assert_eq!(
-            alu_eval(AluOp::ShrA, Width::W64, minus_one, 5),
-            Some(minus_one)
-        );
-        assert_eq!(alu_eval(AluOp::ShrL, Width::W64, minus_one, 63), Some(1));
-    }
-
-    #[test]
-    fn sign_extension() {
-        assert_eq!(sign_extend(0xFF, MemWidth::B1), u64::MAX);
-        assert_eq!(sign_extend(0x7F, MemWidth::B1), 0x7F);
-        assert_eq!(sign_extend(0x8000, MemWidth::B2), (-32768i64) as u64);
-        assert_eq!(sign_extend(0xFFFF_FFFF, MemWidth::B4), u64::MAX);
     }
 }

@@ -49,6 +49,10 @@ impl PageSnapshot {
     pub fn is_empty(&self) -> bool {
         self.pages.is_empty()
     }
+
+    pub(crate) fn entries(&self) -> &[(u32, Box<[u8]>)] {
+        &self.pages
+    }
 }
 
 /// Byte-addressable data memory backing the global and stack segments.

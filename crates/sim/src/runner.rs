@@ -1,11 +1,13 @@
 //! Golden-run management and fault-run classification.
 
 use crate::checkpoint::CheckpointStore;
+use crate::decode::DecodedProg;
 use crate::fault::FaultSpec;
-use crate::machine::{Machine, MachineConfig, RunResult};
+use crate::machine::{ExecEngine, Machine, MachineConfig, RunResult};
 use crate::outcome::{classify, Outcome};
 use crate::trace::TraceSink;
 use sor_ir::ProtectionRole;
+use std::sync::Arc;
 
 /// One fault injection annotated with its static provenance: which static
 /// instruction the flip landed on and what protection role that instruction
@@ -74,6 +76,10 @@ pub struct Runner<'p> {
     cfg: MachineConfig,
     golden: RunResult,
     ckpts: CheckpointStore,
+    /// Shared predecoded image, `Some` iff the config selected the decoded
+    /// engine: translated once here (or supplied by the caller) and shared
+    /// by every machine this runner creates.
+    decoded: Option<Arc<DecodedProg>>,
 }
 
 impl<'p> Runner<'p> {
@@ -88,7 +94,32 @@ impl<'p> Runner<'p> {
     /// Panics if the golden run itself does not complete — a program that
     /// faults without any injected fault is a workload bug.
     pub fn new(prog: &'p sor_ir::Program, cfg: &MachineConfig) -> Self {
-        let golden = Machine::new(prog, cfg).run(None);
+        Self::with_decoded(prog, cfg, None)
+    }
+
+    /// Like [`Runner::new`], but reuses an already-predecoded image (the
+    /// harness artifact store memoizes one per lowered program) instead of
+    /// translating again. `decoded` is ignored when the config selects the
+    /// legacy engine; `None` under the decoded engine translates here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a supplied `decoded` was not produced from `prog`, or if
+    /// the golden run does not complete (see [`Runner::new`]).
+    pub fn with_decoded(
+        prog: &'p sor_ir::Program,
+        cfg: &MachineConfig,
+        decoded: Option<Arc<DecodedProg>>,
+    ) -> Self {
+        let decoded = (cfg.engine == ExecEngine::Decoded)
+            .then(|| decoded.unwrap_or_else(|| Arc::new(DecodedProg::new(prog))));
+        // The golden pass honours the caller's timing config; the decoded
+        // engine is functional-only, so timing goldens run legacy.
+        let golden_machine = match &decoded {
+            Some(d) if cfg.timing.is_none() => Machine::with_decoded(prog, cfg, Arc::clone(d)),
+            _ => Machine::new(prog, cfg),
+        };
+        let golden = golden_machine.run(None);
         assert_eq!(
             golden.status,
             crate::machine::RunStatus::Completed,
@@ -100,6 +131,7 @@ impl<'p> Runner<'p> {
             fuel: golden.dyn_instrs.saturating_mul(10).saturating_add(100_000),
             timing: None,
             checkpoint_interval: cfg.checkpoint_interval,
+            engine: cfg.engine,
         };
         let interval = match cfg.checkpoint_interval {
             0 => 0,
@@ -110,7 +142,10 @@ impl<'p> Runner<'p> {
         // cannot serve as the recording pass, so record on a second,
         // functional golden run.
         let ckpts = if interval > 0 {
-            let mut m = Machine::new(prog, &fault_cfg);
+            let mut m = match &decoded {
+                Some(d) => Machine::with_decoded(prog, &fault_cfg, Arc::clone(d)),
+                None => Machine::new(prog, &fault_cfg),
+            };
             m.enable_reuse();
             let (recorded, cps) = m.run_golden_with_checkpoints(interval);
             assert_eq!(
@@ -127,6 +162,22 @@ impl<'p> Runner<'p> {
             cfg: fault_cfg,
             golden,
             ckpts,
+            decoded,
+        }
+    }
+
+    /// The shared predecoded image, `Some` iff the decoded engine is
+    /// selected.
+    pub fn decoded(&self) -> Option<&Arc<DecodedProg>> {
+        self.decoded.as_ref()
+    }
+
+    /// Creates a machine wired to this runner's fault config and shared
+    /// predecoded image (when the decoded engine is selected).
+    fn fault_machine(&self) -> Machine<'p> {
+        match &self.decoded {
+            Some(d) => Machine::with_decoded(self.prog, &self.cfg, Arc::clone(d)),
+            None => Machine::new(self.prog, &self.cfg),
         }
     }
 
@@ -145,7 +196,7 @@ impl<'p> Runner<'p> {
     /// [`crate::TraceSink`]), and asserts the traced run is bit-identical
     /// to the recorded golden run.
     pub fn trace_golden(&self, sink: &mut dyn TraceSink) -> RunResult {
-        let traced = Machine::new(self.prog, &self.cfg).run_golden_traced(sink);
+        let traced = self.fault_machine().run_golden_traced(sink);
         assert_eq!(
             (traced.status, traced.dyn_instrs, &traced.output),
             (
@@ -164,7 +215,7 @@ impl<'p> Runner<'p> {
     /// the machine's register files, frame stack and memory arena are
     /// reused across runs instead of being reallocated per injection.
     pub fn replayer(&self) -> Replayer<'_, 'p> {
-        let mut machine = Machine::new(self.prog, &self.cfg);
+        let mut machine = self.fault_machine();
         machine.enable_reuse();
         Replayer {
             runner: self,
