@@ -8,7 +8,8 @@
 //! wall-clock speedup.
 //!
 //! Flags: `--samples N` workload size (default 4 — brute force executes
-//! the whole cube, so keep it small), `--threads N` (default all cores).
+//! the whole cube, so keep it small), `--threads N` (default all cores),
+//! `--lanes L` SPMD lane width for the certified pass (default 1).
 
 use sor_core::Technique;
 use sor_harness::{run_certified_campaign_in, ArtifactStore, CertifyConfig, OutcomeCounts};
@@ -68,11 +69,16 @@ fn main() {
                 .unwrap_or(4)
         });
 
+    let lanes: usize = sor_bench::arg_value("--lanes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
     let workload = AdpcmDec { samples, seed: 1 };
     let technique = Technique::SwiftR;
     let store = ArtifactStore::new();
     let cfg = CertifyConfig {
         threads,
+        lanes,
         ..CertifyConfig::default()
     };
 
@@ -121,26 +127,20 @@ fn main() {
     );
     eprintln!("injection reduction: {reduction:.1}x, wall-clock speedup: {speedup:.2}x");
 
-    let json = format!(
-        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{technique}\",\n  \
-         \"threads\": {threads},\n  \"golden_instrs\": {},\n  \
-         \"total_sites\": {},\n  \"dead_sites\": {},\n  \"classes\": {},\n  \
-         \"brute_injections\": {},\n  \"certified_injections\": {},\n  \
-         \"injection_reduction\": {reduction:.2},\n  \
-         \"brute_secs\": {brute_secs:.4},\n  \
-         \"certified_secs\": {certified_secs:.4},\n  \
-         \"speedup\": {speedup:.3}\n}}\n",
-        workload.name(),
-        certified.golden_instrs,
-        certified.total_sites,
-        certified.dead_sites,
-        certified.classes,
-        certified.total_sites,
-        certified.injections_executed,
-    );
-    match std::fs::write("BENCH_ace.json", &json) {
-        Ok(()) => eprintln!("wrote BENCH_ace.json"),
-        Err(e) => eprintln!("could not write BENCH_ace.json: {e}"),
-    }
-    print!("{json}");
+    sor_bench::BenchReport::new()
+        .str("workload", workload.name())
+        .str("technique", technique)
+        .num("threads", sor_harness::resolve_threads(threads))
+        .num("lanes", lanes)
+        .num("golden_instrs", certified.golden_instrs)
+        .num("total_sites", certified.total_sites)
+        .num("dead_sites", certified.dead_sites)
+        .num("classes", certified.classes)
+        .num("brute_injections", certified.total_sites)
+        .num("certified_injections", certified.injections_executed)
+        .num("injection_reduction", format!("{reduction:.2}"))
+        .num("brute_secs", format!("{brute_secs:.4}"))
+        .num("certified_secs", format!("{certified_secs:.4}"))
+        .num("speedup", format!("{speedup:.3}"))
+        .write("BENCH_ace.json");
 }

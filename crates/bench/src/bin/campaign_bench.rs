@@ -8,10 +8,11 @@
 //! be worthless.
 //!
 //! Flags: `--runs N` (default 2000), `--threads N` (default all cores),
-//! `--samples N` workload size (default 400).
+//! `--samples N` workload size (default 400), `--lanes L` SPMD lane width
+//! for both passes (default 1, scalar).
 
 use sor_core::Technique;
-use sor_harness::{run_campaign, CampaignConfig};
+use sor_harness::{resolve_threads, run_campaign, CampaignConfig};
 use sor_sim::MachineConfig;
 use sor_workloads::{AdpcmDec, Workload};
 use std::time::Instant;
@@ -24,6 +25,9 @@ fn main() {
     let samples: u64 = sor_bench::arg_value("--samples")
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
+    let lanes: usize = sor_bench::arg_value("--lanes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
     let workload = AdpcmDec { samples, seed: 1 };
     let technique = Technique::SwiftR;
@@ -32,6 +36,7 @@ fn main() {
         seed: 0x5EED,
         threads,
         checkpoint_interval: interval,
+        lanes,
         ..CampaignConfig::default()
     };
 
@@ -65,21 +70,17 @@ fn main() {
     eprintln!("checkpointed: {replay_secs:.3}s ({replay_rps:.0} runs/s)");
     eprintln!("speedup: {speedup:.2}x");
 
-    let json = format!(
-        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{technique}\",\n  \
-         \"runs\": {runs},\n  \"threads\": {threads},\n  \
-         \"golden_instrs\": {},\n  \
-         \"baseline_secs\": {baseline_secs:.4},\n  \
-         \"baseline_runs_per_sec\": {base_rps:.1},\n  \
-         \"checkpointed_secs\": {replay_secs:.4},\n  \
-         \"checkpointed_runs_per_sec\": {replay_rps:.1},\n  \
-         \"speedup\": {speedup:.3}\n}}\n",
-        workload.name(),
-        baseline.golden_instrs,
-    );
-    match std::fs::write("BENCH_campaign.json", &json) {
-        Ok(()) => eprintln!("wrote BENCH_campaign.json"),
-        Err(e) => eprintln!("could not write BENCH_campaign.json: {e}"),
-    }
-    print!("{json}");
+    sor_bench::BenchReport::new()
+        .str("workload", workload.name())
+        .str("technique", technique)
+        .num("runs", runs)
+        .num("threads", resolve_threads(threads))
+        .num("lanes", lanes)
+        .num("golden_instrs", baseline.golden_instrs)
+        .num("baseline_secs", format!("{baseline_secs:.4}"))
+        .num("baseline_runs_per_sec", format!("{base_rps:.1}"))
+        .num("checkpointed_secs", format!("{replay_secs:.4}"))
+        .num("checkpointed_runs_per_sec", format!("{replay_rps:.1}"))
+        .num("speedup", format!("{speedup:.3}"))
+        .write("BENCH_campaign.json");
 }

@@ -12,7 +12,7 @@
 //! `--samples N` workload size (default 400).
 
 use sor_core::Technique;
-use sor_harness::{run_campaign, CampaignConfig};
+use sor_harness::{resolve_threads, run_campaign, CampaignConfig};
 use sor_sim::ExecEngine;
 use sor_workloads::{AdpcmDec, Workload};
 use std::time::Instant;
@@ -66,21 +66,19 @@ fn main() {
     eprintln!("decoded: {decoded_secs:.3}s ({decoded_rps:.0} runs/s)");
     eprintln!("speedup: {speedup:.2}x");
 
-    let json = format!(
-        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{technique}\",\n  \
-         \"runs\": {runs},\n  \"threads\": {threads},\n  \
-         \"golden_instrs\": {},\n  \
-         \"legacy_secs\": {legacy_secs:.4},\n  \
-         \"legacy_runs_per_sec\": {legacy_rps:.1},\n  \
-         \"decoded_secs\": {decoded_secs:.4},\n  \
-         \"decoded_runs_per_sec\": {decoded_rps:.1},\n  \
-         \"speedup\": {speedup:.3}\n}}\n",
-        workload.name(),
-        legacy.golden_instrs,
-    );
-    match std::fs::write("BENCH_decode.json", &json) {
-        Ok(()) => eprintln!("wrote BENCH_decode.json"),
-        Err(e) => eprintln!("could not write BENCH_decode.json: {e}"),
-    }
-    print!("{json}");
+    // Both passes run scalar (lanes = 1): the legacy engine cannot lane,
+    // and the decoded column is the lane_bench baseline.
+    sor_bench::BenchReport::new()
+        .str("workload", workload.name())
+        .str("technique", technique)
+        .num("runs", runs)
+        .num("threads", resolve_threads(threads))
+        .num("lanes", 1)
+        .num("golden_instrs", legacy.golden_instrs)
+        .num("legacy_secs", format!("{legacy_secs:.4}"))
+        .num("legacy_runs_per_sec", format!("{legacy_rps:.1}"))
+        .num("decoded_secs", format!("{decoded_secs:.4}"))
+        .num("decoded_runs_per_sec", format!("{decoded_rps:.1}"))
+        .num("speedup", format!("{speedup:.3}"))
+        .write("BENCH_decode.json");
 }

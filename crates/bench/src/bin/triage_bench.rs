@@ -9,10 +9,11 @@
 //! worthless.
 //!
 //! Flags: `--runs N` (default 2000), `--threads N` (default all cores),
-//! `--samples N` workload size (default 400).
+//! `--samples N` workload size (default 400), `--lanes L` SPMD lane width
+//! for both passes (default 1, scalar).
 
 use sor_core::Technique;
-use sor_harness::{run_campaign, run_triaged_campaign, CampaignConfig};
+use sor_harness::{resolve_threads, run_campaign, run_triaged_campaign, CampaignConfig};
 use sor_workloads::{AdpcmDec, Workload};
 use std::time::Instant;
 
@@ -24,12 +25,16 @@ fn main() {
     let samples: u64 = sor_bench::arg_value("--samples")
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
+    let lanes: usize = sor_bench::arg_value("--lanes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
     let workload = AdpcmDec { samples, seed: 1 };
     let technique = Technique::SwiftR;
     let cfg = CampaignConfig {
         runs,
         threads,
+        lanes,
         ..CampaignConfig::default()
     };
 
@@ -64,21 +69,18 @@ fn main() {
     eprintln!("triaged: {triaged_secs:.3}s ({triaged_rps:.0} runs/s), {sites} sites profiled");
     eprintln!("overhead: {overhead:.3}x");
 
-    let json = format!(
-        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{technique}\",\n  \
-         \"runs\": {runs},\n  \"threads\": {threads},\n  \
-         \"golden_instrs\": {},\n  \"sites_profiled\": {sites},\n  \
-         \"plain_secs\": {plain_secs:.4},\n  \
-         \"plain_runs_per_sec\": {plain_rps:.1},\n  \
-         \"triaged_secs\": {triaged_secs:.4},\n  \
-         \"triaged_runs_per_sec\": {triaged_rps:.1},\n  \
-         \"overhead\": {overhead:.3}\n}}\n",
-        workload.name(),
-        plain.golden_instrs,
-    );
-    match std::fs::write("BENCH_triage.json", &json) {
-        Ok(()) => eprintln!("wrote BENCH_triage.json"),
-        Err(e) => eprintln!("could not write BENCH_triage.json: {e}"),
-    }
-    print!("{json}");
+    sor_bench::BenchReport::new()
+        .str("workload", workload.name())
+        .str("technique", technique)
+        .num("runs", runs)
+        .num("threads", resolve_threads(threads))
+        .num("lanes", lanes)
+        .num("golden_instrs", plain.golden_instrs)
+        .num("sites_profiled", sites)
+        .num("plain_secs", format!("{plain_secs:.4}"))
+        .num("plain_runs_per_sec", format!("{plain_rps:.1}"))
+        .num("triaged_secs", format!("{triaged_secs:.4}"))
+        .num("triaged_runs_per_sec", format!("{triaged_rps:.1}"))
+        .num("overhead", format!("{overhead:.3}"))
+        .write("BENCH_triage.json");
 }

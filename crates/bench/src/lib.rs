@@ -45,6 +45,59 @@ pub fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The one JSON serializer every `*_bench` bin shares, so the
+/// `BENCH_*.json` schemas stay aligned: same envelope (workload,
+/// technique, runs where applicable, the *resolved* worker-thread count —
+/// never the ambiguous `0` meaning "all cores" — the lane width, golden
+/// instruction count) followed by bin-specific measurements in insertion
+/// order.
+#[derive(Default)]
+pub struct BenchReport {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a JSON string field.
+    pub fn str(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.fields.push((key.to_string(), format!("\"{value}\"")));
+        self
+    }
+
+    /// Appends a raw (numeric/pre-rendered) JSON field; pass formatted
+    /// strings like `format!("{secs:.4}")` for controlled precision.
+    pub fn num(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Renders the whole report as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 == self.fields.len() { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the rendered report to `path` (also printing it to stdout)
+    /// and logs the outcome to stderr.
+    pub fn write(&self, path: &str) -> String {
+        let json = self.render();
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        print!("{json}");
+        json
+    }
+}
+
 /// Parses `--runs N` with a default.
 pub fn runs_arg(default: u64) -> u64 {
     arg_value("--runs")
@@ -125,6 +178,19 @@ mod tests {
         assert_eq!(super::fmt_ns(1_500.0), "1.50 µs");
         assert_eq!(super::fmt_ns(2_000_000.0), "2.00 ms");
         assert_eq!(super::fmt_ns(3.2e9), "3.200 s");
+    }
+
+    #[test]
+    fn bench_report_renders_ordered_json() {
+        let json = super::BenchReport::new()
+            .str("workload", "adpcmdec")
+            .num("runs", 2000)
+            .num("speedup", format!("{:.3}", 4.24681))
+            .render();
+        assert_eq!(
+            json,
+            "{\n  \"workload\": \"adpcmdec\",\n  \"runs\": 2000,\n  \"speedup\": 4.247\n}\n"
+        );
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! SEU fault-injection campaigns (paper §7.1).
 
 use crate::artifact::ArtifactStore;
+use crate::pool;
 use crate::stats::OutcomeCounts;
 use sor_core::Technique;
 use sor_ir::Program;
 use sor_regalloc::LowerConfig;
 use sor_rng::SmallRng;
-use sor_sim::{DecodedProg, ExecEngine, FaultSpec, MachineConfig, Runner};
+use sor_sim::{DecodedProg, ExecEngine, FaultSpec, MachineConfig};
 use sor_workloads::Workload;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Campaign parameters.
@@ -29,6 +29,12 @@ pub struct CampaignConfig {
     /// [`ExecEngine`]): the predecoded micro-op engine by default, with
     /// the legacy step path available as the differential-testing oracle.
     pub engine: ExecEngine,
+    /// SPMD lane width for batched injection (see
+    /// [`sor_sim::LaneReplayer`]): `1` (the default) runs each fault on a
+    /// scalar machine; `2`/`4`/`8` execute that many injections in
+    /// lockstep over one decoded program, with bit-identical results.
+    /// Requires the decoded engine; silently scalar otherwise.
+    pub lanes: usize,
     /// Transform configuration.
     pub transform: sor_core::TransformConfig,
 }
@@ -41,6 +47,7 @@ impl Default for CampaignConfig {
             threads: 0,
             checkpoint_interval: MachineConfig::AUTO_CHECKPOINT,
             engine: ExecEngine::default(),
+            lanes: 1,
             transform: sor_core::TransformConfig::default(),
         }
     }
@@ -137,56 +144,26 @@ fn inject(
     wl_name: &str,
     technique: Technique,
 ) -> (OutcomeCounts, u64) {
-    let mcfg = MachineConfig {
-        checkpoint_interval: cfg.checkpoint_interval,
-        engine: cfg.engine,
-        ..MachineConfig::default()
-    };
-    let runner = Runner::with_decoded(program, &mcfg, decoded);
+    let runner = pool::build_runner(program, decoded, cfg.checkpoint_interval, cfg.engine);
     let golden_len = runner.golden().dyn_instrs;
-
     let faults = draw_faults(cfg, wl_name, technique, golden_len);
-
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        cfg.threads
-    };
-
-    // Work-stealing over a shared atomic index: fault runs have wildly
-    // variable lengths (a chunk of near-fuel Hang outcomes would serialize
-    // a statically chunked campaign), so each worker grabs the next fault
-    // as it finishes the last. Results are summed, which is commutative, so
-    // `counts` is exactly the same whatever the thread count or
+    // Work-stealing over the shared pool (see `pool::inject_faults`):
+    // fault runs have wildly variable lengths, so workers steal faults (or
+    // lane groups) as they finish. Summing is commutative, so `counts` is
+    // exactly the same whatever the thread count, lane width or
     // interleaving — the determinism invariant the campaign tests pin.
-    let next = AtomicUsize::new(0);
-    let mut total = OutcomeCounts::default();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.max(1).min(faults.len().max(1)) {
-            let runner = &runner;
-            let faults = &faults;
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                // One reusable machine arena per worker: registers, frame
-                // stack and memory are recycled across runs.
-                let mut replayer = runner.replayer();
-                let mut counts = OutcomeCounts::default();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&fault) = faults.get(i) else { break };
-                    let (outcome, res) = replayer.run_fault(fault);
-                    counts.record(outcome, res.probes.vote_repairs + res.probes.trump_recovers);
-                }
-                counts
-            }));
-        }
-        for h in handles {
-            total += h.join().expect("campaign worker panicked");
-        }
-    });
+    let total: OutcomeCounts = pool::inject_faults(
+        &runner,
+        &faults,
+        cfg.threads,
+        cfg.lanes,
+        |acc: &mut OutcomeCounts, _, rec, res| {
+            acc.record(
+                rec.outcome,
+                res.probes.vote_repairs + res.probes.trump_recovers,
+            );
+        },
+    );
     (total, golden_len)
 }
 

@@ -12,14 +12,14 @@
 //! per-role attribution) — the oracle tests below pin exactly that.
 
 use crate::artifact::ArtifactStore;
+use crate::pool;
 use sor_ace::{CertPlan, CertifiedCoverage, DefUseTrace};
 use sor_core::Technique;
 use sor_ir::Program;
 use sor_regalloc::LowerConfig;
-use sor_sim::{DecodedProg, FaultSpec, MachineConfig, Runner};
+use sor_sim::{DecodedProg, ExecEngine, FaultSpec, MachineConfig};
 use sor_stats::OutcomeCounts;
 use sor_workloads::Workload;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Certified-campaign parameters.
@@ -30,6 +30,12 @@ pub struct CertifyConfig {
     /// Golden-run checkpoint interval (see
     /// [`MachineConfig::checkpoint_interval`]).
     pub checkpoint_interval: u64,
+    /// SPMD lane width for batched injection (see
+    /// [`sor_sim::LaneReplayer`]): each read-window equivalence class is
+    /// 64 same-slot faults, which lane groups of width 2/4/8 tile
+    /// exactly. `1` (the default) runs scalar; results are bit-identical
+    /// either way.
+    pub lanes: usize,
     /// Transform configuration.
     pub transform: sor_core::TransformConfig,
 }
@@ -39,6 +45,7 @@ impl Default for CertifyConfig {
         CertifyConfig {
             threads: 0,
             checkpoint_interval: MachineConfig::AUTO_CHECKPOINT,
+            lanes: 1,
             transform: sor_core::TransformConfig::default(),
         }
     }
@@ -70,6 +77,7 @@ pub fn run_certified_campaign_in(
         &technique.to_string(),
         cfg.threads,
         cfg.checkpoint_interval,
+        cfg.lanes,
     )
 }
 
@@ -94,6 +102,7 @@ pub fn certify_program(
         technique,
         threads,
         checkpoint_interval,
+        1,
     )
 }
 
@@ -106,62 +115,43 @@ pub fn certify_program_with(
     technique: &str,
     threads: usize,
     checkpoint_interval: u64,
+    lanes: usize,
 ) -> CertifiedCoverage {
-    let mcfg = MachineConfig {
-        checkpoint_interval,
-        ..MachineConfig::default()
-    };
-    let runner = Runner::with_decoded(program, &mcfg, decoded);
+    let runner = pool::build_runner(program, decoded, checkpoint_interval, ExecEngine::default());
     let trace = DefUseTrace::record(&runner);
     let plan = CertPlan::build(&trace);
     let golden_recoveries =
         runner.golden().probes.vote_repairs + runner.golden().probes.trump_recovers;
 
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        threads
-    };
-
-    // Work-stealing over class indices: windows ending late in the run
-    // replay long suffixes, so classes — like sampled faults — have wildly
-    // variable costs. Each worker writes into per-class slots, keyed by
-    // index, so the report is identical for any thread count.
-    let next = AtomicUsize::new(0);
-    let mut class_results = vec![OutcomeCounts::default(); plan.classes.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.max(1).min(plan.classes.len().max(1)) {
-            let runner = &runner;
-            let plan = &plan;
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut replayer = runner.replayer();
-                let mut local: Vec<(usize, OutcomeCounts)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(range) = plan.classes.get(i) else {
-                        break;
-                    };
-                    let mut agg = OutcomeCounts::default();
-                    for bit in 0..64 {
-                        let fault = FaultSpec::new(range.hi, range.reg, bit);
-                        let (outcome, res) = replayer.run_fault(fault);
-                        agg.record(outcome, res.probes.vote_repairs + res.probes.trump_recovers);
-                    }
-                    local.push((i, agg));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            for (i, agg) in h.join().expect("certify worker panicked") {
-                class_results[i] = agg;
+    // The plan flattens to 64 same-slot faults per read-window class; the
+    // shared pool work-steals them (scalar) or their lane groups, which
+    // tile classes exactly (64 % lane width == 0). Folding by class index
+    // keeps per-class slots exact, so the report is identical for any
+    // thread count or lane width — windows ending late in the run replay
+    // long suffixes, so classes, like sampled faults, have wildly
+    // variable costs and still want stealing.
+    let faults: Vec<FaultSpec> = plan
+        .classes
+        .iter()
+        .flat_map(|range| (0..64).map(|bit| FaultSpec::new(range.hi, range.reg, bit)))
+        .collect();
+    let mut class_results: Vec<OutcomeCounts> = pool::inject_faults(
+        &runner,
+        &faults,
+        threads,
+        lanes,
+        |acc: &mut Vec<OutcomeCounts>, i, rec, res| {
+            let class = i / 64;
+            if acc.len() <= class {
+                acc.resize(class + 1, OutcomeCounts::default());
             }
-        }
-    });
+            acc[class].record(
+                rec.outcome,
+                res.probes.vote_repairs + res.probes.trump_recovers,
+            );
+        },
+    );
+    class_results.resize(plan.classes.len(), OutcomeCounts::default());
 
     CertifiedCoverage::assemble(
         workload,

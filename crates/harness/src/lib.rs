@@ -40,6 +40,7 @@ mod campaign;
 mod certify;
 mod figures;
 mod perf;
+mod pool;
 mod report;
 mod stats;
 mod triage;
@@ -52,6 +53,7 @@ pub use certify::{
 };
 pub use figures::{FigureEight, FigureNine};
 pub use perf::{measure_perf, measure_perf_in, PerfConfig, PerfResult};
+pub use pool::{resolve_lanes, resolve_threads};
 pub use report::{headline, Headline};
 pub use stats::{wilson_ci, OutcomeCounts};
 pub use triage::{

@@ -1,0 +1,193 @@
+//! The shared injection worker pool.
+//!
+//! Every campaign flavour — sampled ([`crate::run_campaign`]), triaged
+//! ([`crate::run_triaged_campaign`]) and certified
+//! ([`crate::run_certified_campaign`]) — used to carry its own copy of the
+//! same loop: resolve the thread count, spawn scoped workers, give each a
+//! reusable machine arena, work-steal fault indices off a shared atomic,
+//! fold per-worker results, merge commutatively. [`inject_faults`] is that
+//! loop, written once, parameterized over the accumulator and the
+//! per-record fold.
+//!
+//! It is also where lane batching composes with work-stealing. With
+//! `lanes > 1` the fault list is stably sorted by injection slot and cut
+//! into lane-width groups — a *group* becomes the work-stealing unit, and
+//! each worker drives a [`sor_sim::LaneReplayer`] instead of a scalar
+//! [`sor_sim::Replayer`]. Sorting maximizes the shared lockstep prefix
+//! within a group; for certified campaigns, whose flattened fault list is
+//! 64 same-slot faults per read-window equivalence class, sorted groups
+//! tile the classes exactly (64 is divisible by every supported width).
+//! Because every fold target merges commutatively and the fold receives
+//! the fault's *original* index, results are bit-identical whatever the
+//! thread count, lane width or steal order — the matrix the differential
+//! tests pin.
+
+use crate::stats::OutcomeCounts;
+use sor_ir::Program;
+use sor_sim::{DecodedProg, ExecEngine, FaultRecord, FaultSpec, MachineConfig, RunResult, Runner};
+use sor_triage::VulnerabilityProfile;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Resolves a configured worker-thread knob (`0` = all available cores)
+/// to the actual pool size.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+}
+
+/// Resolves a configured lane knob against what the runner can support:
+/// lane execution needs the predecoded image, widths are {2, 4, 8, 16} (a
+/// request in between rounds down), and anything below 2 is scalar.
+pub fn resolve_lanes(runner: &Runner<'_>, lanes: usize) -> usize {
+    if runner.decoded().is_none() || lanes < 2 {
+        1
+    } else if lanes >= 16 {
+        16
+    } else if lanes >= 8 {
+        8
+    } else if lanes >= 4 {
+        4
+    } else {
+        2
+    }
+}
+
+/// Builds the injection runner every campaign flavour shares: the golden
+/// run plus checkpoint store, optionally reusing a predecoded image from
+/// the artifact store.
+pub(crate) fn build_runner<'p>(
+    program: &'p Program,
+    decoded: Option<Arc<DecodedProg>>,
+    checkpoint_interval: u64,
+    engine: ExecEngine,
+) -> Runner<'p> {
+    let mcfg = MachineConfig {
+        checkpoint_interval,
+        engine,
+        ..MachineConfig::default()
+    };
+    Runner::with_decoded(program, &mcfg, decoded)
+}
+
+/// A campaign accumulator: per-worker partial results merge commutatively,
+/// so pooled injection is thread-count and steal-order independent.
+pub(crate) trait Accumulate: Default + Send {
+    fn absorb(&mut self, other: Self);
+}
+
+impl Accumulate for OutcomeCounts {
+    fn absorb(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+impl Accumulate for VulnerabilityProfile {
+    fn absorb(&mut self, other: Self) {
+        self.merge(&other);
+    }
+}
+
+/// Indexed histogram slots (the certified campaign's per-class counts):
+/// workers touch disjoint indices, so element-wise summing reassembles
+/// the exact per-slot results.
+impl Accumulate for Vec<OutcomeCounts> {
+    fn absorb(&mut self, other: Self) {
+        if self.len() < other.len() {
+            self.resize(other.len(), OutcomeCounts::default());
+        }
+        for (slot, counts) in self.iter_mut().zip(other) {
+            *slot += counts;
+        }
+    }
+}
+
+/// Runs every fault in `faults` across a work-stealing worker pool and
+/// folds the provenance-annotated results into an [`Accumulate`] target.
+///
+/// `fold` is called once per fault with the fault's index in `faults`
+/// (original order — lane batching reorders execution, not attribution),
+/// its [`FaultRecord`] and the raw [`RunResult`].
+pub(crate) fn inject_faults<A, F>(
+    runner: &Runner<'_>,
+    faults: &[FaultSpec],
+    threads: usize,
+    lanes: usize,
+    fold: F,
+) -> A
+where
+    A: Accumulate,
+    F: Fn(&mut A, usize, &FaultRecord, &RunResult) + Sync,
+{
+    let threads = resolve_threads(threads);
+    let lanes = resolve_lanes(runner, lanes);
+    let fold = &fold;
+    let mut total = A::default();
+
+    if lanes > 1 {
+        // Sort (stably) by injection slot so each lane group shares the
+        // longest possible pre-fault lockstep prefix, then steal whole
+        // groups: one group = one lockstep pack run.
+        let mut order: Vec<usize> = (0..faults.len()).collect();
+        order.sort_by_key(|&i| faults[i].at_instr);
+        let groups: Vec<&[usize]> = order.chunks(lanes).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads.max(1).min(groups.len().max(1)) {
+                let (groups, next) = (&groups, &next);
+                handles.push(scope.spawn(move || {
+                    // One lane pack (plus its eviction machines) per
+                    // worker, reused across every stolen group.
+                    let mut replayer = runner.lane_replayer(lanes);
+                    let mut group = Vec::with_capacity(lanes);
+                    let mut acc = A::default();
+                    loop {
+                        let g = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(idxs) = groups.get(g) else { break };
+                        group.clear();
+                        group.extend(idxs.iter().map(|&i| faults[i]));
+                        let results = replayer.run_fault_group_records(&group);
+                        for (k, (rec, res)) in results.iter().enumerate() {
+                            fold(&mut acc, idxs[k], rec, res);
+                        }
+                    }
+                    acc
+                }));
+            }
+            for h in handles {
+                total.absorb(h.join().expect("injection worker panicked"));
+            }
+        });
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads.max(1).min(faults.len().max(1)) {
+                let next = &next;
+                handles.push(scope.spawn(move || {
+                    // One reusable machine arena per worker: registers,
+                    // frame stack and memory are recycled across runs.
+                    let mut replayer = runner.replayer();
+                    let mut acc = A::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&fault) = faults.get(i) else { break };
+                        let (rec, res) = replayer.run_fault_record(fault);
+                        fold(&mut acc, i, &rec, &res);
+                    }
+                    acc
+                }));
+            }
+            for h in handles {
+                total.absorb(h.join().expect("injection worker panicked"));
+            }
+        });
+    }
+    total
+}

@@ -10,13 +10,13 @@
 
 use crate::artifact::ArtifactStore;
 use crate::campaign::{draw_faults, CampaignConfig, CampaignResult};
+use crate::pool;
 use sor_core::Technique;
 use sor_ir::{Program, ProtectionRole};
 use sor_regalloc::LowerConfig;
-use sor_sim::{DecodedProg, MachineConfig, Runner};
+use sor_sim::DecodedProg;
 use sor_triage::VulnerabilityProfile;
 use sor_workloads::Workload;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A campaign result plus its per-site vulnerability profile.
@@ -69,50 +69,21 @@ fn inject_profiled(
     wl_name: &str,
     technique: Technique,
 ) -> (VulnerabilityProfile, u64) {
-    let mcfg = MachineConfig {
-        checkpoint_interval: cfg.checkpoint_interval,
-        engine: cfg.engine,
-        ..MachineConfig::default()
-    };
-    let runner = Runner::with_decoded(program, &mcfg, decoded);
+    let runner = pool::build_runner(program, decoded, cfg.checkpoint_interval, cfg.engine);
     let golden_len = runner.golden().dyn_instrs;
     let faults = draw_faults(cfg, wl_name, technique, golden_len);
-
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        cfg.threads
-    };
-
-    // Same work-stealing shape as the plain campaign; profile merge is
+    // Same shared worker pool as the plain campaign; profile merge is
     // commutative and associative, so the merged profile is independent of
-    // thread count and interleaving.
-    let next = AtomicUsize::new(0);
-    let mut whole = VulnerabilityProfile::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.max(1).min(faults.len().max(1)) {
-            let runner = &runner;
-            let faults = &faults;
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut replayer = runner.replayer();
-                let mut profile = VulnerabilityProfile::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&fault) = faults.get(i) else { break };
-                    let (rec, res) = replayer.run_fault_record(fault);
-                    profile.record(&rec, res.probes.vote_repairs + res.probes.trump_recovers);
-                }
-                profile
-            }));
-        }
-        for h in handles {
-            whole.merge(&h.join().expect("triage worker panicked"));
-        }
-    });
+    // thread count, lane width and interleaving.
+    let whole: VulnerabilityProfile = pool::inject_faults(
+        &runner,
+        &faults,
+        cfg.threads,
+        cfg.lanes,
+        |acc: &mut VulnerabilityProfile, _, rec, res| {
+            acc.record(rec, res.probes.vote_repairs + res.probes.trump_recovers);
+        },
+    );
     (whole, golden_len)
 }
 
@@ -158,6 +129,7 @@ pub fn residual_sdc_table(campaigns: &[TriagedCampaign]) -> String {
 mod tests {
     use super::*;
     use crate::campaign::run_campaign;
+    use sor_sim::{MachineConfig, Runner};
     use sor_triage::SectionalTriage;
     use sor_workloads::{AdpcmDec, Mpeg2Enc, Workload};
 

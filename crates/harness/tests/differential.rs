@@ -10,9 +10,17 @@
 //! * seeded fault injections, as full provenance-annotated
 //!   [`FaultRecord`]s plus raw results — including `fault_pc`,
 //! * whole campaign histograms under identical seeds.
+//!
+//! The lanes column extends the matrix along a third axis: lane-batched
+//! SPMD execution ([`sor_sim::LaneReplayer`]) at widths 2/4/8 must be
+//! bit-identical to scalar decoded replay — per-fault records, sampled
+//! and triaged campaign histograms, and certified-coverage reports alike.
 
 use sor_core::Technique;
-use sor_harness::{run_campaign, ArtifactStore, CampaignConfig};
+use sor_harness::{
+    run_campaign, run_certified_campaign, run_triaged_campaign, ArtifactStore, CampaignConfig,
+    CertifyConfig,
+};
 use sor_regalloc::LowerConfig;
 use sor_rng::SmallRng;
 use sor_sim::{ExecEngine, FaultSpec, MachineConfig, Runner, TraceSink};
@@ -121,11 +129,31 @@ fn decoded_engine_matches_legacy_bit_for_bit() {
             faults.push(FaultSpec::new(golden_len + 9, 5, 2));
             let mut d_replayer = decoded.replayer();
             let mut l_replayer = legacy.replayer();
-            for f in faults {
+            let mut scalar_records = Vec::new();
+            for &f in &faults {
                 let (d_rec, d_res) = d_replayer.run_fault_record(f);
                 let (l_rec, l_res) = l_replayer.run_fault_record(f);
                 assert_eq!(d_rec, l_rec, "{label}: {f} record diverged");
                 assert_eq!(d_res, l_res, "{label}: {f} result diverged");
+                scalar_records.push((d_rec, d_res));
+            }
+
+            // The lanes column: the same battery, grouped into lockstep
+            // packs of every supported width, must reproduce the scalar
+            // records and results bit-for-bit.
+            for lanes in [2, 4, 8, 16] {
+                let mut lane_replayer = decoded.lane_replayer(lanes);
+                for (chunk_idx, group) in faults.chunks(lanes).enumerate() {
+                    let got = lane_replayer.run_fault_group_records(group);
+                    for (k, lane_rec) in got.iter().enumerate() {
+                        let scalar = &scalar_records[chunk_idx * lanes + k];
+                        assert_eq!(
+                            *lane_rec, *scalar,
+                            "{label}: {} diverged at {lanes} lanes",
+                            group[k]
+                        );
+                    }
+                }
             }
         }
     }
@@ -151,6 +179,82 @@ fn campaign_histograms_agree_across_engines() {
         let l = run_campaign(&w, technique, &cfg(ExecEngine::Legacy));
         assert_eq!(d.counts, l.counts, "{technique}: histogram diverged");
         assert_eq!(d.golden_instrs, l.golden_instrs, "{technique}");
+    }
+}
+
+/// The lanes-vs-scalar campaign matrix: across three techniques and three
+/// structurally different workloads, lane-batched campaigns at every
+/// supported width reproduce the scalar histograms exactly — sampled
+/// counts, the full triaged vulnerability profile, and the complete
+/// certified-coverage report (per-site and per-role maps included).
+#[test]
+fn lane_campaigns_match_scalar_across_matrix() {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(AdpcmDec {
+            samples: 60,
+            seed: 7,
+        }),
+        Box::new(Mpeg2Dec { blocks: 2, seed: 2 }),
+        Box::new(Mpeg2Enc { blocks: 2, seed: 1 }),
+    ];
+    for w in &workloads {
+        for technique in [Technique::SwiftR, Technique::Trump, Technique::Swift] {
+            let label = format!("{}/{technique}", w.name());
+            let cfg = |lanes| CampaignConfig {
+                runs: 48,
+                seed: 11,
+                threads: 2,
+                lanes,
+                ..Default::default()
+            };
+            let scalar = run_campaign(w.as_ref(), technique, &cfg(1));
+            for lanes in [2, 4, 8, 16] {
+                let laned = run_campaign(w.as_ref(), technique, &cfg(lanes));
+                assert_eq!(
+                    laned.counts, scalar.counts,
+                    "{label}: {lanes}-lane histogram diverged"
+                );
+                assert_eq!(laned.golden_instrs, scalar.golden_instrs, "{label}");
+            }
+            let triaged_scalar = run_triaged_campaign(w.as_ref(), technique, &cfg(1));
+            let triaged_laned = run_triaged_campaign(w.as_ref(), technique, &cfg(8));
+            assert_eq!(
+                triaged_laned.profile, triaged_scalar.profile,
+                "{label}: triage profile diverged under lanes"
+            );
+        }
+    }
+}
+
+/// Certified campaigns — the exhaustive, exact fault-space reports — are
+/// unchanged by lane batching, down to every per-site and per-role count.
+#[test]
+fn lane_certified_campaigns_match_scalar() {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(AdpcmDec {
+            samples: 4,
+            seed: 1,
+        }),
+        Box::new(Mpeg2Dec { blocks: 1, seed: 2 }),
+        Box::new(Mpeg2Enc { blocks: 1, seed: 1 }),
+    ];
+    for w in &workloads {
+        for technique in [Technique::SwiftR, Technique::Trump, Technique::Swift] {
+            let label = format!("{}/{technique}", w.name());
+            let cfg = |lanes| CertifyConfig {
+                threads: 2,
+                lanes,
+                ..Default::default()
+            };
+            let scalar = run_certified_campaign(w.as_ref(), technique, &cfg(1));
+            for lanes in [4, 8] {
+                let laned = run_certified_campaign(w.as_ref(), technique, &cfg(lanes));
+                assert_eq!(
+                    laned, scalar,
+                    "{label}: certified report diverged at {lanes} lanes"
+                );
+            }
+        }
     }
 }
 

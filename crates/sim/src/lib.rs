@@ -19,6 +19,16 @@
 //!   granularity. Selected by [`MachineConfig::engine`] (the default);
 //!   the legacy tree-matching interpreter remains as the
 //!   differential-testing oracle and the timing-model driver.
+//! * [`LaneReplayer`] — lane-parallel SPMD fault batching: up to 16
+//!   injections of one decoded program execute in lockstep over
+//!   struct-of-arrays register state, sharing decode/dispatch/observation
+//!   cost and auto-vectorizing the ALU ladders. A lane whose control flow
+//!   (or memory behaviour) diverges from the pack is evicted to the scalar
+//!   engine *before* the divergent operation commits, so results stay
+//!   bit-identical to [`Replayer`]; register-only vote-repair hammocks
+//!   reconverge in-pack with per-lane retirement skew instead of evicting
+//!   (see `lanes.rs` module docs for the soundness argument and the
+//!   pre-lowered opstream / memory / target-feature fast paths).
 //! * [`Timing`] — an in-order, issue-width-limited scoreboard with an L1-D
 //!   cache model. It reproduces the two effects the paper's performance
 //!   numbers hinge on: spare ILP absorbing independent redundant
@@ -38,6 +48,7 @@ mod checkpoint;
 mod decode;
 mod exec;
 mod fault;
+mod lanes;
 mod machine;
 mod mem;
 mod outcome;
@@ -49,6 +60,7 @@ pub use cache::{Cache, CacheConfig};
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use decode::DecodedProg;
 pub use fault::{FaultSpec, INJECTABLE_REGS};
+pub use lanes::LaneReplayer;
 pub use machine::{ExecEngine, Machine, MachineConfig, ProbeCounts, RunResult, RunStatus};
 pub use mem::{MemError, Memory, PageSnapshot, PAGE_SIZE};
 pub use outcome::{classify, Outcome};

@@ -72,10 +72,10 @@ fn auto_interval(golden_len: u64) -> u64 {
 /// ```
 #[derive(Debug)]
 pub struct Runner<'p> {
-    prog: &'p sor_ir::Program,
+    pub(crate) prog: &'p sor_ir::Program,
     cfg: MachineConfig,
-    golden: RunResult,
-    ckpts: CheckpointStore,
+    pub(crate) golden: RunResult,
+    pub(crate) ckpts: CheckpointStore,
     /// Shared predecoded image, `Some` iff the config selected the decoded
     /// engine: translated once here (or supplied by the caller) and shared
     /// by every machine this runner creates.
@@ -174,7 +174,7 @@ impl<'p> Runner<'p> {
 
     /// Creates a machine wired to this runner's fault config and shared
     /// predecoded image (when the decoded engine is selected).
-    fn fault_machine(&self) -> Machine<'p> {
+    pub(crate) fn fault_machine(&self) -> Machine<'p> {
         match &self.decoded {
             Some(d) => Machine::with_decoded(self.prog, &self.cfg, Arc::clone(d)),
             None => Machine::new(self.prog, &self.cfg),
@@ -230,6 +230,20 @@ impl<'p> Runner<'p> {
     pub fn run_fault(&self, fault: FaultSpec) -> (Outcome, RunResult) {
         self.replayer().run_fault(fault)
     }
+
+    /// Creates a lane-parallel fault-run executor that runs up to `lanes`
+    /// injections in SPMD lockstep over this runner's decoded image (see
+    /// [`crate::LaneReplayer`]). The width rounds down to the supported
+    /// pack widths {2, 4, 8}; `lanes < 2` still builds a 2-wide pack
+    /// (singleton groups degrade to the scalar engine internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics when this runner uses the legacy engine — lane execution is a
+    /// decoded-engine mode.
+    pub fn lane_replayer(&self, lanes: usize) -> crate::lanes::LaneReplayer<'_, 'p> {
+        crate::lanes::LaneReplayer::new(self, lanes)
+    }
 }
 
 /// A reusable fault-run executor: one machine arena, many injected runs.
@@ -247,10 +261,9 @@ impl Replayer<'_, '_> {
     /// suffix; otherwise it resets and executes from instruction 0. Both
     /// paths return results bit-identical to a fresh from-scratch run.
     pub fn run_fault(&mut self, fault: FaultSpec) -> (Outcome, RunResult) {
-        match self.runner.ckpts.prefix_for(fault.at_instr) {
-            Some(prefix) => self.machine.restore(prefix, &self.runner.golden.output),
-            None => self.machine.reset(),
-        }
+        let prefix = self.runner.ckpts.prefix_for(fault.at_instr);
+        self.machine
+            .prepare_replay(prefix, &self.runner.golden.output);
         let result = self.machine.run_mut(Some(fault));
         (classify(&self.runner.golden, &result), result)
     }
