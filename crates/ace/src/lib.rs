@@ -19,6 +19,12 @@
 //!   histogram, per-static-instruction and per-[`ProtectionRole`]
 //!   attribution over *all* sites, bit-for-bit equal to brute force (the
 //!   harness oracle test pins this).
+//! * [`CertSections`] / [`SectionKey`] — the plan partitioned into
+//!   contiguous content-addressed sections for incremental
+//!   re-certification: each section's executed class histograms are keyed
+//!   by `(program digest, def-use slice digest, fault-model digest)` so a
+//!   persistent store can serve them back exactly (soundness argument in
+//!   the `incremental` module docs and DESIGN.md §14).
 //!
 //! [`ProtectionRole`]: sor_ir::ProtectionRole
 //!
@@ -27,10 +33,15 @@
 //! `sor_harness::run_certified_campaign`; this crate holds the analysis
 //! and the exactness argument (see DESIGN.md §11).
 
+mod incremental;
 mod liveness;
 mod report;
 mod trace;
 
+pub use incremental::{
+    fault_config_digest, CertSection, CertSections, ClassOutcome, SectionKey, SectionOutcomes,
+    CERT_SEMANTICS_VERSION,
+};
 pub use liveness::{CertPlan, LivenessIndex, SiteFate, SlotRange};
 pub use report::CertifiedCoverage;
 pub use trace::DefUseTrace;

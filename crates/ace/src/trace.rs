@@ -1,5 +1,6 @@
 //! The recorded def-use trace of a golden run.
 
+use sor_ir::{ContentHash, Fnv1a, Program};
 use sor_sim::{Runner, TraceSink};
 
 /// Per-slot def-use record of one golden run: for every dynamic
@@ -56,5 +57,45 @@ impl DefUseTrace {
     /// Integer registers written at `slot` (bitmask).
     pub fn writes(&self, slot: u64) -> u32 {
         self.writes[slot as usize]
+    }
+
+    /// Content digest of the whole trace (every slot's check pc and
+    /// def-use masks). Two runs with equal trace digests executed the same
+    /// dynamic instruction sequence with the same register behaviour.
+    pub fn content_digest(&self) -> ContentHash {
+        let mut h = Fnv1a::new();
+        h.u64(self.len());
+        for slot in 0..self.len() {
+            self.fold_slot(&mut h, slot, None);
+        }
+        ContentHash(h.finish64())
+    }
+
+    /// The def-use *slice* digest of dynamic slots `lo..hi` — the
+    /// per-section identity component of an incremental certification key.
+    ///
+    /// Folds the slice bounds and, per slot, the check pc, the def-use
+    /// masks, and the *content* of the checked instruction (not just its
+    /// index), so a program edit that shifts or rewrites the instructions
+    /// a section's faults land on changes the section's digest even when
+    /// the raw pc numbers happen to coincide.
+    pub fn digest_slice(&self, program: &Program, lo: u64, hi: u64) -> ContentHash {
+        let mut h = Fnv1a::new();
+        h.u64(lo);
+        h.u64(hi);
+        for slot in lo..hi {
+            self.fold_slot(&mut h, slot, Some(program));
+        }
+        ContentHash(h.finish64())
+    }
+
+    fn fold_slot(&self, h: &mut Fnv1a, slot: u64, program: Option<&Program>) {
+        let pc = self.check_pcs[slot as usize];
+        h.usize(pc);
+        h.u64(self.reads[slot as usize] as u64);
+        h.u64(self.writes[slot as usize] as u64);
+        if let Some(p) = program {
+            h.debug(&p.insts[pc]);
+        }
     }
 }

@@ -7,10 +7,19 @@
 //!
 //! Flags: `--samples N` workload size (default 40; the fault space is
 //! quadratic-ish in it, but only live equivalence classes are executed),
-//! `--threads N` (default all cores).
+//! `--threads N` (default all cores), `--store DIR` persistent result
+//! store directory (default `results/store`), `--no-store` to disable the
+//! store and certify monolithically, `--sections N` incremental-reuse
+//! granularity (default 8; results are bit-identical for every value).
+//! With the store enabled the run finishes by printing its
+//! `hits= misses= warnings=` counters — a re-run over an unchanged
+//! workload reports all sections as hits and executes zero injections.
 
 use sor_core::Technique;
-use sor_harness::{run_certified_campaign_in, ArtifactStore, CertifyConfig};
+use sor_harness::{
+    run_certified_campaign_in, run_certified_campaign_stored, ArtifactStore, CertifyConfig,
+    ResultStore,
+};
 use sor_workloads::{AdpcmDec, Workload};
 
 /// Lowercase filename slug for a technique ("TRUMP/SWIFT-R" → "trump-swift-r").
@@ -30,10 +39,20 @@ fn main() {
     let threads: usize = sor_bench::arg_value("--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let sections: usize = sor_bench::arg_value("--sections")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let results = if sor_bench::flag("--no-store") {
+        None
+    } else {
+        let dir = sor_bench::arg_value("--store").unwrap_or_else(|| "results/store".to_string());
+        Some(ResultStore::open(&dir))
+    };
 
     let workload = AdpcmDec { samples, seed: 1 };
     let cfg = CertifyConfig {
         threads,
+        sections,
         ..CertifyConfig::default()
     };
     let store = ArtifactStore::new();
@@ -52,7 +71,17 @@ fn main() {
     );
     for technique in Technique::ALL {
         let start = std::time::Instant::now();
-        let r = run_certified_campaign_in(&store, &workload, technique, &cfg);
+        let r = match &results {
+            Some(rs) => {
+                let inc = run_certified_campaign_stored(&store, rs, &workload, technique, &cfg);
+                eprintln!(
+                    "{technique}: {}/{} sections from store, {} fresh injections",
+                    inc.sections_hit, inc.sections_total, inc.fresh_injections
+                );
+                inc.coverage
+            }
+            None => run_certified_campaign_in(&store, &workload, technique, &cfg),
+        };
         let secs = start.elapsed().as_secs_f64();
         println!(
             "{:<14} {:>12} {:>12} {:>9} {:>11} {:>7.1}x {:>8.2} {:>8.2} {:>8.2}",
@@ -125,5 +154,8 @@ fn main() {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write {name}: {e}"),
         }
+    }
+    if let Some(rs) = &results {
+        println!("store: {}", rs.summary());
     }
 }

@@ -7,11 +7,16 @@
 //!
 //! Flags: `--runs N` injections per technique (default 400), `--threads N`
 //! (default all cores), `--samples N` workload size (default 200),
-//! `--top N` heatmap rows per technique (default 10).
+//! `--top N` heatmap rows per technique (default 10), `--store DIR`
+//! persistent result store directory (default `results/store`),
+//! `--no-store` to disable the store, `--sections N` section granularity
+//! for store reuse (default 8). With the store enabled the run finishes by
+//! printing its `hits= misses= warnings=` counters.
 
 use sor_core::Technique;
 use sor_harness::{
-    residual_sdc_table, run_triaged_campaign_in, ArtifactStore, CampaignConfig, TriagedCampaign,
+    residual_sdc_table, run_triaged_campaign_in, run_triaged_campaign_stored, ArtifactStore,
+    CampaignConfig, ResultStore, TriagedCampaign,
 };
 use sor_regalloc::LowerConfig;
 use sor_workloads::{AdpcmDec, Workload};
@@ -37,6 +42,15 @@ fn main() {
     let top: usize = sor_bench::arg_value("--top")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    let sections: usize = sor_bench::arg_value("--sections")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let results = if sor_bench::flag("--no-store") {
+        None
+    } else {
+        let dir = sor_bench::arg_value("--store").unwrap_or_else(|| "results/store".to_string());
+        Some(ResultStore::open(&dir))
+    };
 
     let workload = AdpcmDec { samples, seed: 1 };
     let cfg = CampaignConfig {
@@ -56,7 +70,12 @@ fn main() {
             "triage: {} / {technique}, {runs} injections",
             workload.name()
         );
-        let t = run_triaged_campaign_in(&store, &workload, technique, &cfg);
+        let t = match &results {
+            Some(rs) => {
+                run_triaged_campaign_stored(&store, rs, &workload, technique, &cfg, sections)
+            }
+            None => run_triaged_campaign_in(&store, &workload, technique, &cfg),
+        };
         let artifact = store.get(
             &workload,
             technique,
@@ -128,4 +147,7 @@ fn main() {
         Err(e) => eprintln!("could not write triage_heatmap.md: {e}"),
     }
     print!("{heatmap}");
+    if let Some(rs) = &results {
+        println!("store: {}", rs.summary());
+    }
 }

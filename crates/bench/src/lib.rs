@@ -28,9 +28,15 @@
 //! * `ace_bench` — certification efficiency vs. true brute-force injection
 //!   of every site: asserts identical histograms, then reports the
 //!   injection-count reduction and wall-clock speedup (`BENCH_ace.json`).
+//! * `incremental_bench` — what the persistent content-addressed result
+//!   store buys: cold vs. warm vs. one-workload-changed certification
+//!   sweeps, bit-identity asserted before timing (`BENCH_incremental.json`;
+//!   extension experiment E12).
 //!
 //! All bins spell their common flags the same way: `--runs N`, `--seed S`,
-//! `--threads N`, `--samples N`, `--json`.
+//! `--threads N`, `--samples N`, `--json`. `certify` and `triage`
+//! additionally take `--store DIR` / `--no-store` / `--sections N` for the
+//! persistent result store (see `sor_harness::ResultStore`).
 //!
 //! Engineering benches (`cargo bench`): transform throughput, simulator
 //! throughput, end-to-end per-technique cost on a small kernel. They use
@@ -43,6 +49,11 @@ pub fn arg_value(name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` (no value) is present on the command line.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 /// The one JSON serializer every `*_bench` bin shares, so the

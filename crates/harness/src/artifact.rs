@@ -8,20 +8,22 @@
 //! `headline` prepared every (workload, technique) pair three times over.
 //!
 //! [`ArtifactStore`] memoizes the preparation behind an
-//! [`ArtifactKey`] — `(workload name, technique, TransformConfig,
+//! [`ArtifactKey`] — `(source content digest, technique, TransformConfig,
 //! LowerConfig)` — and hands out [`Arc`]-shared [`Artifact`]s holding the
 //! transformed module, the lowered program and the pipeline's
 //! instrumentation report. The store is `Sync`: campaign drivers and
 //! figure runners can share one instance across threads.
 //!
-//! Workload names do not encode their parameters, so a key alone cannot
+//! Workload names do not encode their parameters, so a *name* alone cannot
 //! distinguish `AdpcmDec { samples: 40 }` from `AdpcmDec { samples: 400 }`.
-//! The store therefore keeps the *source* module inside each artifact and
-//! compares it against a fresh build on every hit; a mismatch falls back to
-//! an uncached fresh preparation instead of serving the wrong program.
+//! The store used to keep the source [`Module`] inside each artifact and
+//! deep-compare it against a fresh build on every hit; the key now carries
+//! the source module's [`ContentHash`] instead, so differently
+//! parameterized builds of the same workload occupy distinct cache slots
+//! and a hit never needs (or stores) the source module at all.
 
 use sor_core::{Pipeline, PipelineReport, Technique, TransformConfig};
-use sor_ir::{Module, Program};
+use sor_ir::{ContentHash, Digest, Module, Program};
 use sor_regalloc::{lower, LowerConfig};
 use sor_sim::DecodedProg;
 use sor_workloads::Workload;
@@ -32,8 +34,12 @@ use std::sync::{Arc, Mutex};
 /// The coordinates that fully determine a prepared program.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ArtifactKey {
-    /// Workload name ([`Workload::name`]).
+    /// Workload name ([`Workload::name`]), kept for diagnostics.
     pub workload: String,
+    /// Content digest of the untransformed source module — this is what
+    /// actually distinguishes same-name, differently-parameterized
+    /// workload builds (see the module docs).
+    pub source: ContentHash,
     /// Protection technique.
     pub technique: Technique,
     /// Check-placement policy the pipeline ran under.
@@ -45,9 +51,6 @@ pub struct ArtifactKey {
 /// One fully prepared program: everything downstream of `workload.build()`.
 #[derive(Debug)]
 pub struct Artifact {
-    /// The untransformed module, kept for hit validation (see the module
-    /// docs on same-name, differently-parameterized workloads).
-    pub source: Module,
     /// The module after the technique's pipeline.
     pub module: Module,
     /// The lowered executable image.
@@ -93,11 +96,11 @@ impl ArtifactStore {
     /// Returns the prepared artifact for the given coordinates, building
     /// (and caching) it on first request.
     ///
-    /// The workload module is always rebuilt to validate a hit; only the
-    /// transform + lower work — the expensive part — is memoized. The map
-    /// lock is never held while building, so concurrent first requests for
-    /// the same key may both build; they produce identical artifacts and
-    /// the last insert wins.
+    /// The workload module is always rebuilt so its content digest can key
+    /// the lookup; only the transform + lower work — the expensive part —
+    /// is memoized. The map lock is never held while building, so
+    /// concurrent first requests for the same key may both build; they
+    /// produce identical artifacts and the last insert wins.
     ///
     /// # Panics
     ///
@@ -110,23 +113,18 @@ impl ArtifactStore {
         transform: &TransformConfig,
         lower_cfg: &LowerConfig,
     ) -> Arc<Artifact> {
+        let source = workload.build();
         let key = ArtifactKey {
             workload: workload.name().to_string(),
+            source: source.content_digest(),
             technique,
             transform: transform.clone(),
             lower: lower_cfg.clone(),
         };
-        let source = workload.build();
         let cached = self.map.lock().unwrap().get(&key).cloned();
         if let Some(a) = cached {
-            if a.source == source {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return a;
-            }
-            // Same workload name, different parameters: serve a fresh
-            // build and leave the cached entry in place.
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return Arc::new(build_artifact(source, &key));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return a;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let artifact = Arc::new(build_artifact(source, &key));
@@ -164,7 +162,6 @@ fn build_artifact(source: Module, key: &ArtifactKey) -> Artifact {
         .unwrap_or_else(|e| panic!("{}/{}: {e}", key.workload, key.technique));
     let decoded = Arc::new(DecodedProg::new(&program));
     Artifact {
-        source,
         module: out.module,
         program,
         decoded,
@@ -231,15 +228,21 @@ mod tests {
             seed: 1,
         };
         let a = store.get(&small, Technique::SwiftR, &tc, &lc);
-        // Same name + key, different workload parameters: must rebuild.
+        // Same name, different workload parameters: the source digest in
+        // the key keeps them apart, so this is a miss into its own slot.
         let b = store.get(&big, Technique::SwiftR, &tc, &lc);
         assert_eq!(store.hits(), 0);
         assert_eq!(store.misses(), 2);
-        assert!(b.program.len() != a.program.len() || b.source != a.source);
-        // The original cached entry is still intact.
+        assert_eq!(store.len(), 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.program, b.program);
+        // Both entries serve hits afterwards — unlike the old deep-compare
+        // scheme, which rebuilt the mismatched parameterization every time.
         let c = store.get(&small, Technique::SwiftR, &tc, &lc);
+        let d = store.get(&big, Technique::SwiftR, &tc, &lc);
         assert!(Arc::ptr_eq(&a, &c));
-        assert_eq!(store.hits(), 1);
+        assert!(Arc::ptr_eq(&b, &d));
+        assert_eq!(store.hits(), 2);
     }
 
     #[test]

@@ -2,12 +2,12 @@
 
 use crate::artifact::ArtifactStore;
 use crate::pool;
-use crate::stats::OutcomeCounts;
 use sor_core::Technique;
 use sor_ir::Program;
 use sor_regalloc::LowerConfig;
 use sor_rng::SmallRng;
 use sor_sim::{DecodedProg, ExecEngine, FaultSpec, MachineConfig};
+use sor_stats::OutcomeCounts;
 use sor_workloads::Workload;
 use std::sync::Arc;
 

@@ -13,7 +13,10 @@
 
 use crate::artifact::ArtifactStore;
 use crate::pool;
-use sor_ace::{CertPlan, CertifiedCoverage, DefUseTrace};
+use crate::store::ResultStore;
+use sor_ace::{
+    CertPlan, CertSections, CertifiedCoverage, ClassOutcome, DefUseTrace, SectionOutcomes,
+};
 use sor_core::Technique;
 use sor_ir::Program;
 use sor_regalloc::LowerConfig;
@@ -38,6 +41,13 @@ pub struct CertifyConfig {
     pub lanes: usize,
     /// Transform configuration.
     pub transform: sor_core::TransformConfig,
+    /// Contiguous dynamic-slot sections the incremental path
+    /// ([`certify_incremental`]) splits the plan into — the granularity of
+    /// [`ResultStore`] reuse. Irrelevant to the monolithic entry points,
+    /// and results are bit-identical for every value (the incremental
+    /// tests pin this); more sections = finer partial reuse, slightly
+    /// more store records.
+    pub sections: usize,
 }
 
 impl Default for CertifyConfig {
@@ -47,6 +57,7 @@ impl Default for CertifyConfig {
             checkpoint_interval: MachineConfig::AUTO_CHECKPOINT,
             lanes: 1,
             transform: sor_core::TransformConfig::default(),
+            sections: 8,
         }
     }
 }
@@ -162,6 +173,174 @@ pub fn certify_program_with(
         &class_results,
         golden_recoveries,
     )
+}
+
+/// An incrementally assembled certification: the exact coverage report
+/// plus how much of it came from the [`ResultStore`].
+#[derive(Debug, Clone)]
+pub struct IncrementalCertification {
+    /// The assembled report — bit-identical to what the monolithic
+    /// [`certify_program`] returns for the same program.
+    pub coverage: CertifiedCoverage,
+    /// Sections the plan was split into.
+    pub sections_total: usize,
+    /// Sections served from the store without executing anything.
+    pub sections_hit: usize,
+    /// Injections actually executed by *this* run (0 on a fully warm
+    /// store; `coverage.injections_executed` counts the whole plan).
+    pub fresh_injections: u64,
+}
+
+/// [`run_certified_campaign_in`] through the incremental path: program
+/// preparation served from `artifacts`, executed section results served
+/// from (and inserted into) `results`.
+pub fn run_certified_campaign_stored(
+    artifacts: &ArtifactStore,
+    results: &ResultStore,
+    workload: &dyn Workload,
+    technique: Technique,
+    cfg: &CertifyConfig,
+) -> IncrementalCertification {
+    let artifact = artifacts.get(workload, technique, &cfg.transform, &LowerConfig::default());
+    certify_incremental(
+        results,
+        &artifact.program,
+        Some(Arc::clone(&artifact.decoded)),
+        workload.name(),
+        &technique.to_string(),
+        cfg,
+    )
+}
+
+/// Certifies a program's full fault space, reusing previously executed
+/// sections from `results` and executing only the rest.
+///
+/// The golden run, def-use trace and pruning plan are always recomputed
+/// fresh — they are cheap (one fault-free pass) and they are what the
+/// cached results are validated *against*: the plan is partitioned into
+/// [`CertSections`] whose keys digest the program, each section's def-use
+/// slice and the fault model, and only a section whose key matches a
+/// stored entry (and whose stored class tags line up with the fresh plan)
+/// skips execution. The assembled [`CertifiedCoverage`] is bit-identical
+/// to the monolithic [`certify_program`] whatever mix of cached and fresh
+/// sections it was composed from — labels (`workload`, `technique`) are
+/// applied at assembly and never cached, so renames cannot poison the
+/// store.
+pub fn certify_incremental(
+    results: &ResultStore,
+    program: &Program,
+    decoded: Option<Arc<DecodedProg>>,
+    workload: &str,
+    technique: &str,
+    cfg: &CertifyConfig,
+) -> IncrementalCertification {
+    let runner = pool::build_runner(
+        program,
+        decoded,
+        cfg.checkpoint_interval,
+        ExecEngine::default(),
+    );
+    let trace = DefUseTrace::record(&runner);
+    let plan = CertPlan::build(&trace);
+    let golden_recoveries =
+        runner.golden().probes.vote_repairs + runner.golden().probes.trump_recovers;
+    let sections = CertSections::partition(program, &trace, &plan, cfg.sections);
+
+    // Probe the store section by section. A cached entry must mirror the
+    // freshly built plan exactly — same class count, same (register,
+    // representative) tags — or it is discarded as a collision/drift
+    // casualty and recomputed.
+    let mut per_section: Vec<Option<Arc<SectionOutcomes>>> = sections
+        .sections
+        .iter()
+        .map(|sec| {
+            results.get_cert(&sec.key, |cached| {
+                cached.classes.len() == sec.classes.len()
+                    && sec.classes.iter().zip(&cached.classes).all(|(&idx, out)| {
+                        let class = &plan.classes[idx];
+                        class.reg == out.reg && class.hi == out.rep
+                    })
+            })
+        })
+        .collect();
+    let sections_hit = per_section.iter().filter(|s| s.is_some()).count();
+
+    // Flatten every *missing* section's classes into one fault list so the
+    // work-stealing pool load-balances across all of them at once; classes
+    // stay contiguous per section, so the results scatter back by walking
+    // the same order.
+    let missing: Vec<usize> = (0..sections.sections.len())
+        .filter(|&si| per_section[si].is_none())
+        .collect();
+    let missing_classes: Vec<usize> = missing
+        .iter()
+        .flat_map(|&si| sections.sections[si].classes.iter().copied())
+        .collect();
+    let faults: Vec<FaultSpec> = missing_classes
+        .iter()
+        .map(|&idx| plan.classes[idx])
+        .flat_map(|range| (0..64).map(move |bit| FaultSpec::new(range.hi, range.reg, bit)))
+        .collect();
+    let fresh_injections = faults.len() as u64;
+    let mut fresh: Vec<OutcomeCounts> = pool::inject_faults(
+        &runner,
+        &faults,
+        cfg.threads,
+        cfg.lanes,
+        |acc: &mut Vec<OutcomeCounts>, i, rec, res| {
+            let class = i / 64;
+            if acc.len() <= class {
+                acc.resize(class + 1, OutcomeCounts::default());
+            }
+            acc[class].record(
+                rec.outcome,
+                res.probes.vote_repairs + res.probes.trump_recovers,
+            );
+        },
+    );
+    fresh.resize(missing_classes.len(), OutcomeCounts::default());
+
+    let mut cursor = 0;
+    for &si in &missing {
+        let sec = &sections.sections[si];
+        let classes: Vec<ClassOutcome> = sec
+            .classes
+            .iter()
+            .map(|&idx| {
+                let counts = fresh[cursor];
+                cursor += 1;
+                ClassOutcome {
+                    reg: plan.classes[idx].reg,
+                    rep: plan.classes[idx].hi,
+                    counts,
+                }
+            })
+            .collect();
+        per_section[si] = Some(results.put_cert(sec.key, SectionOutcomes { classes }));
+    }
+
+    let resolved: Vec<SectionOutcomes> = per_section
+        .into_iter()
+        .map(|s| (*s.expect("every section cached or freshly executed")).clone())
+        .collect();
+    let class_results = sections
+        .scatter(&plan, &resolved)
+        .expect("validated sections always scatter");
+    let coverage = CertifiedCoverage::assemble(
+        workload,
+        technique,
+        program,
+        &trace,
+        &plan,
+        &class_results,
+        golden_recoveries,
+    );
+    IncrementalCertification {
+        coverage,
+        sections_total: sections.sections.len(),
+        sections_hit,
+        fresh_injections,
+    }
 }
 
 #[cfg(test)]

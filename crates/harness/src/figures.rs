@@ -3,8 +3,8 @@
 use crate::artifact::ArtifactStore;
 use crate::campaign::{run_campaign_in, CampaignConfig, CampaignResult};
 use crate::perf::{measure_perf_in, PerfConfig, PerfResult};
-use crate::stats::OutcomeCounts;
 use sor_core::Technique;
+use sor_stats::OutcomeCounts;
 use sor_workloads::Workload;
 use std::fmt;
 

@@ -15,11 +15,20 @@
 //!   technique, SDC+SEGV reduction vs NOFT, mean normalized runtime.
 //! * [`ArtifactStore`] — the shared program-artifact store: campaigns,
 //!   timing runs and the figures memoize the transform + lower preparation
-//!   behind a `(workload, technique, TransformConfig, LowerConfig)` key,
-//!   so `fig8` + `fig9` + `headline` prepare each program once instead of
-//!   three times. The `*_in` entry points ([`run_campaign_in`],
+//!   behind a `(source digest, technique, TransformConfig, LowerConfig)`
+//!   key, so `fig8` + `fig9` + `headline` prepare each program once instead
+//!   of three times. The `*_in` entry points ([`run_campaign_in`],
 //!   [`measure_perf_in`], [`FigureEight::run_in`], [`FigureNine::run_in`])
 //!   take an explicit store; the plain entry points use a private one.
+//! * [`ResultStore`] — the two-tier (memory + on-disk) content-addressed
+//!   *result* store: certification and triage outcomes keyed by
+//!   `(program digest, section digest, fault-model digest)` section keys
+//!   (see [`sor_ace::SectionKey`]), so re-certification after an edit
+//!   re-executes only the sections whose inputs actually changed.
+//!   [`certify_incremental`] / [`run_certified_campaign_stored`] and
+//!   [`run_triaged_campaign_stored`] compose cached and fresh sections
+//!   into results bit-identical to their monolithic counterparts
+//!   (DESIGN.md §14 gives the soundness argument).
 //! * [`run_triaged_campaign`] — the same campaign with per-fault
 //!   attribution: every injection also feeds a
 //!   `sor_triage::VulnerabilityProfile` keyed by the static instruction's
@@ -42,20 +51,24 @@ mod figures;
 mod perf;
 mod pool;
 mod report;
-mod stats;
+pub mod stats;
+mod store;
 mod triage;
 
 pub use artifact::{Artifact, ArtifactKey, ArtifactStore};
 pub use campaign::{run_campaign, run_campaign_in, CampaignConfig, CampaignResult};
 pub use certify::{
-    certify_program, certify_program_with, run_certified_campaign, run_certified_campaign_in,
-    CertifyConfig,
+    certify_incremental, certify_program, certify_program_with, run_certified_campaign,
+    run_certified_campaign_in, run_certified_campaign_stored, CertifyConfig,
+    IncrementalCertification,
 };
 pub use figures::{FigureEight, FigureNine};
 pub use perf::{measure_perf, measure_perf_in, PerfConfig, PerfResult};
 pub use pool::{resolve_lanes, resolve_threads};
 pub use report::{headline, Headline};
-pub use stats::{wilson_ci, OutcomeCounts};
+pub use sor_stats::{wilson_ci, OutcomeCounts};
+pub use store::{triage_section_key, ResultStore, STORE_FORMAT_VERSION};
 pub use triage::{
-    residual_sdc_table, run_triaged_campaign, run_triaged_campaign_in, TriagedCampaign,
+    residual_sdc_table, run_triaged_campaign, run_triaged_campaign_in, run_triaged_campaign_stored,
+    TriagedCampaign,
 };

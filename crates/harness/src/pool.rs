@@ -22,9 +22,9 @@
 //! thread count, lane width or steal order — the matrix the differential
 //! tests pin.
 
-use crate::stats::OutcomeCounts;
 use sor_ir::Program;
 use sor_sim::{DecodedProg, ExecEngine, FaultRecord, FaultSpec, MachineConfig, RunResult, Runner};
+use sor_stats::OutcomeCounts;
 use sor_triage::VulnerabilityProfile;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

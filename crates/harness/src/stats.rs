@@ -1,5 +1,16 @@
-//! Outcome aggregation — re-exported from [`sor_stats`], where the types
-//! moved so the triage subsystem can share them without depending on the
-//! whole harness.
+//! Deprecated re-export shim: [`OutcomeCounts`] and [`wilson_ci`] moved
+//! to the `sor-stats` crate (and stay re-exported at the harness crate
+//! root for compatibility). Depend on `sor-stats` directly.
+#![allow(deprecated)]
 
-pub use sor_stats::{wilson_ci, OutcomeCounts};
+#[deprecated(
+    since = "0.1.0",
+    note = "use the sor-stats crate (or the sor_harness crate-root re-exports) directly"
+)]
+pub use sor_stats::wilson_ci;
+
+#[deprecated(
+    since = "0.1.0",
+    note = "use the sor-stats crate (or the sor_harness crate-root re-exports) directly"
+)]
+pub use sor_stats::OutcomeCounts;

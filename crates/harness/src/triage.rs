@@ -11,11 +11,12 @@
 use crate::artifact::ArtifactStore;
 use crate::campaign::{draw_faults, CampaignConfig, CampaignResult};
 use crate::pool;
+use crate::store::{triage_section_key, ResultStore};
 use sor_core::Technique;
-use sor_ir::{Program, ProtectionRole};
+use sor_ir::{Digest, Program, ProtectionRole};
 use sor_regalloc::LowerConfig;
 use sor_sim::DecodedProg;
-use sor_triage::VulnerabilityProfile;
+use sor_triage::{SectionalTriage, VulnerabilityProfile};
 use sor_workloads::Workload;
 use std::sync::Arc;
 
@@ -53,6 +54,63 @@ pub fn run_triaged_campaign_in(
         workload.name(),
         technique,
     );
+    let result = CampaignResult {
+        workload: workload.name().to_string(),
+        technique,
+        counts: profile.totals(),
+        golden_instrs,
+    };
+    TriagedCampaign { result, profile }
+}
+
+/// [`run_triaged_campaign_in`] through the incremental path: the fault
+/// list is partitioned into [`SectionalTriage`] sections and each
+/// section's profile is served from `results` when its content key —
+/// program digest, section bounds + exact fault list, fault model (see
+/// [`triage_section_key`]) — matches a stored entry; only missing
+/// sections re-inject. The composed profile is bit-identical to the
+/// monolithic [`run_triaged_campaign_in`] over the same configuration
+/// because the fault list is drawn identically (seed-pinned) and each
+/// fault's outcome is a pure function of `(program, fault)`.
+pub fn run_triaged_campaign_stored(
+    artifacts: &ArtifactStore,
+    results: &ResultStore,
+    workload: &dyn Workload,
+    technique: Technique,
+    cfg: &CampaignConfig,
+    nsections: usize,
+) -> TriagedCampaign {
+    let artifact = artifacts.get(workload, technique, &cfg.transform, &LowerConfig::default());
+    let runner = pool::build_runner(
+        &artifact.program,
+        Some(Arc::clone(&artifact.decoded)),
+        cfg.checkpoint_interval,
+        cfg.engine,
+    );
+    let golden_instrs = runner.golden().dyn_instrs;
+    let faults = draw_faults(cfg, workload.name(), technique, golden_instrs);
+    let triage = SectionalTriage::partition(&faults, nsections);
+    let program_digest = artifact.program.content_digest();
+
+    let mut profile = VulnerabilityProfile::new();
+    for section in &triage.sections {
+        let key = triage_section_key(program_digest, section.start, section.end, &section.faults);
+        let cached = results.get_triage(&key, |p| p.injections() == section.faults.len() as u64);
+        let section_profile = cached.unwrap_or_else(|| {
+            let fresh: VulnerabilityProfile = pool::inject_faults(
+                &runner,
+                &section.faults,
+                cfg.threads,
+                cfg.lanes,
+                |acc: &mut VulnerabilityProfile, _, rec, res| {
+                    acc.record(rec, res.probes.vote_repairs + res.probes.trump_recovers);
+                },
+            );
+            results.put_triage(key, fresh)
+        });
+        profile.merge(&section_profile);
+    }
+
     let result = CampaignResult {
         workload: workload.name().to_string(),
         technique,

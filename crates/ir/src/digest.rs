@@ -1,0 +1,265 @@
+//! Content digests: stable fingerprints derived from *what* a value is,
+//! not where it came from.
+//!
+//! The simulator grew an FNV-1a fingerprint for checkpoint comparison
+//! first; this module generalizes that machinery into the shared identity
+//! substrate of the incremental result store. Every cacheable object —
+//! source [`Module`]s, lowered [`Program`]s, decoded images, def-use
+//! traces — folds its content into an [`Fnv1a`] hasher through the
+//! [`Digest`] trait and is addressed by the resulting [`ContentHash`].
+//! Two workloads that build byte-identical modules share one identity even
+//! if their names collide; the same workload with different parameters
+//! does not, which is what lets cache keys drop the
+//! same-name/different-params deep comparison entirely.
+//!
+//! Digests are order-sensitive, deterministic across runs and processes
+//! (no randomized hasher state), and cheap: `f64` fields fold in by bit
+//! pattern, aggregate fields stream through [`std::fmt::Write`] without
+//! allocating.
+
+use crate::image::Program;
+use crate::module::{GlobalData, Module};
+use std::fmt;
+
+/// A 64-bit content digest. Displayed as 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u64);
+
+impl ContentHash {
+    /// Digests any [`Digest`] implementor.
+    pub fn of<T: Digest + ?Sized>(value: &T) -> ContentHash {
+        let mut h = Fnv1a::new();
+        value.digest_into(&mut h);
+        ContentHash(h.finish64())
+    }
+
+    /// Digests any `Hash` implementor through the FNV hasher — the bridge
+    /// for config types (`TransformConfig`, `LowerConfig`, …) that already
+    /// derive `Hash` for map keys. Deterministic because [`Fnv1a`] carries
+    /// no per-process state.
+    pub fn of_hashable<T: std::hash::Hash + ?Sized>(value: &T) -> ContentHash {
+        let mut h = Fnv1a::new();
+        value.hash(&mut h);
+        ContentHash(h.finish64())
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The FNV-1a streaming hasher behind every content digest (and the
+/// simulator's checkpoint fingerprints). Usable three ways: direct byte
+/// feeding, as a [`std::hash::Hasher`] for derived-`Hash` types, and as a
+/// [`std::fmt::Write`] sink so `Debug`/`Display` representations stream in
+/// without allocating.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher seeded with the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a::default()
+    }
+
+    /// Folds raw bytes in.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds a `u64` in (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` in, widened to `u64` so digests agree across
+    /// pointer widths.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Folds a length-prefixed string in (the prefix keeps `("ab","c")`
+    /// distinct from `("a","bc")`).
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    /// Streams a value's `Debug` representation in. Derived `Debug` covers
+    /// every field, so this digests arbitrary plain-data types —
+    /// instructions, micro-ops — without bespoke field walks; floats
+    /// render in shortest-roundtrip form, so distinct values stay
+    /// distinct.
+    pub fn debug<T: fmt::Debug + ?Sized>(&mut self, value: &T) {
+        use fmt::Write;
+        write!(self, "{value:?}").expect("Fnv1a sink never errors");
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn finish64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.bytes(bytes);
+    }
+}
+
+impl fmt::Write for Fnv1a {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Content identity: folds everything a value's semantics depend on into a
+/// hasher. Implementors must be order-sensitive and total — every field
+/// that can change observable behaviour participates.
+pub trait Digest {
+    /// Folds this value's content into `h`.
+    fn digest_into(&self, h: &mut Fnv1a);
+
+    /// This value's standalone [`ContentHash`].
+    fn content_digest(&self) -> ContentHash {
+        ContentHash::of(self)
+    }
+}
+
+impl Digest for GlobalData {
+    fn digest_into(&self, h: &mut Fnv1a) {
+        h.str(&self.name);
+        h.u64(self.addr);
+        h.usize(self.bytes.len());
+        h.bytes(&self.bytes);
+        h.u64(self.size);
+    }
+}
+
+impl Digest for Module {
+    /// Everything a build of this module can observe: name, entry, every
+    /// function body (blocks, instructions, immediates — streamed via
+    /// `Debug`, which derived impls keep total), and the initialized
+    /// globals that double as the workload's input data.
+    fn digest_into(&self, h: &mut Fnv1a) {
+        h.str(&self.name);
+        h.usize(self.entry.index());
+        h.usize(self.funcs.len());
+        for f in &self.funcs {
+            h.debug(f);
+        }
+        h.usize(self.globals.len());
+        for g in &self.globals {
+            g.digest_into(h);
+        }
+    }
+}
+
+impl Digest for Program {
+    /// The full executable identity: instruction stream (with resolved
+    /// targets and immediates), role table, entry point and the global
+    /// image — which carries the workload's input, so two programs with
+    /// equal digests run identically under any fault.
+    fn digest_into(&self, h: &mut Fnv1a) {
+        h.str(&self.name);
+        h.usize(self.entry);
+        h.u64(self.global_extent);
+        h.usize(self.insts.len());
+        for inst in &self.insts {
+            h.debug(inst);
+        }
+        h.usize(self.roles.len());
+        for role in &self.roles {
+            h.debug(role);
+        }
+        h.usize(self.globals.len());
+        for g in &self.globals {
+            g.digest_into(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+    use crate::types::Width;
+
+    fn module(imm: i64) -> Module {
+        let mut mb = ModuleBuilder::new("d");
+        let mut f = mb.function("main");
+        let x = f.movi(imm);
+        let y = f.add(Width::W64, x, 3i64);
+        f.emit(Operand::reg(y));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn equal_content_equal_digest() {
+        assert_eq!(module(7).content_digest(), module(7).content_digest());
+    }
+
+    #[test]
+    fn an_immediate_changes_the_digest() {
+        assert_ne!(module(7).content_digest(), module(8).content_digest());
+    }
+
+    #[test]
+    fn global_bytes_participate() {
+        let mut a = module(7);
+        let mut b = a.clone();
+        a.globals.push(GlobalData {
+            name: "g".into(),
+            addr: crate::module::layout::GLOBAL_BASE,
+            bytes: vec![1, 2, 3],
+            size: 8,
+        });
+        b.globals.push(GlobalData {
+            name: "g".into(),
+            addr: crate::module::layout::GLOBAL_BASE,
+            bytes: vec![1, 2, 4],
+            size: 8,
+        });
+        assert_ne!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn hashable_bridge_is_deterministic() {
+        let a = ContentHash::of_hashable(&(1u8, "x", 3u64));
+        let b = ContentHash::of_hashable(&(1u8, "x", 3u64));
+        assert_eq!(a, b);
+        assert_ne!(a, ContentHash::of_hashable(&(1u8, "y", 3u64)));
+    }
+
+    #[test]
+    fn display_is_16_hex_digits() {
+        assert_eq!(ContentHash(0xABC).to_string(), "0000000000000abc");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a of "a" is a published constant; pins the parameters the
+        // checkpoint fingerprints have always used.
+        let mut h = Fnv1a::new();
+        h.bytes(b"a");
+        assert_eq!(h.finish64(), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -30,6 +30,7 @@
 
 mod block;
 mod builder;
+mod digest;
 mod error;
 mod func;
 mod image;
@@ -45,6 +46,7 @@ mod verify;
 
 pub use block::{Block, BlockId, Terminator};
 pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use digest::{ContentHash, Digest, Fnv1a};
 pub use error::{IrError, VerifyError};
 pub use func::{FuncId, Function};
 pub use image::{PArg, PInst, PLoc, POperand, Program, NUM_FREGS, NUM_IREGS, SP};

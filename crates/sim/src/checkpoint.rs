@@ -12,7 +12,7 @@
 
 use crate::machine::{Frame, ProbeCounts, Val};
 use crate::mem::PageSnapshot;
-use sor_ir::{NUM_FREGS, NUM_IREGS};
+use sor_ir::{Fnv1a, NUM_FREGS, NUM_IREGS};
 
 /// One architectural snapshot of the golden run, taken at the boundary
 /// before the dynamic instruction with index [`Checkpoint::at`] executes.
@@ -35,13 +35,14 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Order-sensitive FNV-1a digest over every architectural field, with
+    /// Order-sensitive FNV-1a digest (the shared [`sor_ir::Fnv1a`] hasher)
+    /// over every architectural field, with
     /// floats folded in by bit pattern. Two checkpoints with equal
     /// fingerprints captured the same state at the same boundary; the
     /// differential tests use this to pin snapshot equality across
     /// execution engines without exposing the internals.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv::default();
+        let mut h = Fnv1a::new();
         h.u64(self.at);
         for r in self.iregs {
             h.u64(r);
@@ -80,39 +81,7 @@ impl Checkpoint {
             h.u64(*page as u64);
             h.bytes(bytes);
         }
-        h.0
-    }
-}
-
-/// FNV-1a, also usable as a [`std::hash::Hasher`] so derived-`Hash` types
-/// (e.g. [`sor_ir::PLoc`]) fold in deterministically.
-struct Fnv(u64);
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Fnv {
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_le_bytes());
-    }
-}
-
-impl std::hash::Hasher for Fnv {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        self.bytes(bytes);
+        h.finish64()
     }
 }
 

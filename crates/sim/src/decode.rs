@@ -312,6 +312,24 @@ impl DecodedProg {
     pub fn run_len_at(&self, pc: usize) -> u32 {
         self.run_len[pc]
     }
+
+    /// Content digest of the decoded image: the micro-op stream plus the
+    /// superblock table. Decoding is a pure function of the [`Program`],
+    /// so this collapses to program identity — but digesting the decoded
+    /// form directly also guards against decoder evolution: a changed
+    /// micro-op encoding yields a new digest even for an unchanged source
+    /// program.
+    pub fn content_digest(&self) -> sor_ir::ContentHash {
+        let mut h = sor_ir::Fnv1a::new();
+        h.usize(self.uops.len());
+        for u in &self.uops {
+            h.debug(u);
+        }
+        for &r in &self.run_len {
+            h.u64(r as u64);
+        }
+        sor_ir::ContentHash(h.finish64())
+    }
 }
 
 fn decode_inst(pc: usize, inst: &PInst) -> UOp {

@@ -75,9 +75,38 @@ impl VulnerabilityProfile {
         self.unfired += other.unfired;
     }
 
+    /// Reconstructs a profile from its serialized parts — the inverse of
+    /// walking [`sites`](Self::sites) / [`roles`](Self::roles) /
+    /// [`regs`](Self::regs) / [`unfired`](Self::unfired). Built for the
+    /// harness result store; a round-trip through the four accessors and
+    /// back compares equal to the original.
+    pub fn from_parts(
+        sites: impl IntoIterator<Item = (usize, SiteStats)>,
+        roles: impl IntoIterator<Item = (ProtectionRole, OutcomeCounts)>,
+        regs: impl IntoIterator<Item = (u8, OutcomeCounts)>,
+        unfired: OutcomeCounts,
+    ) -> Self {
+        VulnerabilityProfile {
+            sites: sites.into_iter().collect(),
+            roles: roles.into_iter().collect(),
+            regs: regs.into_iter().collect(),
+            unfired,
+        }
+    }
+
     /// The profiled sites in static-instruction order.
     pub fn sites(&self) -> impl Iterator<Item = (usize, &SiteStats)> {
         self.sites.iter().map(|(&pc, s)| (pc, s))
+    }
+
+    /// Per-role histograms in role order (only roles some fault landed on).
+    pub fn roles(&self) -> impl Iterator<Item = (ProtectionRole, OutcomeCounts)> + '_ {
+        self.roles.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// Per-target-register histograms in register order.
+    pub fn regs(&self) -> impl Iterator<Item = (u8, OutcomeCounts)> + '_ {
+        self.regs.iter().map(|(&r, &c)| (r, c))
     }
 
     /// Stats for one static instruction, if any fault landed there.
@@ -204,6 +233,29 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, whole);
         assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_profile() {
+        let mut p = VulnerabilityProfile::new();
+        p.record(&rec(0, 2, 7, ProtectionRole::Voter, Outcome::Sdc), 1);
+        p.record(&rec(2, 4, 9, ProtectionRole::Original, Outcome::Segv), 0);
+        p.record(
+            &FaultRecord {
+                spec: FaultSpec::new(1_000_000, 2, 3),
+                outcome: Outcome::UnAce,
+                static_inst: None,
+                role: ProtectionRole::Original,
+            },
+            0,
+        );
+        let rebuilt = VulnerabilityProfile::from_parts(
+            p.sites().map(|(pc, s)| (pc, *s)),
+            p.roles(),
+            p.regs(),
+            p.unfired(),
+        );
+        assert_eq!(rebuilt, p);
     }
 
     #[test]

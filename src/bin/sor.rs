@@ -11,9 +11,9 @@
 //! sor techniques                             # list technique names
 //! ```
 
-use software_only_recovery::harness::OutcomeCounts;
 use software_only_recovery::prelude::*;
 use software_only_recovery::recovery::{trump_protected_set, Technique};
+use software_only_recovery::stats::OutcomeCounts;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

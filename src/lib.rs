@@ -15,7 +15,8 @@
 //! * [`recovery`] — the paper's contribution: SWIFT, SWIFT-R, TRUMP, MASK
 //!   and the TRUMP/SWIFT-R and TRUMP/MASK hybrids.
 //! * [`workloads`] — the ten benchmark kernels mirroring the paper's suite.
-//! * [`harness`] — fault campaigns, statistics and figure generation.
+//! * [`stats`] — outcome counting and confidence intervals.
+//! * [`harness`] — fault campaigns, result caching and figure generation.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use sor_harness as harness;
 pub use sor_ir as ir;
 pub use sor_regalloc as regalloc;
 pub use sor_sim as sim;
+pub use sor_stats as stats;
 pub use sor_workloads as workloads;
 
 /// Convenient glob-import surface for examples and tests.
