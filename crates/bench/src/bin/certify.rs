@@ -17,20 +17,10 @@
 
 use sor_core::Technique;
 use sor_harness::{
-    run_certified_campaign_in, run_certified_campaign_stored, ArtifactStore, CertifyConfig,
-    ResultStore,
+    certified_json, run_certified_campaign_in, run_certified_campaign_stored, technique_slug,
+    ArtifactStore, CertifyConfig, ResultStore,
 };
 use sor_workloads::{AdpcmDec, Workload};
-
-/// Lowercase filename slug for a technique ("TRUMP/SWIFT-R" → "trump-swift-r").
-fn slug(technique: Technique) -> String {
-    technique
-        .to_string()
-        .to_lowercase()
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-        .collect()
-}
 
 fn main() {
     let samples: u64 = sor_bench::arg_value("--samples")
@@ -102,54 +92,8 @@ fn main() {
             r.total_sites
         );
 
-        let roles: Vec<String> = r
-            .roles
-            .iter()
-            .map(|(role, c)| {
-                format!(
-                    "    {{\"role\": \"{role}\", \"sites\": {}, \"unace\": {}, \
-                     \"sdc\": {}, \"segv\": {}, \"detected\": {}, \"hang\": {}, \
-                     \"recoveries\": {}}}",
-                    c.total(),
-                    c.unace,
-                    c.sdc,
-                    c.segv,
-                    c.detected,
-                    c.hang,
-                    c.recoveries,
-                )
-            })
-            .collect();
-        let c = r.counts;
-        let json = format!(
-            "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{technique}\",\n  \
-             \"golden_instrs\": {},\n  \"total_sites\": {},\n  \
-             \"dead_sites\": {},\n  \"live_sites\": {},\n  \"classes\": {},\n  \
-             \"injections_executed\": {},\n  \"pruning_factor\": {:.2},\n  \
-             \"counts\": {{\"unace\": {}, \"sdc\": {}, \"segv\": {}, \
-             \"detected\": {}, \"hang\": {}, \"recoveries\": {}}},\n  \
-             \"unace_pct\": {:.4},\n  \"segv_pct\": {:.4},\n  \"sdc_pct\": {:.4},\n  \
-             \"roles\": [\n{}\n  ]\n}}\n",
-            workload.name(),
-            r.golden_instrs,
-            r.total_sites,
-            r.dead_sites,
-            r.live_sites,
-            r.classes,
-            r.injections_executed,
-            r.pruning_factor(),
-            c.unace,
-            c.sdc,
-            c.segv,
-            c.detected,
-            c.hang,
-            c.recoveries,
-            c.pct_unace(),
-            c.pct_segv(),
-            c.pct_sdc(),
-            roles.join(",\n"),
-        );
-        let name = format!("certified_{}.json", slug(technique));
+        let json = certified_json(&r);
+        let name = format!("certified_{}.json", technique_slug(technique));
         match sor_bench::write_results(&name, &json) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write {name}: {e}"),

@@ -15,21 +15,11 @@
 
 use sor_core::Technique;
 use sor_harness::{
-    residual_sdc_table, run_triaged_campaign_in, run_triaged_campaign_stored, ArtifactStore,
-    CampaignConfig, ResultStore, TriagedCampaign,
+    residual_sdc_table, run_triaged_campaign_in, run_triaged_campaign_stored, technique_slug,
+    triage_json, ArtifactStore, CampaignConfig, ResultStore, TriagedCampaign,
 };
 use sor_regalloc::LowerConfig;
 use sor_workloads::{AdpcmDec, Workload};
-
-/// Lowercase filename slug for a technique ("TRUMP/SWIFT-R" → "trump-swift-r").
-fn slug(technique: Technique) -> String {
-    technique
-        .to_string()
-        .to_lowercase()
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-        .collect()
-}
 
 fn main() {
     let runs = sor_bench::runs_arg(400);
@@ -83,40 +73,8 @@ fn main() {
             &LowerConfig::default(),
         );
 
-        let mut sites = String::new();
-        for (i, (pc, s)) in t.profile.top_vulnerable(usize::MAX).into_iter().enumerate() {
-            let (lo, hi) = s.counts.sdc_ci95();
-            if i > 0 {
-                sites.push_str(",\n");
-            }
-            sites.push_str(&format!(
-                "    {{\"pc\": {pc}, \"inst\": \"{}\", \"role\": \"{}\", \
-                 \"injections\": {}, \"sdc\": {}, \"sdc_pct\": {:.2}, \
-                 \"ci_lo\": {lo:.2}, \"ci_hi\": {hi:.2}}}",
-                artifact.program.insts[pc],
-                s.role,
-                s.counts.total(),
-                s.counts.sdc + s.counts.hang,
-                s.counts.pct_sdc(),
-            ));
-        }
-        let c = t.result.counts;
-        let json = format!(
-            "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{technique}\",\n  \
-             \"runs\": {runs},\n  \"golden_instrs\": {},\n  \
-             \"counts\": {{\"unace\": {}, \"sdc\": {}, \"segv\": {}, \
-             \"detected\": {}, \"hang\": {}, \"recoveries\": {}}},\n  \
-             \"sites\": [\n{sites}\n  ]\n}}\n",
-            workload.name(),
-            t.result.golden_instrs,
-            c.unace,
-            c.sdc,
-            c.segv,
-            c.detected,
-            c.hang,
-            c.recoveries,
-        );
-        let name = format!("triage_{}.json", slug(technique));
+        let json = triage_json(&t, &artifact.program, runs);
+        let name = format!("triage_{}.json", technique_slug(technique));
         match sor_bench::write_results(&name, &json) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write {name}: {e}"),

@@ -12,6 +12,7 @@
 //! per-role attribution) — the oracle tests below pin exactly that.
 
 use crate::artifact::ArtifactStore;
+use crate::ctrl::RunCtrl;
 use crate::pool;
 use crate::store::ResultStore;
 use sor_ace::{
@@ -234,6 +235,78 @@ pub fn certify_incremental(
     technique: &str,
     cfg: &CertifyConfig,
 ) -> IncrementalCertification {
+    match certify_resumable(
+        results,
+        program,
+        decoded,
+        workload,
+        technique,
+        cfg,
+        None,
+        &mut |_| {},
+    ) {
+        CertifyStatus::Done(inc) => inc,
+        CertifyStatus::Paused(_) => unreachable!("no control, so the driver never pauses"),
+    }
+}
+
+/// A snapshot of a resumable certification's position, emitted after
+/// every resolved section (and carried by [`CertifyStatus::Paused`]).
+///
+/// `counts` aggregates the outcome histograms of every section resolved
+/// so far — cached and fresh — so a client watching a campaign sees the
+/// classified fraction (and its Wilson interval, via
+/// [`OutcomeCounts::sdc_ci95`]) converge section by section toward the
+/// exact final report.
+#[derive(Debug, Clone, Default)]
+pub struct CertifyProgress {
+    /// Sections resolved so far (cached hits + freshly executed).
+    pub sections_done: usize,
+    /// Sections the plan was split into.
+    pub sections_total: usize,
+    /// Sections served from the store without executing anything.
+    pub sections_hit: usize,
+    /// Injections executed by this run so far.
+    pub fresh_injections: u64,
+    /// Injections represented by the resolved sections (executed now or
+    /// by whichever earlier run populated the store).
+    pub injections_resolved: u64,
+    /// Outcome histogram aggregated over every resolved section.
+    pub counts: OutcomeCounts,
+}
+
+/// What a resumable certification run ended as.
+#[derive(Debug, Clone)]
+pub enum CertifyStatus {
+    /// Every section resolved; the assembled report is exact and
+    /// bit-identical to the monolithic path.
+    Done(IncrementalCertification),
+    /// A stop was requested: completed sections are persisted in the
+    /// store, and re-invoking with the same arguments resumes from here.
+    Paused(CertifyProgress),
+}
+
+/// [`certify_incremental`], pausable at section boundaries.
+///
+/// Missing sections execute one at a time, each persisted to `results`
+/// the moment it completes, with `on_progress` fired after every resolved
+/// section. When `ctrl` requests a stop the driver returns
+/// [`CertifyStatus::Paused`] before starting the next section — nothing
+/// in flight is lost, and calling again with the same store picks up
+/// exactly where it left off (the finished sections come back as hits).
+/// The composed report is bit-identical to [`certify_program`] no matter
+/// how many pause/resume cycles it took.
+#[allow(clippy::too_many_arguments)]
+pub fn certify_resumable(
+    results: &ResultStore,
+    program: &Program,
+    decoded: Option<Arc<DecodedProg>>,
+    workload: &str,
+    technique: &str,
+    cfg: &CertifyConfig,
+    ctrl: Option<&RunCtrl>,
+    on_progress: &mut dyn FnMut(&CertifyProgress),
+) -> CertifyStatus {
     let runner = pool::build_runner(
         program,
         decoded,
@@ -263,60 +336,71 @@ pub fn certify_incremental(
             })
         })
         .collect();
-    let sections_hit = per_section.iter().filter(|s| s.is_some()).count();
 
-    // Flatten every *missing* section's classes into one fault list so the
-    // work-stealing pool load-balances across all of them at once; classes
-    // stay contiguous per section, so the results scatter back by walking
-    // the same order.
-    let missing: Vec<usize> = (0..sections.sections.len())
-        .filter(|&si| per_section[si].is_none())
-        .collect();
-    let missing_classes: Vec<usize> = missing
-        .iter()
-        .flat_map(|&si| sections.sections[si].classes.iter().copied())
-        .collect();
-    let faults: Vec<FaultSpec> = missing_classes
-        .iter()
-        .map(|&idx| plan.classes[idx])
-        .flat_map(|range| (0..64).map(move |bit| FaultSpec::new(range.hi, range.reg, bit)))
-        .collect();
-    let fresh_injections = faults.len() as u64;
-    let mut fresh: Vec<OutcomeCounts> = pool::inject_faults(
-        &runner,
-        &faults,
-        cfg.threads,
-        cfg.lanes,
-        |acc: &mut Vec<OutcomeCounts>, i, rec, res| {
-            let class = i / 64;
-            if acc.len() <= class {
-                acc.resize(class + 1, OutcomeCounts::default());
-            }
-            acc[class].record(
-                rec.outcome,
-                res.probes.vote_repairs + res.probes.trump_recovers,
-            );
-        },
-    );
-    fresh.resize(missing_classes.len(), OutcomeCounts::default());
+    let mut progress = CertifyProgress {
+        sections_total: sections.sections.len(),
+        ..CertifyProgress::default()
+    };
+    for resolved in per_section.iter().flatten() {
+        progress.sections_done += 1;
+        progress.sections_hit += 1;
+        absorb_section(&mut progress, resolved);
+    }
+    on_progress(&progress);
 
-    let mut cursor = 0;
-    for &si in &missing {
+    // Execute the missing sections one at a time, persisting each as it
+    // completes — the pause grain. (The monolithic path used to flatten
+    // all missing sections into one fault list for marginally better
+    // steal balance; per-section execution keeps every result identical
+    // while making "stop after the section in flight" a well-defined
+    // point that loses no work.)
+    for (si, slot) in per_section.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        if ctrl.is_some_and(|c| c.stop_requested()) {
+            return CertifyStatus::Paused(progress);
+        }
         let sec = &sections.sections[si];
+        let faults: Vec<FaultSpec> = sec
+            .classes
+            .iter()
+            .map(|&idx| plan.classes[idx])
+            .flat_map(|range| (0..64).map(move |bit| FaultSpec::new(range.hi, range.reg, bit)))
+            .collect();
+        progress.fresh_injections += faults.len() as u64;
+        let mut fresh: Vec<OutcomeCounts> = pool::inject_faults(
+            &runner,
+            &faults,
+            cfg.threads,
+            cfg.lanes,
+            |acc: &mut Vec<OutcomeCounts>, i, rec, res| {
+                let class = i / 64;
+                if acc.len() <= class {
+                    acc.resize(class + 1, OutcomeCounts::default());
+                }
+                acc[class].record(
+                    rec.outcome,
+                    res.probes.vote_repairs + res.probes.trump_recovers,
+                );
+            },
+        );
+        fresh.resize(sec.classes.len(), OutcomeCounts::default());
         let classes: Vec<ClassOutcome> = sec
             .classes
             .iter()
-            .map(|&idx| {
-                let counts = fresh[cursor];
-                cursor += 1;
-                ClassOutcome {
-                    reg: plan.classes[idx].reg,
-                    rep: plan.classes[idx].hi,
-                    counts,
-                }
+            .zip(fresh)
+            .map(|(&idx, counts)| ClassOutcome {
+                reg: plan.classes[idx].reg,
+                rep: plan.classes[idx].hi,
+                counts,
             })
             .collect();
-        per_section[si] = Some(results.put_cert(sec.key, SectionOutcomes { classes }));
+        let stored = results.put_cert(sec.key, SectionOutcomes { classes });
+        progress.sections_done += 1;
+        absorb_section(&mut progress, &stored);
+        *slot = Some(stored);
+        on_progress(&progress);
     }
 
     let resolved: Vec<SectionOutcomes> = per_section
@@ -335,11 +419,19 @@ pub fn certify_incremental(
         &class_results,
         golden_recoveries,
     );
-    IncrementalCertification {
+    CertifyStatus::Done(IncrementalCertification {
         coverage,
         sections_total: sections.sections.len(),
-        sections_hit,
-        fresh_injections,
+        sections_hit: progress.sections_hit,
+        fresh_injections: progress.fresh_injections,
+    })
+}
+
+/// Folds one resolved section's class histograms into a progress snapshot.
+fn absorb_section(progress: &mut CertifyProgress, section: &SectionOutcomes) {
+    for class in &section.classes {
+        progress.counts += class.counts;
+        progress.injections_resolved += 64;
     }
 }
 

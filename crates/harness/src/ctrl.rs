@@ -1,0 +1,62 @@
+//! Cooperative run control for long-running campaign drivers.
+//!
+//! The resumable entry points ([`crate::certify_resumable`],
+//! [`crate::run_triaged_campaign_resumable`]) check a shared [`RunCtrl`]
+//! at every section boundary: once a stop is requested they finish the
+//! section in flight, persist what completed to the [`crate::ResultStore`]
+//! and return a `Paused` status instead of a result. Nothing is lost —
+//! re-invoking the same entry point against the same store serves the
+//! finished sections as hits and executes only the remainder. This is the
+//! primitive `sor-server` builds pause/resume and graceful shutdown on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A shared stop flag a driver polls between sections.
+///
+/// One `RunCtrl` is meant to be shared (via `Arc`) between the thread
+/// executing a job and whoever may want to interrupt it — a pause
+/// endpoint, a shutdown drain, a test. Requesting a stop is idempotent
+/// and takes effect at the next section boundary; it never aborts an
+/// injection mid-flight, so stores only ever see whole sections.
+#[derive(Debug, Default)]
+pub struct RunCtrl {
+    stop: AtomicBool,
+}
+
+impl RunCtrl {
+    /// A fresh control with no stop requested.
+    pub fn new() -> Self {
+        RunCtrl::default()
+    }
+
+    /// Asks the driver to pause at the next section boundary.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Re-arms the control so a paused job can be resumed under it.
+    pub fn clear(&self) {
+        self.stop.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_round_trips() {
+        let c = RunCtrl::new();
+        assert!(!c.stop_requested());
+        c.request_stop();
+        c.request_stop();
+        assert!(c.stop_requested());
+        c.clear();
+        assert!(!c.stop_requested());
+    }
+}

@@ -47,28 +47,32 @@
 mod artifact;
 mod campaign;
 mod certify;
+mod ctrl;
 mod figures;
 mod perf;
 mod pool;
+mod render;
 mod report;
-pub mod stats;
 mod store;
 mod triage;
 
 pub use artifact::{Artifact, ArtifactKey, ArtifactStore};
 pub use campaign::{run_campaign, run_campaign_in, CampaignConfig, CampaignResult};
 pub use certify::{
-    certify_incremental, certify_program, certify_program_with, run_certified_campaign,
-    run_certified_campaign_in, run_certified_campaign_stored, CertifyConfig,
-    IncrementalCertification,
+    certify_incremental, certify_program, certify_program_with, certify_resumable,
+    run_certified_campaign, run_certified_campaign_in, run_certified_campaign_stored,
+    CertifyConfig, CertifyProgress, CertifyStatus, IncrementalCertification,
 };
+pub use ctrl::RunCtrl;
 pub use figures::{FigureEight, FigureNine};
 pub use perf::{measure_perf, measure_perf_in, PerfConfig, PerfResult};
 pub use pool::{resolve_lanes, resolve_threads};
+pub use render::{certified_json, technique_slug, triage_json};
 pub use report::{headline, Headline};
 pub use sor_stats::{wilson_ci, OutcomeCounts};
 pub use store::{triage_section_key, ResultStore, STORE_FORMAT_VERSION};
 pub use triage::{
-    residual_sdc_table, run_triaged_campaign, run_triaged_campaign_in, run_triaged_campaign_stored,
+    residual_sdc_table, run_triaged_campaign, run_triaged_campaign_in,
+    run_triaged_campaign_resumable, run_triaged_campaign_stored, TriageProgress, TriageStatus,
     TriagedCampaign,
 };

@@ -1,0 +1,117 @@
+//! Shared JSON renderers for campaign artifacts.
+//!
+//! The `certify` / `triage` batch bins and the `sor-server` job executor
+//! must emit **byte-identical** `results/*.json` files for the same
+//! logical result — that pin is what keeps the service honest against
+//! the batch oracle. The only way to guarantee it is to render through
+//! one function, so the exact `format!` strings live here and both
+//! consumers call them.
+
+use sor_ace::CertifiedCoverage;
+use sor_ir::Program;
+use std::fmt::Display;
+
+use crate::triage::TriagedCampaign;
+
+/// Lowercase filename slug for a technique ("TRUMP/SWIFT-R" → "trump-swift-r").
+pub fn technique_slug(technique: impl Display) -> String {
+    technique
+        .to_string()
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// Renders a certified-coverage report as the `certified_<slug>.json`
+/// document the `certify` bin writes.
+pub fn certified_json(r: &CertifiedCoverage) -> String {
+    let roles: Vec<String> = r
+        .roles
+        .iter()
+        .map(|(role, c)| {
+            format!(
+                "    {{\"role\": \"{role}\", \"sites\": {}, \"unace\": {}, \
+                 \"sdc\": {}, \"segv\": {}, \"detected\": {}, \"hang\": {}, \
+                 \"recoveries\": {}}}",
+                c.total(),
+                c.unace,
+                c.sdc,
+                c.segv,
+                c.detected,
+                c.hang,
+                c.recoveries,
+            )
+        })
+        .collect();
+    let c = r.counts;
+    format!(
+        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{}\",\n  \
+         \"golden_instrs\": {},\n  \"total_sites\": {},\n  \
+         \"dead_sites\": {},\n  \"live_sites\": {},\n  \"classes\": {},\n  \
+         \"injections_executed\": {},\n  \"pruning_factor\": {:.2},\n  \
+         \"counts\": {{\"unace\": {}, \"sdc\": {}, \"segv\": {}, \
+         \"detected\": {}, \"hang\": {}, \"recoveries\": {}}},\n  \
+         \"unace_pct\": {:.4},\n  \"segv_pct\": {:.4},\n  \"sdc_pct\": {:.4},\n  \
+         \"roles\": [\n{}\n  ]\n}}\n",
+        r.workload,
+        r.technique,
+        r.golden_instrs,
+        r.total_sites,
+        r.dead_sites,
+        r.live_sites,
+        r.classes,
+        r.injections_executed,
+        r.pruning_factor(),
+        c.unace,
+        c.sdc,
+        c.segv,
+        c.detected,
+        c.hang,
+        c.recoveries,
+        c.pct_unace(),
+        c.pct_segv(),
+        c.pct_sdc(),
+        roles.join(",\n"),
+    )
+}
+
+/// Renders a triaged campaign as the `triage_<slug>.json` document the
+/// `triage` bin writes. `program` supplies the disassembly for each
+/// fault site; `runs` is the configured injection budget.
+pub fn triage_json(t: &TriagedCampaign, program: &Program, runs: u64) -> String {
+    let mut sites = String::new();
+    for (i, (pc, s)) in t.profile.top_vulnerable(usize::MAX).into_iter().enumerate() {
+        let (lo, hi) = s.counts.sdc_ci95();
+        if i > 0 {
+            sites.push_str(",\n");
+        }
+        sites.push_str(&format!(
+            "    {{\"pc\": {pc}, \"inst\": \"{}\", \"role\": \"{}\", \
+             \"injections\": {}, \"sdc\": {}, \"sdc_pct\": {:.2}, \
+             \"ci_lo\": {lo:.2}, \"ci_hi\": {hi:.2}}}",
+            program.insts[pc],
+            s.role,
+            s.counts.total(),
+            s.counts.sdc + s.counts.hang,
+            s.counts.pct_sdc(),
+        ));
+    }
+    let c = t.result.counts;
+    format!(
+        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{}\",\n  \
+         \"runs\": {runs},\n  \"golden_instrs\": {},\n  \
+         \"counts\": {{\"unace\": {}, \"sdc\": {}, \"segv\": {}, \
+         \"detected\": {}, \"hang\": {}, \"recoveries\": {}}},\n  \
+         \"sites\": [\n{sites}\n  ]\n}}\n",
+        t.result.workload,
+        t.result.technique,
+        t.result.golden_instrs,
+        c.unace,
+        c.sdc,
+        c.segv,
+        c.detected,
+        c.hang,
+        c.recoveries,
+    )
+}

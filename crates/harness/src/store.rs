@@ -31,9 +31,15 @@
 //!   plan (the digest-collision guard) → dropped and recomputed;
 //! * any I/O error → the store silently degrades to memory-only.
 //!
-//! The on-disk file assumes a single writer (the bins run one process per
-//! store directory); concurrent readers are safe because records are
-//! validated independently.
+//! ## Concurrency
+//!
+//! One `ResultStore` is safe to share across threads: gets read the
+//! memory tier (read-your-writes — a section another thread just `put`
+//! is immediately visible), and the disk tier is a single append lock
+//! around one persistently held file handle, so frames from racing
+//! writers never interleave. The on-disk file still assumes a single
+//! *process* per store directory; concurrent readers of the file are
+//! safe because records are validated independently.
 
 use sor_ace::{ClassOutcome, SectionKey, SectionOutcomes};
 use sor_ir::{ContentHash, Fnv1a, ProtectionRole};
@@ -86,15 +92,35 @@ pub fn triage_section_key(
     }
 }
 
-/// The two-tier persistent result store shared by certify, triage and the
-/// figure bins. See the module docs for the format and the robustness
-/// contract.
+/// The disk tier: the store file's path plus a persistently held append
+/// handle. Holding the handle for the store's lifetime (rather than
+/// re-opening per append) makes the surrounding mutex the *single*
+/// append lock — racing in-process writers serialize through it and
+/// frames never interleave.
+struct DiskTier {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl DiskTier {
+    fn attach(path: &Path) -> std::io::Result<DiskTier> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(DiskTier {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+}
+
+/// The two-tier persistent result store shared by certify, triage, the
+/// figure bins and `sor-server`. See the module docs for the format, the
+/// robustness contract and the concurrency contract.
 pub struct ResultStore {
     cert: Mutex<HashMap<SectionKey, Arc<SectionOutcomes>>>,
     triage: Mutex<HashMap<SectionKey, Arc<VulnerabilityProfile>>>,
-    /// Append target; `None` = memory-only (either by construction or
-    /// after an unrecoverable I/O error).
-    file: Mutex<Option<PathBuf>>,
+    /// Disk tier; `None` = memory-only (either by construction or after
+    /// an unrecoverable I/O error).
+    file: Mutex<Option<DiskTier>>,
     hits: AtomicU64,
     misses: AtomicU64,
     warnings: AtomicU64,
@@ -136,10 +162,9 @@ impl ResultStore {
             // A fresh store directory: write the header now so later
             // appends land in a well-formed file.
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                if write_header(&path).is_ok() {
-                    *store.file.lock().unwrap() = Some(path);
-                } else {
-                    store.warn();
+                match write_header(&path).and_then(|()| DiskTier::attach(&path)) {
+                    Ok(tier) => *store.file.lock().unwrap() = Some(tier),
+                    Err(_) => store.warn(),
                 }
             }
             Err(_) => store.warn(),
@@ -156,8 +181,8 @@ impl ResultStore {
         {
             // Foreign or stale-format file: discard wholesale.
             self.warn();
-            if write_header(path).is_ok() {
-                *self.file.lock().unwrap() = Some(path.to_path_buf());
+            if let Ok(tier) = write_header(path).and_then(|()| DiskTier::attach(path)) {
+                *self.file.lock().unwrap() = Some(tier);
             }
             return;
         }
@@ -190,7 +215,12 @@ impl ResultStore {
                 }
             }
         }
-        *self.file.lock().unwrap() = Some(path.to_path_buf());
+        // Attach the append handle only after any healing truncation, so
+        // appends land at the intact prefix's end.
+        match DiskTier::attach(path) {
+            Ok(tier) => *self.file.lock().unwrap() = Some(tier),
+            Err(_) => self.warn(),
+        }
     }
 
     /// Looks up a certified section, `validate` guarding against digest
@@ -279,19 +309,34 @@ impl ResultStore {
         value
     }
 
+    /// Appends one framed record through the held handle. The tier lock
+    /// is held for the whole write, so concurrent in-process `put`s
+    /// serialize and the file only ever contains whole frames (short of
+    /// an external crash mid-write, which `load` heals).
     fn append(&self, payload: Vec<u8>) {
-        let guard = self.file.lock().unwrap();
-        let Some(path) = guard.as_ref() else { return };
+        let mut guard = self.file.lock().unwrap();
+        let Some(tier) = guard.as_mut() else { return };
         let mut frame = Vec::with_capacity(payload.len() + 12);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&checksum(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        let appended = std::fs::OpenOptions::new()
-            .append(true)
-            .open(path)
-            .and_then(|mut f| f.write_all(&frame));
-        if appended.is_err() {
+        if tier.file.write_all(&frame).is_err() {
+            // A failed append may have left a partial frame; drop the
+            // tier (memory-only from here) rather than risk appending
+            // after a torn record.
+            *guard = None;
             self.warn();
+        }
+    }
+
+    /// Flushes the disk tier to the OS. Appends already go straight to
+    /// the file; this exists so a graceful shutdown has an explicit
+    /// barrier before the process exits.
+    pub fn flush(&self) {
+        if let Some(tier) = self.file.lock().unwrap().as_mut() {
+            if tier.file.flush().is_err() {
+                self.warn();
+            }
         }
     }
 
@@ -327,7 +372,7 @@ impl ResultStore {
 
     /// The disk tier's file path, when persistence is active.
     pub fn path(&self) -> Option<PathBuf> {
-        self.file.lock().unwrap().clone()
+        self.file.lock().unwrap().as_ref().map(|t| t.path.clone())
     }
 
     /// The one-line `hits=… misses=… warnings=…` summary the bins print.
@@ -715,6 +760,48 @@ mod tests {
         s.put_cert(key(1), outcomes(7));
         assert!(s.get_triage(&key(1), |_| true).is_none());
         assert_eq!(s.len(), 1);
+    }
+
+    /// Two threads hammering disjoint keys through one disk-backed store
+    /// serialize through the append lock: every record survives a
+    /// reopen intact (no interleaved frames) and nothing warns.
+    #[test]
+    fn concurrent_writers_never_tear_the_disk_tier() {
+        let dir = temp_dir("race");
+        let n = 40u64;
+        {
+            let s = Arc::new(ResultStore::open(&dir));
+            let handles: Vec<_> = (0..2)
+                .map(|t| {
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || {
+                        for i in 0..n {
+                            s.put_cert(key(1000 * (t + 1) + i), outcomes(i));
+                            s.put_triage(key(5000 * (t + 1) + i), profile());
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(s.warnings(), 0);
+            // Read-your-writes: everything is visible in the memory tier.
+            assert_eq!(s.len() as u64, 4 * n);
+            s.flush();
+        }
+        let reopened = ResultStore::open(&dir);
+        assert_eq!(reopened.warnings(), 0, "a torn frame would warn here");
+        assert_eq!(reopened.len() as u64, 4 * n);
+        for t in 0..2u64 {
+            for i in 0..n {
+                let v = reopened
+                    .get_cert(&key(1000 * (t + 1) + i), |_| true)
+                    .expect("record survived");
+                assert_eq!(*v, outcomes(i));
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

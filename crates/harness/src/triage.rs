@@ -10,12 +10,14 @@
 
 use crate::artifact::ArtifactStore;
 use crate::campaign::{draw_faults, CampaignConfig, CampaignResult};
+use crate::ctrl::RunCtrl;
 use crate::pool;
 use crate::store::{triage_section_key, ResultStore};
 use sor_core::Technique;
 use sor_ir::{Digest, Program, ProtectionRole};
 use sor_regalloc::LowerConfig;
 use sor_sim::DecodedProg;
+use sor_stats::OutcomeCounts;
 use sor_triage::{SectionalTriage, VulnerabilityProfile};
 use sor_workloads::Workload;
 use std::sync::Arc;
@@ -80,6 +82,68 @@ pub fn run_triaged_campaign_stored(
     cfg: &CampaignConfig,
     nsections: usize,
 ) -> TriagedCampaign {
+    match run_triaged_campaign_resumable(
+        artifacts,
+        results,
+        workload,
+        technique,
+        cfg,
+        nsections,
+        None,
+        &mut |_| {},
+    ) {
+        TriageStatus::Done(t) => t,
+        TriageStatus::Paused(_) => unreachable!("no control, so the driver never pauses"),
+    }
+}
+
+/// A snapshot of a resumable triaged campaign's position, emitted after
+/// every resolved section (and carried by [`TriageStatus::Paused`]).
+#[derive(Debug, Clone, Default)]
+pub struct TriageProgress {
+    /// Sections resolved so far (cached hits + freshly injected).
+    pub sections_done: usize,
+    /// Sections the fault list was split into.
+    pub sections_total: usize,
+    /// Sections served from the store without injecting anything.
+    pub sections_hit: usize,
+    /// Injections executed by this run so far.
+    pub fresh_injections: u64,
+    /// Outcome histogram aggregated over every resolved section.
+    pub counts: OutcomeCounts,
+}
+
+/// What a resumable triaged campaign run ended as.
+#[derive(Debug, Clone)]
+pub enum TriageStatus {
+    /// Every section resolved; the composed profile is bit-identical to
+    /// the monolithic campaign's.
+    Done(TriagedCampaign),
+    /// A stop was requested: completed sections are persisted in the
+    /// store, and re-invoking with the same arguments resumes from here.
+    Paused(TriageProgress),
+}
+
+/// [`run_triaged_campaign_stored`], pausable at section boundaries.
+///
+/// Same contract as [`crate::certify_resumable`]: missing sections
+/// inject one at a time, each persisted to `results` as it completes,
+/// `on_progress` fires after every resolved section, and a stop request
+/// returns [`TriageStatus::Paused`] before the next section starts — a
+/// later identical call re-serves the finished sections as hits and
+/// executes only the remainder, composing a profile bit-identical to the
+/// monolithic campaign however many pauses it took.
+#[allow(clippy::too_many_arguments)]
+pub fn run_triaged_campaign_resumable(
+    artifacts: &ArtifactStore,
+    results: &ResultStore,
+    workload: &dyn Workload,
+    technique: Technique,
+    cfg: &CampaignConfig,
+    nsections: usize,
+    ctrl: Option<&RunCtrl>,
+    on_progress: &mut dyn FnMut(&TriageProgress),
+) -> TriageStatus {
     let artifact = artifacts.get(workload, technique, &cfg.transform, &LowerConfig::default());
     let runner = pool::build_runner(
         &artifact.program,
@@ -92,10 +156,18 @@ pub fn run_triaged_campaign_stored(
     let triage = SectionalTriage::partition(&faults, nsections);
     let program_digest = artifact.program.content_digest();
 
+    let mut progress = TriageProgress {
+        sections_total: triage.sections.len(),
+        ..TriageProgress::default()
+    };
     let mut profile = VulnerabilityProfile::new();
     for section in &triage.sections {
         let key = triage_section_key(program_digest, section.start, section.end, &section.faults);
         let cached = results.get_triage(&key, |p| p.injections() == section.faults.len() as u64);
+        let hit = cached.is_some();
+        if !hit && ctrl.is_some_and(|c| c.stop_requested()) {
+            return TriageStatus::Paused(progress);
+        }
         let section_profile = cached.unwrap_or_else(|| {
             let fresh: VulnerabilityProfile = pool::inject_faults(
                 &runner,
@@ -109,6 +181,14 @@ pub fn run_triaged_campaign_stored(
             results.put_triage(key, fresh)
         });
         profile.merge(&section_profile);
+        progress.sections_done += 1;
+        if hit {
+            progress.sections_hit += 1;
+        } else {
+            progress.fresh_injections += section.faults.len() as u64;
+        }
+        progress.counts = profile.totals();
+        on_progress(&progress);
     }
 
     let result = CampaignResult {
@@ -117,7 +197,7 @@ pub fn run_triaged_campaign_stored(
         counts: profile.totals(),
         golden_instrs,
     };
-    TriagedCampaign { result, profile }
+    TriageStatus::Done(TriagedCampaign { result, profile })
 }
 
 fn inject_profiled(

@@ -235,3 +235,73 @@ fn stored_triage_matches_monolithic_and_warms_up() {
     assert_eq!(warm.profile, monolithic.profile, "warm triage diverged");
     assert_eq!(results.hits(), 4, "warm triage must hit every section");
 }
+
+/// Concurrency hardening (DESIGN.md §14): two threads race overlapping
+/// certify jobs against one shared on-disk store. The single append lock
+/// keeps the disk tier intact, the memory tier gives read-your-writes, and
+/// each thread's immediate same-store re-run is fully served from cache —
+/// every result bit-identical to the monolithic reference.
+#[test]
+fn racing_certify_jobs_share_one_store_and_hit() {
+    let technique = Technique::SwiftR;
+    let program = std::sync::Arc::new(chain_program(technique, 23));
+    let reference = certify_program(&program, "chain", &technique.to_string(), 2, 3);
+    let dir = temp_dir("race");
+    let store = ResultStore::open(&dir);
+
+    let totals: Vec<(usize, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let store = &store;
+                let program = std::sync::Arc::clone(&program);
+                let reference = &reference;
+                s.spawn(move || {
+                    let first = certify_incremental(
+                        store,
+                        &program,
+                        None,
+                        "chain",
+                        &technique.to_string(),
+                        &cfg(),
+                    );
+                    assert_eq!(first.coverage, *reference, "racing run diverged");
+                    // Read-your-writes: this thread just persisted (or
+                    // observed) every section, so the re-run is all hits.
+                    let second = certify_incremental(
+                        store,
+                        &program,
+                        None,
+                        "chain",
+                        &technique.to_string(),
+                        &cfg(),
+                    );
+                    assert_eq!(second.coverage, *reference, "warm rerun diverged");
+                    assert_eq!(second.fresh_injections, 0, "rerun re-injected");
+                    (second.sections_hit, second.sections_total)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (hit, total) in totals {
+        assert_eq!(hit, total, "rerun must be fully served from the store");
+        assert!(hit >= 1);
+    }
+    assert!(store.hits() >= 2, "store counters must record the reuse");
+
+    // The racing writers left a clean, fully-warm disk tier behind.
+    drop(store);
+    let reopened = ResultStore::open(&dir);
+    assert_eq!(reopened.warnings(), 0, "racing writers tore the file");
+    let warm = certify_incremental(
+        &reopened,
+        &program,
+        None,
+        "chain",
+        &technique.to_string(),
+        &cfg(),
+    );
+    assert_eq!(warm.coverage, reference);
+    assert_eq!(warm.fresh_injections, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,139 @@
+//! A small blocking HTTP client for the job API.
+//!
+//! One request per connection, mirroring the server's
+//! `Connection: close` protocol. Used by the `sor-client` bin and the
+//! integration tests; errors are strings because every caller either
+//! prints them or asserts on them.
+
+use crate::json::Json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client bound to one server address.
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// Performs one request; returns `(status, body)`.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+        let body = body.unwrap_or("");
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        stream
+            .write_all(req.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        stream
+            .read_to_string(&mut response)
+            .map_err(|e| format!("recv: {e}"))?;
+        let (head, payload) = response
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| format!("malformed response: {response:?}"))?;
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line: {head:?}"))?;
+        Ok((status, payload.to_string()))
+    }
+
+    /// A request that must come back 200; parses the JSON body.
+    fn request_ok(&self, method: &str, path: &str, body: Option<&str>) -> Result<Json, String> {
+        let (status, payload) = self.request(method, path, body)?;
+        if status != 200 {
+            return Err(format!("{method} {path} -> {status}: {}", payload.trim()));
+        }
+        Json::parse(&payload).map_err(|e| format!("{method} {path}: bad body: {e}"))
+    }
+
+    /// Submits a job document; returns the assigned id.
+    pub fn submit(&self, spec_json: &str) -> Result<u64, String> {
+        self.request_ok("POST", "/jobs", Some(spec_json))?
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "submission response carried no id".to_string())
+    }
+
+    /// Fetches one job's full document.
+    pub fn job(&self, id: u64) -> Result<Json, String> {
+        self.request_ok("GET", &format!("/jobs/{id}"), None)
+    }
+
+    /// The job's lifecycle state string.
+    pub fn state(&self, id: u64) -> Result<String, String> {
+        self.job(id)?
+            .get("state")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("job {id} carried no state"))
+    }
+
+    /// Polls until the job's state is one of `until` (or `failed`, which
+    /// is always terminal). Returns the final job document.
+    pub fn wait(&self, id: u64, until: &[&str]) -> Result<Json, String> {
+        loop {
+            let job = self.job(id)?;
+            let state = job
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("job {id} carried no state"))?;
+            if until.contains(&state) || state == "failed" {
+                return Ok(job);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// The finished job's result artifact bytes.
+    pub fn result_bytes(&self, id: u64) -> Result<String, String> {
+        let (status, payload) = self.request("GET", &format!("/jobs/{id}/result"), None)?;
+        if status != 200 {
+            return Err(format!(
+                "result of job {id} -> {status}: {}",
+                payload.trim()
+            ));
+        }
+        Ok(payload)
+    }
+
+    /// Requests a pause at the next section boundary.
+    pub fn pause(&self, id: u64) -> Result<(), String> {
+        self.request_ok("POST", &format!("/jobs/{id}/pause"), None)
+            .map(|_| ())
+    }
+
+    /// Re-queues a paused job.
+    pub fn resume(&self, id: u64) -> Result<(), String> {
+        self.request_ok("POST", &format!("/jobs/{id}/resume"), None)
+            .map(|_| ())
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.request_ok("POST", "/shutdown", None).map(|_| ())
+    }
+
+    /// Server liveness + store counters.
+    pub fn health(&self) -> Result<Json, String> {
+        self.request_ok("GET", "/health", None)
+    }
+}

@@ -1,0 +1,192 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net`.
+//!
+//! Just enough protocol for a localhost job API: one request per
+//! connection (`Connection: close`), `Content-Length` bodies, hard caps
+//! on header and body size, and structured JSON error bodies. Anything
+//! malformed maps to a 4xx response — never a panic (the HTTP-layer
+//! tests drive raw garbage through a `TcpStream` to pin exactly that).
+
+use crate::json::escape;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on the request line + headers.
+pub const MAX_HEADER: usize = 8 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY: usize = 1 << 20;
+/// Per-connection socket timeout: a stalled client gets dropped, never
+/// wedges a handler thread forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path only; the API uses no query strings).
+    pub path: String,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A request that could not be parsed: the HTTP status + reason to
+/// answer with, and a human-readable detail for the error body.
+#[derive(Debug)]
+pub struct BadRequest {
+    /// HTTP status code.
+    pub status: u16,
+    /// Status reason phrase.
+    pub reason: &'static str,
+    /// Detail message for the structured error body.
+    pub detail: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, reason: &'static str, detail: impl Into<String>) -> Self {
+        BadRequest {
+            status,
+            reason,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`. I/O errors and protocol
+/// violations come back as a [`BadRequest`] the caller answers with.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+
+    // Accumulate until the blank line, bounded by MAX_HEADER.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER {
+            return Err(BadRequest::new(
+                431,
+                "Request Header Fields Too Large",
+                format!("headers exceed {MAX_HEADER} bytes"),
+            ));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| BadRequest::new(400, "Bad Request", format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(BadRequest::new(
+                400,
+                "Bad Request",
+                "connection closed before the header ended",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(BadRequest::new(
+                400,
+                "Bad Request",
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(BadRequest::new(
+            400,
+            "Bad Request",
+            format!("unsupported protocol {version:?}"),
+        ));
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    BadRequest::new(400, "Bad Request", format!("bad Content-Length {value:?}"))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(BadRequest::new(
+            413,
+            "Payload Too Large",
+            format!("body of {content_length} bytes exceeds the {MAX_BODY}-byte cap"),
+        ));
+    }
+
+    // Body bytes already read past the blank line, then the remainder.
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| BadRequest::new(400, "Bad Request", format!("body read error: {e}")))?;
+        if n == 0 {
+            return Err(BadRequest::new(
+                400,
+                "Bad Request",
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one complete response and lets the connection close.
+pub fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // The client may already be gone; nothing useful to do about it.
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()));
+    let _ = stream.flush();
+}
+
+/// The structured error document every failure path answers with.
+pub fn error_body(code: &str, message: &str) -> String {
+    format!(
+        "{{\"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}\n",
+        escape(code),
+        escape(message)
+    )
+}
+
+/// Answers a [`BadRequest`] with its status and a structured body.
+pub fn respond_error(stream: &mut TcpStream, err: &BadRequest) {
+    let code = match err.status {
+        413 => "too_large",
+        431 => "too_large",
+        _ => "bad_request",
+    };
+    respond(
+        stream,
+        err.status,
+        err.reason,
+        &error_body(code, &err.detail),
+    );
+}
