@@ -47,18 +47,32 @@ use sor_stats::OutcomeCounts;
 
 /// Bump when injection or outcome-classification semantics change in a
 /// way that invalidates previously stored section results.
-pub const CERT_SEMANTICS_VERSION: u64 = 1;
+///
+/// History: 1 = the original hardcoded register-SEU digest; 2 = the
+/// fault-model digest gained the model's identity slug (`sor-models`), so
+/// every pre-model store entry reads as stale and degrades to a warned
+/// recompute.
+pub const CERT_SEMANTICS_VERSION: u64 = 2;
 
-/// Digest of the fault model an injection campaign explores: which
-/// registers are injectable, how many bits each contributes, and the
-/// semantics version of the certification machinery itself.
-pub fn fault_config_digest() -> ContentHash {
+/// Digest of the fault model an injection campaign explores, keyed by the
+/// model's identity slug (see `sor-models`): the semantics version of the
+/// certification machinery, the model identity, and the register-SEU
+/// space parameters every model's unACE reasoning is anchored on.
+pub fn fault_model_config_digest(model_slug: &str) -> ContentHash {
     let mut h = Fnv1a::new();
     h.u64(CERT_SEMANTICS_VERSION);
+    h.usize(model_slug.len());
+    h.bytes(model_slug.as_bytes());
     h.usize(INJECTABLE_REGS.len());
     h.bytes(&INJECTABLE_REGS);
     h.u64(64); // bits per register
     ContentHash(h.finish64())
+}
+
+/// The default-model digest: the paper's single-bit register SEU
+/// (`seu-reg`), which every legacy store key used implicitly.
+pub fn fault_config_digest() -> ContentHash {
+    fault_model_config_digest("seu-reg")
 }
 
 /// The content-addressed identity of one certified section:

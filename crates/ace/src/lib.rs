@@ -35,14 +35,16 @@
 
 mod incremental;
 mod liveness;
+mod models;
 mod report;
 mod trace;
 
 pub use incremental::{
-    fault_config_digest, CertSection, CertSections, ClassOutcome, SectionKey, SectionOutcomes,
-    CERT_SEMANTICS_VERSION,
+    fault_config_digest, fault_model_config_digest, CertSection, CertSections, ClassOutcome,
+    SectionKey, SectionOutcomes, CERT_SEMANTICS_VERSION,
 };
 pub use liveness::{CertPlan, LivenessIndex, SiteFate, SlotRange};
+pub use models::{burst_masks, AnalyticWindow, GenCertPlan, GenClass, ModelPlanError};
 pub use report::CertifiedCoverage;
 pub use trace::DefUseTrace;
 

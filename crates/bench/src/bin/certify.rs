@@ -7,18 +7,21 @@
 //!
 //! Flags: `--samples N` workload size (default 40; the fault space is
 //! quadratic-ish in it, but only live equivalence classes are executed),
-//! `--threads N` (default all cores), `--store DIR` persistent result
-//! store directory (default `results/store`), `--no-store` to disable the
-//! store and certify monolithically, `--sections N` incremental-reuse
-//! granularity (default 8; results are bit-identical for every value).
+//! `--threads N` (default all cores), `--fault-model M` (default
+//! `seu-reg`; generalized models certify monolithically and bypass the
+//! store; `mem-bit` has no exhaustive plan and is rejected with
+//! guidance), `--store DIR` persistent result store directory (default
+//! `results/store`), `--no-store` to disable the store and certify
+//! monolithically, `--sections N` incremental-reuse granularity (default
+//! 8; results are bit-identical for every value).
 //! With the store enabled the run finishes by printing its
 //! `hits= misses= warnings=` counters — a re-run over an unchanged
 //! workload reports all sections as hits and executes zero injections.
 
 use sor_core::Technique;
 use sor_harness::{
-    certified_json, run_certified_campaign_in, run_certified_campaign_stored, technique_slug,
-    ArtifactStore, CertifyConfig, ResultStore,
+    certified_json_model, run_certified_campaign_in, run_certified_campaign_stored, technique_slug,
+    ArtifactStore, CertifyConfig, FaultModel, ResultStore,
 };
 use sor_workloads::{AdpcmDec, Workload};
 
@@ -32,7 +35,18 @@ fn main() {
     let sections: usize = sor_bench::arg_value("--sections")
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
-    let results = if sor_bench::flag("--no-store") {
+    let model = sor_bench::fault_model_arg();
+    if model == FaultModel::MemBit {
+        eprintln!(
+            "certify: mem-bit has no exhaustive certification plan; \
+             use a sampled campaign (fig8/triage) instead"
+        );
+        std::process::exit(2);
+    }
+    let results = if sor_bench::flag("--no-store") || !model.is_default() {
+        if !model.is_default() {
+            eprintln!("certify: generalized model {model} runs monolithically (store bypassed)");
+        }
         None
     } else {
         let dir = sor_bench::arg_value("--store").unwrap_or_else(|| "results/store".to_string());
@@ -43,6 +57,7 @@ fn main() {
     let cfg = CertifyConfig {
         threads,
         sections,
+        fault_model: model,
         ..CertifyConfig::default()
     };
     let store = ArtifactStore::new();
@@ -92,8 +107,16 @@ fn main() {
             r.total_sites
         );
 
-        let json = certified_json(&r);
-        let name = format!("certified_{}.json", technique_slug(technique));
+        let json = certified_json_model(&r, model);
+        let name = if model.is_default() {
+            format!("certified_{}.json", technique_slug(technique))
+        } else {
+            format!(
+                "certified_{}_{}.json",
+                model.slug(),
+                technique_slug(technique)
+            )
+        };
         match sor_bench::write_results(&name, &json) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write {name}: {e}"),

@@ -3,9 +3,12 @@
 //! benchmark kernels, 250 SEU injections per cell (paper §7.1).
 //!
 //! Flags: `--runs N` injections per cell (default 250), `--seed S`
-//! campaign seed (default `0x5EED`), `--json` to additionally write
+//! campaign seed (default `0x5EED`), `--fault-model M` (default
+//! `seu-reg`; non-default models write model-suffixed result files and
+//! tag every JSON row), `--json` to additionally write
 //! `results/fig8.json`.
 
+use sor_core::Technique;
 use sor_harness::{CampaignConfig, FigureEight};
 use sor_workloads::all_workloads;
 
@@ -14,27 +17,40 @@ fn main() {
     let seed = sor_bench::arg_value("--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0x5EED);
+    let model = sor_bench::fault_model_arg();
     let want_json = std::env::args().any(|a| a == "--json");
     let cfg = CampaignConfig {
         runs,
         seed,
+        fault_model: model,
         ..CampaignConfig::default()
     };
-    eprintln!("running Figure 8: 10 benchmarks x 6 techniques x {runs} injections...");
+    eprintln!(
+        "running Figure 8: 10 benchmarks x {} techniques x {runs} injections ({model})...",
+        Technique::FIGURE8.len()
+    );
     let start = std::time::Instant::now();
     let fig = FigureEight::run(&all_workloads(), &cfg);
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
     println!("{fig}");
     println!("{}", fig.to_chart());
+    let suffix = if model.is_default() {
+        String::new()
+    } else {
+        format!("_{}", model.slug())
+    };
     let mut outputs = vec![
-        ("fig8.csv", fig.to_csv()),
-        ("fig8.txt", format!("{fig}\n{}", fig.to_chart())),
+        (format!("fig8{suffix}.csv"), fig.to_csv()),
+        (
+            format!("fig8{suffix}.txt"),
+            format!("{fig}\n{}", fig.to_chart()),
+        ),
     ];
     if want_json {
-        outputs.push(("fig8.json", fig.to_json()));
+        outputs.push((format!("fig8{suffix}.json"), fig.to_json_model(model)));
     }
     for (name, contents) in outputs {
-        match sor_bench::write_results(name, &contents) {
+        match sor_bench::write_results(&name, &contents) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write results: {e}"),
         }

@@ -7,6 +7,8 @@
 //!
 //! Flags: `--runs N` injections per technique (default 400), `--threads N`
 //! (default all cores), `--samples N` workload size (default 200),
+//! `--fault-model M` (default `seu-reg`; generalized models run
+//! monolithically, bypassing the store),
 //! `--top N` heatmap rows per technique (default 10), `--store DIR`
 //! persistent result store directory (default `results/store`),
 //! `--no-store` to disable the store, `--sections N` section granularity
@@ -16,7 +18,7 @@
 use sor_core::Technique;
 use sor_harness::{
     residual_sdc_table, run_triaged_campaign_in, run_triaged_campaign_stored, technique_slug,
-    triage_json, ArtifactStore, CampaignConfig, ResultStore, TriagedCampaign,
+    triage_json_model, ArtifactStore, CampaignConfig, ResultStore, TriagedCampaign,
 };
 use sor_regalloc::LowerConfig;
 use sor_workloads::{AdpcmDec, Workload};
@@ -35,7 +37,11 @@ fn main() {
     let sections: usize = sor_bench::arg_value("--sections")
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
-    let results = if sor_bench::flag("--no-store") {
+    let model = sor_bench::fault_model_arg();
+    let results = if sor_bench::flag("--no-store") || !model.is_default() {
+        if !model.is_default() {
+            eprintln!("triage: generalized model {model} runs monolithically (store bypassed)");
+        }
         None
     } else {
         let dir = sor_bench::arg_value("--store").unwrap_or_else(|| "results/store".to_string());
@@ -46,6 +52,7 @@ fn main() {
     let cfg = CampaignConfig {
         runs,
         threads,
+        fault_model: model,
         ..CampaignConfig::default()
     };
     let store = ArtifactStore::new();
@@ -73,8 +80,12 @@ fn main() {
             &LowerConfig::default(),
         );
 
-        let json = triage_json(&t, &artifact.program, runs);
-        let name = format!("triage_{}.json", technique_slug(technique));
+        let json = triage_json_model(&t, &artifact.program, runs, model);
+        let name = if model.is_default() {
+            format!("triage_{}.json", technique_slug(technique))
+        } else {
+            format!("triage_{}_{}.json", model.slug(), technique_slug(technique))
+        };
         match sor_bench::write_results(&name, &json) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write {name}: {e}"),

@@ -109,6 +109,24 @@ impl BenchReport {
     }
 }
 
+/// Parses `--fault-model M` (default `seu-reg`), exiting with the known
+/// model list on an unrecognized spelling. Every injection-driving bin
+/// spells the flag the same way.
+pub fn fault_model_arg() -> sor_harness::FaultModel {
+    use sor_harness::FaultModel;
+    match arg_value("--fault-model") {
+        None => FaultModel::SeuReg,
+        Some(v) => FaultModel::parse(&v).unwrap_or_else(|| {
+            let known: Vec<&str> = FaultModel::ALL.iter().map(|m| m.slug()).collect();
+            eprintln!(
+                "unknown --fault-model {v:?}; known models: {}",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// Parses `--runs N` with a default.
 pub fn runs_arg(default: u64) -> u64 {
     arg_value("--runs")

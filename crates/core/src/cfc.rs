@@ -1,0 +1,410 @@
+//! Signature-based control-flow checking: CFCSS- and CEDA-style passes.
+//!
+//! The register-protection techniques (SWIFT-R, TRUMP, MASK) assume
+//! control flow itself is correct: a fault that redirects the program
+//! counter lands outside their protection domain entirely. These passes
+//! close that gap with the classic software signature schemes:
+//!
+//! * **CFCSS** (Oh, Shirvani & McCluskey, *Control-Flow Checking by
+//!   Software Signatures*, IEEE Trans. Reliability 2002): each basic block
+//!   carries a compile-time signature `s_i`; a runtime signature register
+//!   `G` is XOR-updated on every legal transition and compared against the
+//!   expected signature at each block head. This implementation places the
+//!   update on the *edge* (in the predecessor for single-successor exits,
+//!   in a split block for branch edges) instead of using CFCSS's runtime
+//!   adjusting signature `D`: the original `D`-based fan-in handling
+//!   admits aliasing (a stale `D` from an earlier transition can mask a
+//!   wrong branch), while edge-resident updates make the block-head check
+//!   `G == s_j` fail *deterministically* for every transition from a block
+//!   that is not a CFG predecessor — the property the exhaustive
+//!   PC-corruption test in `sor-triage` pins.
+//! * **CEDA** (Vemu & Abraham, *CEDA: Control-Flow Error Detection Using
+//!   Assertions*, IEEE Trans. Computers 2011): two signatures per block —
+//!   a node signature `sin_j` asserted at entry and a group signature
+//!   shared by all predecessors of a common successor (computed here with
+//!   a union-find over predecessor sets). The runtime register is updated
+//!   at block entry *and* exit, so a block's outgoing identity is the
+//!   group's, not its own. Faithful to CEDA's structure, this detects
+//!   wrong transitions between blocks in different predecessor groups and
+//!   inherits CEDA's aliasing within a group.
+//!
+//! Both passes check every block head and route mismatches to one shared
+//! `Trap(Detected)` block per function — the same detection vocabulary as
+//! SWIFT (`Outcome::Detected` in campaigns). All emitted instrumentation
+//! is tagged [`ProtectionRole::Voter`], the role of checking machinery.
+//!
+//! Known holes shared with the published schemes (and excluded from the
+//! exhaustive test): a jump *to a function entry* re-seeds the signature
+//! register and restarts checking, and a jump into the *middle* of a block
+//! reaches the next block head through the legal edge chain.
+
+use crate::pass::{Pass, PassCtx, PassStats};
+use crate::rewrite::Rewriter;
+use sor_ir::{
+    AluOp, BlockId, CmpOp, Function, Inst, Module, Operand, ProtectionRole, RegClass, Terminator,
+    TrapKind, Vreg, Width,
+};
+
+/// Distinct compile-time signature for ordinal `k`: multiplication by an
+/// odd constant is injective modulo 2^32, so distinct ordinals get
+/// distinct positive values, and the values are spread across the word
+/// (a program value colliding with one by accident is as unlikely as
+/// colliding with a hash).
+fn signature(k: u32) -> i64 {
+    k.wrapping_add(1).wrapping_mul(0x9E37_79B1) as i64
+}
+
+/// Per-function CFG predecessor lists, from the terminators.
+fn predecessors(func: &Function) -> Vec<Vec<usize>> {
+    let mut preds = vec![Vec::new(); func.blocks.len()];
+    for (bid, block) in func.iter_blocks() {
+        match &block.term {
+            Terminator::Jump(t) => preds[t.index()].push(bid.index()),
+            Terminator::Branch { t, f, .. } => {
+                preds[t.index()].push(bid.index());
+                preds[f.index()].push(bid.index());
+            }
+            Terminator::Ret { .. } | Terminator::Trap(_) => {}
+        }
+    }
+    preds
+}
+
+/// Emits `g ^= imm` (a signature transition), tagged with the current role.
+fn emit_xor(rw: &mut Rewriter, g: Vreg, imm: i64) {
+    rw.emit(Inst::Alu {
+        op: AluOp::Xor,
+        width: Width::W64,
+        dst: g,
+        a: Operand::reg(g),
+        b: Operand::imm(imm),
+    });
+}
+
+/// Emits the block-head assertion `if g != expected { trap(Detected) }`,
+/// reusing one shared detection block per function.
+fn emit_check(rw: &mut Rewriter, g: Vreg, expected: i64, detect: &mut Option<BlockId>) {
+    rw.stats.checks += 1;
+    let c = rw.vreg(RegClass::Int);
+    rw.emit(Inst::Cmp {
+        op: CmpOp::Ne,
+        width: Width::W64,
+        dst: c,
+        a: Operand::reg(g),
+        b: Operand::imm(expected),
+    });
+    let det = *detect.get_or_insert_with(|| rw.new_block());
+    let fall = rw.new_block();
+    rw.seal(Terminator::Branch {
+        cond: c,
+        t: det,
+        f: fall,
+    });
+    rw.start_block(det);
+    rw.seal(Terminator::Trap(TrapKind::Detected));
+    rw.start_block(fall);
+}
+
+/// Rewrites one function under CFCSS-style edge-update signature checking.
+///
+/// `base` makes signatures globally distinct across the module's functions
+/// so a cross-function wrong landing never finds its expected signature.
+fn rewrite_cfcss_func(old: &Function, base: u32) -> (Function, crate::rewrite::RewriteStats) {
+    let sig: Vec<i64> = (0..old.blocks.len() as u32)
+        .map(|i| signature(base + i))
+        .collect();
+    let mut rw = Rewriter::new(old);
+    let g = rw.vreg(RegClass::Int);
+    let mut detect: Option<BlockId> = None;
+
+    for (bid, block) in old.iter_blocks() {
+        rw.start_block(bid);
+        let prev = rw.set_role(ProtectionRole::Voter);
+        if bid.index() == 0 {
+            // The entry has no predecessor: seed the runtime signature.
+            rw.emit(Inst::Mov {
+                dst: g,
+                src: Operand::imm(sig[0]),
+            });
+        } else {
+            emit_check(&mut rw, g, sig[bid.index()], &mut detect);
+        }
+        rw.set_role(prev);
+        for inst in &block.insts {
+            rw.emit(inst.clone());
+        }
+        let prev = rw.set_role(ProtectionRole::Voter);
+        match &block.term {
+            // Single successor: the edge update lives in the predecessor.
+            Terminator::Jump(t) => {
+                emit_xor(&mut rw, g, sig[bid.index()] ^ sig[t.index()]);
+                rw.seal(Terminator::Jump(*t));
+            }
+            // Two successors: each edge gets its own update in a split
+            // block, so the transition taken determines the signature.
+            Terminator::Branch { cond, t, f } => {
+                let et = rw.new_block();
+                let ef = rw.new_block();
+                rw.seal(Terminator::Branch {
+                    cond: *cond,
+                    t: et,
+                    f: ef,
+                });
+                rw.start_block(et);
+                emit_xor(&mut rw, g, sig[bid.index()] ^ sig[t.index()]);
+                rw.seal(Terminator::Jump(*t));
+                rw.start_block(ef);
+                emit_xor(&mut rw, g, sig[bid.index()] ^ sig[f.index()]);
+                rw.seal(Terminator::Jump(*f));
+            }
+            term @ (Terminator::Ret { .. } | Terminator::Trap(_)) => rw.seal(term.clone()),
+        }
+        rw.set_role(prev);
+    }
+    let stats = rw.stats;
+    (rw.finish(), stats)
+}
+
+/// Union-find over block indices, for CEDA's predecessor groups.
+struct UnionFind(Vec<usize>);
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind((0..n).collect())
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.0[i] != i {
+            let root = self.find(self.0[i]);
+            self.0[i] = root;
+        }
+        self.0[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// Rewrites one function under CEDA-style entry/exit signature updates.
+fn rewrite_ceda_func(old: &Function, base: u32) -> (Function, crate::rewrite::RewriteStats) {
+    let n = old.blocks.len();
+    let preds = predecessors(old);
+    // All predecessors of a common successor share one exit group.
+    let mut uf = UnionFind::new(n);
+    for ps in &preds {
+        for w in ps.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    // Node signatures and group signatures, all globally distinct: node
+    // `i` takes ordinal `base + 2i`, its group root `base + 2i + 1`.
+    let sin: Vec<i64> = (0..n as u32).map(|i| signature(base + 2 * i)).collect();
+    let mut gsig = vec![0i64; n];
+    for (i, sig) in gsig.iter_mut().enumerate() {
+        let root = uf.find(i);
+        *sig = signature(base + 2 * root as u32 + 1);
+    }
+
+    let mut rw = Rewriter::new(old);
+    let g = rw.vreg(RegClass::Int);
+    let mut detect: Option<BlockId> = None;
+
+    for (bid, block) in old.iter_blocks() {
+        let i = bid.index();
+        rw.start_block(bid);
+        let prev = rw.set_role(ProtectionRole::Voter);
+        if i == 0 {
+            rw.emit(Inst::Mov {
+                dst: g,
+                src: Operand::imm(sin[0]),
+            });
+        } else {
+            // Entry update: fold the predecessors' shared exit signature
+            // into this node's, then assert it.
+            let from = preds[i].first().map_or(0, |&p| gsig[p]);
+            emit_xor(&mut rw, g, from ^ sin[i]);
+            emit_check(&mut rw, g, sin[i], &mut detect);
+        }
+        rw.set_role(prev);
+        for inst in &block.insts {
+            rw.emit(inst.clone());
+        }
+        let prev = rw.set_role(ProtectionRole::Voter);
+        // Exit update: leave carrying the block's group identity.
+        if matches!(block.term, Terminator::Jump(_) | Terminator::Branch { .. }) {
+            emit_xor(&mut rw, g, sin[i] ^ gsig[i]);
+        }
+        rw.seal(block.term.clone());
+        rw.set_role(prev);
+    }
+    let stats = rw.stats;
+    (rw.finish(), stats)
+}
+
+/// Which signature scheme a [`CfcPass`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CfcMode {
+    /// CFCSS-style: block signatures, edge-resident XOR updates.
+    Cfcss,
+    /// CEDA-style: entry/exit updates with predecessor exit groups.
+    Ceda,
+}
+
+/// The control-flow checking pass (see the module docs for the schemes).
+pub struct CfcPass {
+    mode: CfcMode,
+}
+
+impl CfcPass {
+    /// CFCSS-style block-signature checking.
+    pub fn cfcss() -> Self {
+        CfcPass {
+            mode: CfcMode::Cfcss,
+        }
+    }
+
+    /// CEDA-style exec-time-update checking.
+    pub fn ceda() -> Self {
+        CfcPass {
+            mode: CfcMode::Ceda,
+        }
+    }
+}
+
+impl Pass for CfcPass {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            CfcMode::Cfcss => "cfcss",
+            CfcMode::Ceda => "ceda",
+        }
+    }
+
+    fn run(&self, module: &mut Module, ctx: &mut PassCtx<'_>) -> PassStats {
+        let mut stats = PassStats {
+            pass: self.name(),
+            insts_before: module.inst_count(),
+            ..Default::default()
+        };
+        // Signature ordinals advance across functions so every block of
+        // the module gets a globally-unique signature.
+        let mut base = 0u32;
+        for fi in 0..module.funcs.len() {
+            let blocks = module.funcs[fi].blocks.len() as u32;
+            let (rewritten, rw) = match self.mode {
+                CfcMode::Cfcss => rewrite_cfcss_func(&module.funcs[fi], base),
+                CfcMode::Ceda => rewrite_ceda_func(&module.funcs[fi], base),
+            };
+            base += match self.mode {
+                CfcMode::Cfcss => blocks,
+                CfcMode::Ceda => 2 * blocks,
+            };
+            stats.rewrites.absorb(rw);
+            if rewritten != module.funcs[fi] {
+                module.funcs[fi] = rewritten;
+                ctx.cache.invalidate(fi);
+                stats.mutated = true;
+            }
+        }
+        stats.insts_after = module.inst_count();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technique::Technique;
+    use crate::TransformConfig;
+    use sor_ir::{verify, MemWidth, ModuleBuilder, Operand};
+
+    /// A loopy two-function module with fan-in and fan-out.
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new("cfc");
+        let g = mb.alloc_global_i32s("g", &[3, 5, 0]);
+
+        let mut callee = mb.function("twice");
+        let p = callee.param(RegClass::Int);
+        let d = callee.add(Width::W64, p, p);
+        callee.set_ret_count(1);
+        callee.ret(&[Operand::reg(d)]);
+        let callee_id = callee.finish();
+
+        let mut f = mb.function("main");
+        let base = f.movi(g as i64);
+        let x = f.load(MemWidth::B4, base, 0);
+        let limit = f.load(MemWidth::B4, base, 4);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let t = f.call(callee_id, &[Operand::reg(x)], &[RegClass::Int]);
+        let x2 = f.add(Width::W64, t[0], 1i64);
+        f.mov_to(x, Operand::reg(x2));
+        let c = f.cmp(CmpOp::LtS, Width::W64, x, limit);
+        f.branch(c, body, done);
+        f.switch_to(done);
+        f.store(MemWidth::B4, base, 8, x);
+        f.emit(Operand::reg(x));
+        f.ret(&[]);
+        let id = f.finish();
+        mb.finish(id)
+    }
+
+    #[test]
+    fn both_schemes_verify_and_preserve_output() {
+        let m = sample();
+        let p0 = sor_regalloc::lower(&m, &Default::default()).unwrap();
+        let golden = sor_sim::Machine::new(&p0, &Default::default()).run(None);
+        for tech in [Technique::Cfcss, Technique::Ceda, Technique::SwiftRCfcss] {
+            let t = tech.apply(&m);
+            verify(&t).unwrap_or_else(|e| panic!("{tech}: {e}"));
+            let p = sor_regalloc::lower(&t, &Default::default()).unwrap();
+            let r = sor_sim::Machine::new(&p, &Default::default()).run(None);
+            assert_eq!(r.output, golden.output, "{tech} changed semantics");
+            assert!(!r.output.is_empty(), "sample must emit output");
+        }
+    }
+
+    #[test]
+    fn checks_cover_every_non_entry_block() {
+        let m = sample();
+        for (pass, mode) in [(CfcPass::cfcss(), "cfcss"), (CfcPass::ceda(), "ceda")] {
+            let mut out = m.clone();
+            let cfg = TransformConfig::default();
+            let mut ctx = PassCtx::new(&cfg, &m);
+            let stats = pass.run(&mut out, &mut ctx);
+            assert_eq!(stats.pass, mode);
+            assert!(stats.mutated);
+            let non_entry: u64 = m.funcs.iter().map(|f| f.blocks.len() as u64 - 1).sum();
+            assert_eq!(
+                stats.rewrites.checks, non_entry,
+                "{mode}: one check per non-entry block"
+            );
+        }
+    }
+
+    #[test]
+    fn signatures_are_distinct() {
+        let seen: std::collections::HashSet<i64> = (0..4096).map(signature).collect();
+        assert_eq!(seen.len(), 4096);
+        assert!(seen.iter().all(|&s| s > 0), "signatures must be positive");
+    }
+
+    #[test]
+    fn cfc_instrumentation_is_voter_tagged() {
+        let m = sample();
+        let t = Technique::Cfcss.apply(&m);
+        let roles = t.funcs[1].roles.as_ref().expect("roles attached");
+        let tagged: usize = roles
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|r| **r == ProtectionRole::Voter)
+            .count();
+        assert!(tagged > 0, "checks and updates carry the Voter role");
+    }
+}

@@ -35,6 +35,7 @@
 //! assert!(sor_ir::verify(&protected).is_ok());
 //! ```
 
+mod cfc;
 mod config;
 mod coverage;
 mod hybrid;
@@ -47,6 +48,7 @@ mod swiftr;
 mod technique;
 mod trump;
 
+pub use cfc::CfcPass;
 pub use config::TransformConfig;
 pub use coverage::{coverage, CoverageReport, FuncCoverage};
 pub use hybrid::{apply_trump_mask, apply_trump_swiftr};

@@ -48,6 +48,7 @@
 //! assert!(out.report.passes[0].rewrites.votes > 0);
 //! ```
 
+use crate::cfc::CfcPass;
 use crate::config::TransformConfig;
 use crate::hybrid::rewrite_hybrid_func;
 use crate::mask::mask_func;
@@ -402,6 +403,12 @@ impl Pipeline {
             }
             Technique::SwiftR => p.push(NmrApplyPass::vote()),
             Technique::Swift => p.push(NmrApplyPass::detect()),
+            Technique::Cfcss => p.push(CfcPass::cfcss()),
+            Technique::Ceda => p.push(CfcPass::ceda()),
+            Technique::SwiftRCfcss => {
+                p.push(NmrApplyPass::vote());
+                p.push(CfcPass::cfcss());
+            }
         }
         p
     }

@@ -23,22 +23,35 @@ pub enum Technique {
     /// SWIFT (§2.2): detection only — not part of Figure 8/9, kept as the
     /// detection baseline for the extension experiments.
     Swift,
+    /// CFCSS-style block-signature control-flow checking (detection only,
+    /// control-flow faults — an extension beyond the paper's register
+    /// techniques; see `sor_core::cfc`).
+    Cfcss,
+    /// CEDA-style exec-time-update control-flow checking (detection only).
+    Ceda,
+    /// SWIFT-R register recovery composed with CFCSS control-flow
+    /// detection: votes repair data faults, signatures catch wild jumps.
+    SwiftRCfcss,
 }
 
 impl Technique {
-    /// The six techniques of Figure 8/Figure 9, in the paper's order
-    /// (N, M, T, K, R, S).
-    pub const FIGURE8: [Technique; 6] = [
+    /// The techniques of the Figure 8/Figure 9 matrix: the paper's six in
+    /// its order (N, M, T, K, R, S), extended with the control-flow
+    /// checking cells (C, F). New entries are appended so the seed-derived
+    /// fault draws of the original cells stay bit-identical.
+    pub const FIGURE8: [Technique; 8] = [
         Technique::Noft,
         Technique::Mask,
         Technique::Trump,
         Technique::TrumpMask,
         Technique::TrumpSwiftR,
         Technique::SwiftR,
+        Technique::Cfcss,
+        Technique::SwiftRCfcss,
     ];
 
-    /// Every technique including the detection-only SWIFT baseline.
-    pub const ALL: [Technique; 7] = [
+    /// Every technique including the detection-only baselines.
+    pub const ALL: [Technique; 10] = [
         Technique::Noft,
         Technique::Mask,
         Technique::Trump,
@@ -46,6 +59,9 @@ impl Technique {
         Technique::TrumpSwiftR,
         Technique::SwiftR,
         Technique::Swift,
+        Technique::Cfcss,
+        Technique::Ceda,
+        Technique::SwiftRCfcss,
     ];
 
     /// Full name as used in the paper.
@@ -58,6 +74,9 @@ impl Technique {
             Technique::TrumpSwiftR => "TRUMP/SWIFT-R",
             Technique::SwiftR => "SWIFT-R",
             Technique::Swift => "SWIFT",
+            Technique::Cfcss => "CFCSS",
+            Technique::Ceda => "CEDA",
+            Technique::SwiftRCfcss => "SWIFT-R/CFCSS",
         }
     }
 
@@ -71,6 +90,9 @@ impl Technique {
             Technique::TrumpSwiftR => 'R',
             Technique::SwiftR => 'S',
             Technique::Swift => 'D',
+            Technique::Cfcss => 'C',
+            Technique::Ceda => 'E',
+            Technique::SwiftRCfcss => 'F',
         }
     }
 

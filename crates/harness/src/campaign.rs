@@ -4,9 +4,10 @@ use crate::artifact::ArtifactStore;
 use crate::pool;
 use sor_core::Technique;
 use sor_ir::Program;
+use sor_models::{FaultModel, SampleCtx};
 use sor_regalloc::LowerConfig;
 use sor_rng::SmallRng;
-use sor_sim::{DecodedProg, ExecEngine, FaultSpec, MachineConfig};
+use sor_sim::{DecodedProg, ExecEngine, FaultSpec, GenFault, MachineConfig};
 use sor_stats::OutcomeCounts;
 use sor_workloads::Workload;
 use std::sync::Arc;
@@ -37,6 +38,13 @@ pub struct CampaignConfig {
     pub lanes: usize,
     /// Transform configuration.
     pub transform: sor_core::TransformConfig,
+    /// Fault model injections are drawn from (see [`FaultModel`]). The
+    /// default, [`FaultModel::SeuReg`], runs the exact legacy SEU pipeline
+    /// — fault sequences, histograms and artifacts are bit-identical to
+    /// configurations that predate the field. Non-default models draw
+    /// generalized faults (`draw_gen_faults`) and inject them through
+    /// the scalar generalized path (lanes fall back to scalar).
+    pub fault_model: FaultModel,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +57,7 @@ impl Default for CampaignConfig {
             engine: ExecEngine::default(),
             lanes: 1,
             transform: sor_core::TransformConfig::default(),
+            fault_model: FaultModel::SeuReg,
         }
     }
 }
@@ -82,6 +91,28 @@ pub(crate) fn draw_faults(
     );
     (0..cfg.runs)
         .map(|_| FaultSpec::sample(&mut rng, golden_len))
+        .collect()
+}
+
+/// [`draw_faults`] over the generalized fault surface: the same per-cell
+/// seed derivation, with each draw delegated to the configured
+/// [`FaultModel`]'s sampler. Under the default `SeuReg` model the drawn
+/// sequence is [`draw_faults`]' sequence exactly (the sampler consumes the
+/// RNG draw-for-draw identically — pinned by the `sor-models` tests and
+/// re-pinned end-to-end below).
+pub(crate) fn draw_gen_faults(
+    cfg: &CampaignConfig,
+    wl_name: &str,
+    technique: Technique,
+    program: &Program,
+    golden_len: u64,
+) -> Vec<GenFault> {
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed ^ (wl_name.len() as u64) ^ ((technique.letter() as u64) << 32),
+    );
+    let ctx = SampleCtx::for_program(program, golden_len);
+    (0..cfg.runs)
+        .map(|_| cfg.fault_model.sample(&mut rng, &ctx))
         .collect()
 }
 
@@ -146,6 +177,24 @@ fn inject(
 ) -> (OutcomeCounts, u64) {
     let runner = pool::build_runner(program, decoded, cfg.checkpoint_interval, cfg.engine);
     let golden_len = runner.golden().dyn_instrs;
+    if !cfg.fault_model.is_default() {
+        // Generalized models: same seed derivation, model-specific draws,
+        // scalar generalized injection (commutative fold, so still
+        // thread-count independent).
+        let faults = draw_gen_faults(cfg, wl_name, technique, program, golden_len);
+        let total: OutcomeCounts = pool::inject_gen_faults(
+            &runner,
+            &faults,
+            cfg.threads,
+            |acc: &mut OutcomeCounts, _, rec, res| {
+                acc.record(
+                    rec.outcome,
+                    res.probes.vote_repairs + res.probes.trump_recovers,
+                );
+            },
+        );
+        return (total, golden_len);
+    }
     let faults = draw_faults(cfg, wl_name, technique, golden_len);
     // Work-stealing over the shared pool (see `pool::inject_faults`):
     // fault runs have wildly variable lengths, so workers steal faults (or
@@ -207,6 +256,64 @@ mod tests {
             })
             .collect();
         assert_eq!(faults, expected);
+    }
+
+    /// Under the default model, the generalized draw is the legacy draw,
+    /// fault for fault — the end-to-end half of the `SeuReg` pin (the
+    /// sampler-level half lives in `sor-models`).
+    #[test]
+    fn default_model_gen_draws_equal_legacy_draws() {
+        let w = AdpcmDec {
+            samples: 40,
+            seed: 1,
+        };
+        let store = ArtifactStore::new();
+        let cfg = small_cfg();
+        let artifact = store.get(
+            &w,
+            Technique::SwiftR,
+            &cfg.transform,
+            &LowerConfig::default(),
+        );
+        let runner = sor_sim::Runner::new(&artifact.program, &sor_sim::MachineConfig::default());
+        let golden_len = runner.golden().dyn_instrs;
+        let legacy = draw_faults(&cfg, w.name(), Technique::SwiftR, golden_len);
+        let gen = draw_gen_faults(
+            &cfg,
+            w.name(),
+            Technique::SwiftR,
+            &artifact.program,
+            golden_len,
+        );
+        assert_eq!(gen.len(), legacy.len());
+        for (g, &l) in gen.iter().zip(&legacy) {
+            assert_eq!(*g, GenFault::from_spec(l));
+        }
+    }
+
+    /// Every non-default model runs a full campaign: all injections
+    /// classified, deterministic across thread counts.
+    #[test]
+    fn generalized_model_campaigns_classify_everything_deterministically() {
+        let w = AdpcmDec {
+            samples: 60,
+            seed: 7,
+        };
+        for model in FaultModel::ALL {
+            if model.is_default() {
+                continue;
+            }
+            let mut c1 = small_cfg();
+            c1.runs = 30;
+            c1.fault_model = model;
+            c1.threads = 1;
+            let mut c4 = c1.clone();
+            c4.threads = 4;
+            let a = run_campaign(&w, Technique::SwiftR, &c1);
+            let b = run_campaign(&w, Technique::SwiftR, &c4);
+            assert_eq!(a.counts.total(), 30, "{model}");
+            assert_eq!(a.counts, b.counts, "{model}: thread count changed results");
+        }
     }
 
     #[test]

@@ -16,12 +16,14 @@ use crate::ctrl::RunCtrl;
 use crate::pool;
 use crate::store::ResultStore;
 use sor_ace::{
-    CertPlan, CertSections, CertifiedCoverage, ClassOutcome, DefUseTrace, SectionOutcomes,
+    CertPlan, CertSections, CertifiedCoverage, ClassOutcome, DefUseTrace, GenCertPlan,
+    ModelPlanError, SectionOutcomes,
 };
 use sor_core::Technique;
 use sor_ir::Program;
+use sor_models::FaultModel;
 use sor_regalloc::LowerConfig;
-use sor_sim::{DecodedProg, ExecEngine, FaultSpec, MachineConfig};
+use sor_sim::{DecodedProg, ExecEngine, FaultSpec, GenFault, MachineConfig};
 use sor_stats::OutcomeCounts;
 use sor_workloads::Workload;
 use std::sync::Arc;
@@ -49,6 +51,16 @@ pub struct CertifyConfig {
     /// tests pin this); more sections = finer partial reuse, slightly
     /// more store records.
     pub sections: usize,
+    /// Fault model to certify (see [`FaultModel`]). The default,
+    /// [`FaultModel::SeuReg`], runs the legacy exhaustive pipeline
+    /// bit-identically. Non-default models certify through
+    /// [`sor_ace::GenCertPlan`] — monolithic, scalar, store-bypassing
+    /// (the sectional store format only encodes the SEU plan shape, and a
+    /// wrong reuse would be silent). [`FaultModel::MemBit`] is not
+    /// certifiable (no per-address liveness argument) and panics with
+    /// [`ModelPlanError::NotCertifiable`]'s message; use a sampled
+    /// campaign for it.
+    pub fault_model: FaultModel,
 }
 
 impl Default for CertifyConfig {
@@ -59,6 +71,7 @@ impl Default for CertifyConfig {
             lanes: 1,
             transform: sor_core::TransformConfig::default(),
             sections: 8,
+            fault_model: FaultModel::SeuReg,
         }
     }
 }
@@ -82,6 +95,18 @@ pub fn run_certified_campaign_in(
     cfg: &CertifyConfig,
 ) -> CertifiedCoverage {
     let artifact = store.get(workload, technique, &cfg.transform, &LowerConfig::default());
+    if !cfg.fault_model.is_default() {
+        return certify_program_model(
+            &artifact.program,
+            Some(Arc::clone(&artifact.decoded)),
+            workload.name(),
+            &technique.to_string(),
+            cfg.fault_model,
+            cfg.threads,
+            cfg.checkpoint_interval,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
     certify_program_with(
         &artifact.program,
         Some(Arc::clone(&artifact.decoded)),
@@ -174,6 +199,69 @@ pub fn certify_program_with(
         &class_results,
         golden_recoveries,
     )
+}
+
+/// Certifies one lowered program's full fault space under a non-default
+/// [`FaultModel`], exactly: records the def-use trace, builds the
+/// model-specific [`GenCertPlan`] (per-model unACE arguments — see
+/// `sor_ace::models` and DESIGN.md §16), executes every class effect
+/// across the work-stealing pool, and assembles the exact coverage
+/// report. `Err(ModelPlanError::NotCertifiable)` for models with no sound
+/// pruning argument ([`FaultModel::MemBit`]).
+///
+/// The default model is accepted too (its plan reproduces the legacy
+/// [`CertPlan`] exactly), but [`certify_program_with`] is the pinned
+/// legacy path campaigns should take for it.
+#[allow(clippy::too_many_arguments)]
+pub fn certify_program_model(
+    program: &Program,
+    decoded: Option<Arc<DecodedProg>>,
+    workload: &str,
+    technique: &str,
+    model: FaultModel,
+    threads: usize,
+    checkpoint_interval: u64,
+) -> Result<CertifiedCoverage, ModelPlanError> {
+    let runner = pool::build_runner(program, decoded, checkpoint_interval, ExecEngine::default());
+    let trace = DefUseTrace::record(&runner);
+    let plan = GenCertPlan::build(model, program, &trace)?;
+    let golden_recoveries =
+        runner.golden().probes.vote_repairs + runner.golden().probes.trump_recovers;
+
+    // Classes carry model-specific effect lists of varying length, so the
+    // flattened fault list carries a parallel class-index map instead of
+    // the SEU path's fixed /64 stride.
+    let mut faults: Vec<GenFault> = Vec::new();
+    let mut class_of: Vec<usize> = Vec::new();
+    for (ci, class) in plan.classes.iter().enumerate() {
+        faults.extend(class.faults());
+        class_of.extend(std::iter::repeat_n(ci, class.effects.len()));
+    }
+    let mut class_results: Vec<OutcomeCounts> = pool::inject_gen_faults(
+        &runner,
+        &faults,
+        threads,
+        |acc: &mut Vec<OutcomeCounts>, i, rec, res| {
+            let class = class_of[i];
+            if acc.len() <= class {
+                acc.resize(class + 1, OutcomeCounts::default());
+            }
+            acc[class].record(
+                rec.outcome,
+                res.probes.vote_repairs + res.probes.trump_recovers,
+            );
+        },
+    );
+    class_results.resize(plan.classes.len(), OutcomeCounts::default());
+
+    Ok(plan.assemble(
+        workload,
+        technique,
+        program,
+        &trace,
+        &class_results,
+        golden_recoveries,
+    ))
 }
 
 /// An incrementally assembled certification: the exact coverage report
@@ -307,6 +395,37 @@ pub fn certify_resumable(
     ctrl: Option<&RunCtrl>,
     on_progress: &mut dyn FnMut(&CertifyProgress),
 ) -> CertifyStatus {
+    if !cfg.fault_model.is_default() {
+        // Non-default models certify monolithically and never touch the
+        // store: the sectional record format encodes the SEU plan's class
+        // shape only, and serving a generalized plan from it would be a
+        // silent mismatch. One all-or-nothing "section", no pause grain.
+        let coverage = certify_program_model(
+            program,
+            decoded,
+            workload,
+            technique,
+            cfg.fault_model,
+            cfg.threads,
+            cfg.checkpoint_interval,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        let progress = CertifyProgress {
+            sections_done: 1,
+            sections_total: 1,
+            sections_hit: 0,
+            fresh_injections: coverage.injections_executed,
+            injections_resolved: coverage.injections_executed,
+            counts: coverage.counts,
+        };
+        on_progress(&progress);
+        return CertifyStatus::Done(IncrementalCertification {
+            coverage,
+            sections_total: 1,
+            sections_hit: 0,
+            fresh_injections: progress.fresh_injections,
+        });
+    }
     let runner = pool::build_runner(
         program,
         decoded,
@@ -554,6 +673,93 @@ mod tests {
             let r = certify_program(&program, "memsel", "SWIFT-R", threads, interval);
             assert_eq!(r, reference, "{threads} threads / interval {interval}");
         }
+    }
+
+    /// Model-aware certification through the driver equals brute-force
+    /// injection of the model's whole fault space, bit for bit — PC
+    /// corruption on a register-recovery technique and on the
+    /// control-flow checker it was built to exercise.
+    #[test]
+    fn pc_corruption_certification_equals_brute_force() {
+        for technique in [Technique::SwiftR, Technique::Cfcss] {
+            let program = mem_program(technique);
+            let certified = certify_program_model(
+                &program,
+                None,
+                "memsel",
+                &technique.to_string(),
+                FaultModel::PcCorrupt,
+                2,
+                3,
+            )
+            .unwrap();
+            let runner = Runner::new(&program, &MachineConfig::default());
+            let golden_len = runner.golden().dyn_instrs;
+            let pc_bits = sor_models::SampleCtx::for_program(&program, golden_len).pc_bits();
+            let mut replayer = runner.replayer();
+            let mut counts = OutcomeCounts::default();
+            for at in 0..golden_len {
+                for bit in 0..pc_bits {
+                    let (o, res) = replayer.run_fault_gen(GenFault::new(
+                        at,
+                        sor_sim::FaultEffect::PcXor { mask: 1u64 << bit },
+                    ));
+                    counts.record(o, res.probes.vote_repairs + res.probes.trump_recovers);
+                }
+            }
+            let label = format!("memsel/{technique}");
+            assert_eq!(
+                certified.total_sites,
+                golden_len * pc_bits as u64,
+                "{label}"
+            );
+            assert_eq!(certified.counts, counts, "{label}: histogram diverged");
+        }
+    }
+
+    /// The acceptance-criteria coordinate: `certify --fault-model
+    /// pc-corrupt` on adpcmdec under SWIFT-R and CFCSS produces an exact,
+    /// thread-count-independent certified report, and CFCSS converts PC
+    /// upsets into detections.
+    #[test]
+    fn adpcmdec_pc_corruption_certifies_exactly() {
+        let w = sor_workloads::AdpcmDec {
+            samples: 4,
+            seed: 1,
+        };
+        let store = ArtifactStore::new();
+        for technique in [Technique::SwiftR, Technique::Cfcss] {
+            let cfg = CertifyConfig {
+                threads: 2,
+                fault_model: FaultModel::PcCorrupt,
+                ..CertifyConfig::default()
+            };
+            let r = run_certified_campaign_in(&store, &w, technique, &cfg);
+            assert_eq!(r.workload, "adpcmdec");
+            assert_eq!(r.counts.total(), r.total_sites, "{technique}");
+            assert_eq!(r.dead_sites + r.live_sites, r.total_sites, "{technique}");
+            let single = run_certified_campaign_in(
+                &store,
+                &w,
+                technique,
+                &CertifyConfig { threads: 1, ..cfg },
+            );
+            assert_eq!(r, single, "{technique}: thread count changed the report");
+            if technique == Technique::Cfcss {
+                assert!(r.counts.detected > 0, "CFCSS must detect wild jumps");
+            }
+        }
+    }
+
+    /// MemBit has no sound per-address liveness argument, so certification
+    /// refuses it with actionable guidance instead of guessing.
+    #[test]
+    fn mem_bit_certification_is_rejected_with_guidance() {
+        let program = chain_program(Technique::SwiftR);
+        let err =
+            certify_program_model(&program, None, "chain", "SWIFT-R", FaultModel::MemBit, 1, 0)
+                .unwrap_err();
+        assert!(err.to_string().contains("sampled campaign"), "{err}");
     }
 
     /// End-to-end workload entry point: totals tile the cube, the store

@@ -125,16 +125,29 @@ impl FigureEight {
 
     /// JSON form (one object per cell), mirroring [`to_csv`](Self::to_csv).
     pub fn to_json(&self) -> String {
+        self.to_json_model(sor_models::FaultModel::SeuReg)
+    }
+
+    /// [`to_json`](Self::to_json) with an explicit fault model: each cell
+    /// gains a `"fault_model"` field for non-default models, while the
+    /// default renders byte-identically to the legacy document.
+    pub fn to_json_model(&self, model: sor_models::FaultModel) -> String {
+        let tag = if model.is_default() {
+            String::new()
+        } else {
+            format!("\"fault_model\": \"{}\", ", model.slug())
+        };
         let rows: Vec<String> = self
             .cells
             .iter()
             .map(|c| {
                 format!(
-                    "  {{\"workload\": \"{}\", \"technique\": \"{}\", \"runs\": {}, \
+                    "  {{\"workload\": \"{}\", \"technique\": \"{}\", {}\"runs\": {}, \
                      \"unace_pct\": {:.2}, \"sdc_pct\": {:.2}, \"segv_pct\": {:.2}, \
                      \"recoveries\": {}, \"golden_instrs\": {}}}",
                     c.workload,
                     c.technique,
+                    tag,
                     c.counts.total(),
                     c.counts.pct_unace(),
                     c.counts.pct_sdc(),
@@ -347,11 +360,11 @@ mod tests {
             ..Default::default()
         };
         let fig = FigureEight::run(&tiny_suite(), &cfg);
-        assert_eq!(fig.cells.len(), 2 * 6);
+        assert_eq!(fig.cells.len(), 2 * Technique::FIGURE8.len());
         let text = fig.to_string();
         assert!(text.contains("Average"), "{text}");
         let csv = fig.to_csv();
-        assert!(csv.lines().count() == 13, "{csv}");
+        assert!(csv.lines().count() == 1 + fig.cells.len(), "{csv}");
         let avg = fig.average(Technique::Noft);
         assert_eq!(avg.total(), 50);
         let chart = fig.to_chart();
@@ -383,10 +396,11 @@ mod tests {
         let suite = tiny_suite();
         let store = ArtifactStore::new();
         let fig8 = FigureEight::run_in(&store, &suite, &Technique::FIGURE8, &cfg);
+        let cells = 2 * Technique::FIGURE8.len() as u64;
         assert_eq!(store.hits(), 0);
-        assert_eq!(store.misses(), 2 * 6);
+        assert_eq!(store.misses(), cells);
         let fig9 = FigureNine::run_in(&store, &suite, &PerfConfig::default());
-        assert_eq!(store.hits(), 2 * 6, "every fig9 cell must hit");
+        assert_eq!(store.hits(), cells, "every fig9 cell must hit");
 
         let fresh8 = FigureEight::run(&suite, &cfg);
         let fresh9 = FigureNine::run(&suite, &PerfConfig::default());

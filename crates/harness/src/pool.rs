@@ -23,7 +23,10 @@
 //! tests pin.
 
 use sor_ir::Program;
-use sor_sim::{DecodedProg, ExecEngine, FaultRecord, FaultSpec, MachineConfig, RunResult, Runner};
+use sor_sim::{
+    DecodedProg, ExecEngine, FaultRecord, FaultSpec, GenFault, GenFaultRecord, MachineConfig,
+    RunResult, Runner,
+};
 use sor_stats::OutcomeCounts;
 use sor_triage::VulnerabilityProfile;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -189,5 +192,51 @@ where
             }
         });
     }
+    total
+}
+
+/// [`inject_faults`] over the generalized fault surface: runs every
+/// [`GenFault`] across the same work-stealing worker pool and folds the
+/// provenance-annotated [`GenFaultRecord`]s.
+///
+/// Always executes scalar — the SPMD lane engine only vectorizes the
+/// single-register-bit SEU effect, so non-default fault models take the
+/// scalar fallback regardless of the configured lane width (results are
+/// bit-identical to what a lane path would produce by contract, so the
+/// fallback is an execution-strategy choice, not a semantic one).
+pub(crate) fn inject_gen_faults<A, F>(
+    runner: &Runner<'_>,
+    faults: &[GenFault],
+    threads: usize,
+    fold: F,
+) -> A
+where
+    A: Accumulate,
+    F: Fn(&mut A, usize, &GenFaultRecord, &RunResult) + Sync,
+{
+    let threads = resolve_threads(threads);
+    let fold = &fold;
+    let mut total = A::default();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.max(1).min(faults.len().max(1)) {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut replayer = runner.replayer();
+                let mut acc = A::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&fault) = faults.get(i) else { break };
+                    let (rec, res) = replayer.run_fault_record_gen(fault);
+                    fold(&mut acc, i, &rec, &res);
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            total.absorb(h.join().expect("injection worker panicked"));
+        }
+    });
     total
 }

@@ -9,9 +9,22 @@
 
 use sor_ace::CertifiedCoverage;
 use sor_ir::Program;
+use sor_models::FaultModel;
 use std::fmt::Display;
 
 use crate::triage::TriagedCampaign;
+
+/// The optional `"fault_model"` JSON line: empty under the default model
+/// — keeping every legacy document byte-identical — and one
+/// slug-carrying line for generalized models, so downstream consumers
+/// can never mistake a pc-corrupt sweep for a register-SEU one.
+fn model_tag(model: FaultModel) -> String {
+    if model.is_default() {
+        String::new()
+    } else {
+        format!("  \"fault_model\": \"{}\",\n", model.slug())
+    }
+}
 
 /// Lowercase filename slug for a technique ("TRUMP/SWIFT-R" → "trump-swift-r").
 pub fn technique_slug(technique: impl Display) -> String {
@@ -24,8 +37,15 @@ pub fn technique_slug(technique: impl Display) -> String {
 }
 
 /// Renders a certified-coverage report as the `certified_<slug>.json`
-/// document the `certify` bin writes.
+/// document the `certify` bin writes (default fault model).
 pub fn certified_json(r: &CertifiedCoverage) -> String {
+    certified_json_model(r, FaultModel::SeuReg)
+}
+
+/// [`certified_json`] with an explicit fault model: non-default models
+/// add a `"fault_model"` tag after `"technique"`; the default renders
+/// byte-identically to the legacy document.
+pub fn certified_json_model(r: &CertifiedCoverage, model: FaultModel) -> String {
     let roles: Vec<String> = r
         .roles
         .iter()
@@ -46,7 +66,7 @@ pub fn certified_json(r: &CertifiedCoverage) -> String {
         .collect();
     let c = r.counts;
     format!(
-        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{}\",\n  \
+        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{}\",\n{}  \
          \"golden_instrs\": {},\n  \"total_sites\": {},\n  \
          \"dead_sites\": {},\n  \"live_sites\": {},\n  \"classes\": {},\n  \
          \"injections_executed\": {},\n  \"pruning_factor\": {:.2},\n  \
@@ -56,6 +76,7 @@ pub fn certified_json(r: &CertifiedCoverage) -> String {
          \"roles\": [\n{}\n  ]\n}}\n",
         r.workload,
         r.technique,
+        model_tag(model),
         r.golden_instrs,
         r.total_sites,
         r.dead_sites,
@@ -77,9 +98,21 @@ pub fn certified_json(r: &CertifiedCoverage) -> String {
 }
 
 /// Renders a triaged campaign as the `triage_<slug>.json` document the
-/// `triage` bin writes. `program` supplies the disassembly for each
-/// fault site; `runs` is the configured injection budget.
+/// `triage` bin writes (default fault model). `program` supplies the
+/// disassembly for each fault site; `runs` is the configured injection
+/// budget.
 pub fn triage_json(t: &TriagedCampaign, program: &Program, runs: u64) -> String {
+    triage_json_model(t, program, runs, FaultModel::SeuReg)
+}
+
+/// [`triage_json`] with an explicit fault model; same tagging contract as
+/// [`certified_json_model`].
+pub fn triage_json_model(
+    t: &TriagedCampaign,
+    program: &Program,
+    runs: u64,
+    model: FaultModel,
+) -> String {
     let mut sites = String::new();
     for (i, (pc, s)) in t.profile.top_vulnerable(usize::MAX).into_iter().enumerate() {
         let (lo, hi) = s.counts.sdc_ci95();
@@ -99,13 +132,14 @@ pub fn triage_json(t: &TriagedCampaign, program: &Program, runs: u64) -> String 
     }
     let c = t.result.counts;
     format!(
-        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{}\",\n  \
+        "{{\n  \"workload\": \"{}\",\n  \"technique\": \"{}\",\n{}  \
          \"runs\": {runs},\n  \"golden_instrs\": {},\n  \
          \"counts\": {{\"unace\": {}, \"sdc\": {}, \"segv\": {}, \
          \"detected\": {}, \"hang\": {}, \"recoveries\": {}}},\n  \
          \"sites\": [\n{sites}\n  ]\n}}\n",
         t.result.workload,
         t.result.technique,
+        model_tag(model),
         t.result.golden_instrs,
         c.unace,
         c.sdc,

@@ -138,14 +138,18 @@ mod tests {
         let fig8 = FigureEight::run(&suite, &cfg);
         let fig9 = FigureNine::run(&suite, &PerfConfig::default());
         let h = headline(&fig8, &fig9);
-        assert_eq!(h.rows().len(), 6);
+        assert_eq!(h.rows().len(), Technique::FIGURE8.len());
         let noft = h.row(Technique::Noft).unwrap();
         assert!((noft.norm_time - 1.0).abs() < 1e-9);
         assert!(noft.bad_reduction_pct.abs() < 1e-9);
         let text = h.to_string();
         assert!(text.contains("SWIFT-R"));
         let json = h.to_json();
-        assert_eq!(json.matches("\"technique\"").count(), 6, "{json}");
+        assert_eq!(
+            json.matches("\"technique\"").count(),
+            Technique::FIGURE8.len(),
+            "{json}"
+        );
         assert!(json.contains("\"bad_reduction_pct\""), "{json}");
     }
 }

@@ -54,8 +54,12 @@ use std::sync::{Arc, Mutex};
 
 /// Bump whenever the record layout below changes incompatibly; stores
 /// written under any other version are discarded wholesale (a warning,
-/// then clean recompute).
-pub const STORE_FORMAT_VERSION: u32 = 1;
+/// then clean recompute). Version 2: the fault-model subsystem revised
+/// the section-key config digest (`CERT_SEMANTICS_VERSION` 2 now feeds
+/// the per-model digest), so version-1 records can never match a fresh
+/// key and are dead weight — discarding the file up front keeps the
+/// stale entries from accumulating silently.
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"SORSTORE";
 const HEADER_LEN: u64 = 12;

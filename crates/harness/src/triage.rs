@@ -9,7 +9,7 @@
 //! outcome counts of the profile are identical to the plain campaign's.
 
 use crate::artifact::ArtifactStore;
-use crate::campaign::{draw_faults, CampaignConfig, CampaignResult};
+use crate::campaign::{draw_faults, draw_gen_faults, CampaignConfig, CampaignResult};
 use crate::ctrl::RunCtrl;
 use crate::pool;
 use crate::store::{triage_section_key, ResultStore};
@@ -145,6 +145,34 @@ pub fn run_triaged_campaign_resumable(
     on_progress: &mut dyn FnMut(&TriageProgress),
 ) -> TriageStatus {
     let artifact = artifacts.get(workload, technique, &cfg.transform, &LowerConfig::default());
+    if !cfg.fault_model.is_default() {
+        // Non-default models triage monolithically and bypass the store:
+        // `triage_section_key` digests legacy `FaultSpec` lists, which
+        // cannot represent generalized effects — a silent alias would be
+        // worse than a recompute. One all-or-nothing "section".
+        let (profile, golden_instrs) = inject_profiled(
+            &artifact.program,
+            Some(Arc::clone(&artifact.decoded)),
+            cfg,
+            workload.name(),
+            technique,
+        );
+        let progress = TriageProgress {
+            sections_done: 1,
+            sections_total: 1,
+            sections_hit: 0,
+            fresh_injections: profile.injections(),
+            counts: profile.totals(),
+        };
+        on_progress(&progress);
+        let result = CampaignResult {
+            workload: workload.name().to_string(),
+            technique,
+            counts: profile.totals(),
+            golden_instrs,
+        };
+        return TriageStatus::Done(TriagedCampaign { result, profile });
+    }
     let runner = pool::build_runner(
         &artifact.program,
         Some(Arc::clone(&artifact.decoded)),
@@ -209,6 +237,21 @@ fn inject_profiled(
 ) -> (VulnerabilityProfile, u64) {
     let runner = pool::build_runner(program, decoded, cfg.checkpoint_interval, cfg.engine);
     let golden_len = runner.golden().dyn_instrs;
+    if !cfg.fault_model.is_default() {
+        // Generalized models: model-specific draws, scalar generalized
+        // injection, register attribution only where an effect has a
+        // victim register (see `VulnerabilityProfile::record_gen`).
+        let faults = draw_gen_faults(cfg, wl_name, technique, program, golden_len);
+        let whole: VulnerabilityProfile = pool::inject_gen_faults(
+            &runner,
+            &faults,
+            cfg.threads,
+            |acc: &mut VulnerabilityProfile, _, rec, res| {
+                acc.record_gen(rec, res.probes.vote_repairs + res.probes.trump_recovers);
+            },
+        );
+        return (whole, golden_len);
+    }
     let faults = draw_faults(cfg, wl_name, technique, golden_len);
     // Same shared worker pool as the plain campaign; profile merge is
     // commutative and associative, so the merged profile is independent of
@@ -358,6 +401,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Generalized-model triage aggregates exactly the campaign's counts,
+    /// and the stored entry point degrades to the same monolithic profile
+    /// (the store is SEU-sectional only).
+    #[test]
+    fn generalized_model_triage_matches_its_campaign_counts() {
+        let w = AdpcmDec {
+            samples: 100,
+            seed: 3,
+        };
+        let mut cfg = small_cfg();
+        cfg.runs = 30;
+        cfg.fault_model = sor_models::FaultModel::TransientAlu;
+        let plain = run_campaign(&w, Technique::SwiftR, &cfg);
+        let triaged = run_triaged_campaign(&w, Technique::SwiftR, &cfg);
+        assert_eq!(triaged.result.counts, plain.counts);
+        assert_eq!(triaged.profile.totals(), plain.counts);
+        let store = crate::store::ResultStore::in_memory();
+        let stored = run_triaged_campaign_stored(
+            &ArtifactStore::new(),
+            &store,
+            &w,
+            Technique::SwiftR,
+            &cfg,
+            4,
+        );
+        assert_eq!(stored.profile, triaged.profile);
+        assert!(store.is_empty(), "generalized triage must bypass the store");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use sor_core::Technique;
 use sor_harness::{
     run_campaign, run_certified_campaign, run_triaged_campaign, ArtifactStore, CampaignConfig,
-    CertifyConfig,
+    CertifyConfig, FaultModel, SampleCtx,
 };
 use sor_regalloc::LowerConfig;
 use sor_rng::SmallRng;
@@ -254,6 +254,68 @@ fn lane_certified_campaigns_match_scalar() {
                     "{label}: certified report diverged at {lanes} lanes"
                 );
             }
+        }
+    }
+}
+
+/// The fault-model column of the matrix: every generalized fault model is
+/// pinned decoded == legacy, both per-fault (full provenance records plus
+/// raw results over model-sampled batteries) and per-campaign (identical
+/// histograms under identical seeds). A lanes sub-column rides along:
+/// campaigns requesting lane batching under a non-default model take the
+/// scalar-fallback path and must still be bit-identical to an explicitly
+/// scalar campaign.
+#[test]
+fn generalized_fault_models_match_across_engines_and_lanes() {
+    let store = ArtifactStore::new();
+    let w = AdpcmDec {
+        samples: 60,
+        seed: 7,
+    };
+    for technique in [Technique::SwiftR, Technique::Cfcss] {
+        let artifact = store.get(&w, technique, &Default::default(), &LowerConfig::default());
+        let decoded = Runner::with_decoded(
+            &artifact.program,
+            &engine_cfg(ExecEngine::Decoded, 7),
+            Some(Arc::clone(&artifact.decoded)),
+        );
+        let legacy = Runner::new(&artifact.program, &engine_cfg(ExecEngine::Legacy, 7));
+        let golden_len = legacy.golden().dyn_instrs;
+        let ctx = SampleCtx::for_program(&artifact.program, golden_len);
+        for model in FaultModel::ALL {
+            let label = format!("{}/{technique}/{model}", w.name());
+            let mut rng = SmallRng::seed_from_u64(0x40DE1 ^ golden_len);
+            let mut d_replayer = decoded.replayer();
+            let mut l_replayer = legacy.replayer();
+            for _ in 0..12 {
+                let fault = model.sample(&mut rng, &ctx);
+                let (d_rec, d_res) = d_replayer.run_fault_record_gen(fault);
+                let (l_rec, l_res) = l_replayer.run_fault_record_gen(fault);
+                assert_eq!(d_rec, l_rec, "{label}: record diverged across engines");
+                assert_eq!(d_res, l_res, "{label}: result diverged across engines");
+            }
+
+            let cfg = |engine, lanes| CampaignConfig {
+                runs: 32,
+                seed: 11,
+                threads: 2,
+                lanes,
+                engine,
+                fault_model: model,
+                ..Default::default()
+            };
+            let d = run_campaign(&w, technique, &cfg(ExecEngine::Decoded, 1));
+            let l = run_campaign(&w, technique, &cfg(ExecEngine::Legacy, 1));
+            assert_eq!(
+                d.counts, l.counts,
+                "{label}: histogram diverged across engines"
+            );
+            assert_eq!(d.golden_instrs, l.golden_instrs, "{label}");
+            let laned = run_campaign(&w, technique, &cfg(ExecEngine::Decoded, 8));
+            assert_eq!(
+                laned.counts, d.counts,
+                "{label}: lane-requested campaign diverged from scalar"
+            );
         }
     }
 }

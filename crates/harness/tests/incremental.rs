@@ -207,6 +207,57 @@ fn damaged_disk_store_recovers_with_identical_results() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Back-compat with stores written before the fault-model subsystem:
+/// those files carry format version 1 (their section keys were built
+/// from the pre-`CERT_SEMANTICS_VERSION`-2 config digest, so no record
+/// in them can ever legally match a current key). A version-1 file must
+/// be detected as stale on open, discarded with a warning, and the
+/// recompute must be bit-identical to a cold run — never a silent
+/// partial reuse.
+#[test]
+fn pre_fault_model_store_is_detected_stale_and_recomputed_identically() {
+    assert_eq!(
+        sor_harness::STORE_FORMAT_VERSION,
+        2,
+        "this test emulates a version-1 store; revisit it on the next bump"
+    );
+    let technique = Technique::SwiftR;
+    let program = mem_program(technique);
+    let reference = certify_program(&program, "memsel", "SWIFT-R", 2, 3);
+    let dir = temp_dir("precompat");
+
+    // Prime a healthy store, then rewrite its header version to 1 — the
+    // byte layout is otherwise unchanged, which is exactly the dangerous
+    // case: every record would parse, but under obsolete key semantics.
+    {
+        let store = ResultStore::open(&dir);
+        certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+    }
+    let path = dir.join("sections.bin");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = ResultStore::open(&dir);
+    assert!(
+        store.warnings() > 0,
+        "a pre-fault-model store must surface a staleness warning"
+    );
+    let r = certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+    assert_eq!(r.sections_hit, 0, "stale records must never serve hits");
+    assert!(r.fresh_injections > 0, "everything recomputes");
+    assert_eq!(r.coverage, reference, "recompute diverged from cold");
+
+    // The recompute rebuilt the store at the current version: warm again.
+    drop(store);
+    let store = ResultStore::open(&dir);
+    assert_eq!(store.warnings(), 0, "rebuilt store must be healthy");
+    let warm = certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+    assert_eq!(warm.coverage, reference);
+    assert_eq!(warm.fresh_injections, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The stored triage path composes section profiles bit-identically to
 /// the monolithic triaged campaign, and a warm re-run serves every
 /// section from the store.

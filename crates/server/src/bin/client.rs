@@ -10,9 +10,11 @@
 //! `health`.
 //!
 //! Submission flags: `--kind certify|triage|campaign`, `--technique T`
-//! (any spelling: `swiftr`, `swift-r`, `TRUMP/SWIFT-R`), `--workload W`,
-//! `--samples N`, `--runs N`, `--seed N`, `--sections N`, `--threads N`,
-//! `--lanes N`, `--workloads a,b,c` (campaign suite), `--pause-after N`.
+//! (any spelling: `swiftr`, `swift-r`, `TRUMP/SWIFT-R`), `--fault-model M`
+//! (`seu-reg` default, `pc-corrupt`, `mem-bit`, `multi-bit`,
+//! `transient-alu`), `--workload W`, `--samples N`, `--runs N`,
+//! `--seed N`, `--sections N`, `--threads N`, `--lanes N`,
+//! `--workloads a,b,c` (campaign suite), `--pause-after N`.
 
 use sor_server::{Client, Json};
 
@@ -32,7 +34,11 @@ fn fail(msg: &str) -> ! {
 fn spec_from_args() -> String {
     let kind = arg_value("--kind").unwrap_or_else(|| "certify".to_string());
     let mut fields = vec![format!("\"kind\": \"{kind}\"")];
-    for (flag, key) in [("--technique", "technique"), ("--workload", "workload")] {
+    for (flag, key) in [
+        ("--technique", "technique"),
+        ("--workload", "workload"),
+        ("--fault-model", "fault_model"),
+    ] {
         if let Some(v) = arg_value(flag) {
             fields.push(format!("\"{key}\": \"{v}\""));
         }

@@ -13,9 +13,9 @@ use crate::jobs::{JobKind, JobSpec, JobState, Progress};
 use crate::server::ServerState;
 use sor_core::Technique;
 use sor_harness::{
-    certified_json, certify_resumable, run_campaign_in, run_triaged_campaign_resumable,
-    technique_slug, triage_json, CampaignConfig, CampaignResult, CertifyConfig, CertifyStatus,
-    FigureEight, RunCtrl, TriageStatus,
+    certified_json_model, certify_resumable, run_campaign_in, run_triaged_campaign_resumable,
+    technique_slug, triage_json_model, CampaignConfig, CampaignResult, CertifyConfig,
+    CertifyStatus, FaultModel, FigureEight, RunCtrl, TriageStatus,
 };
 use sor_regalloc::LowerConfig;
 use sor_workloads::{all_workloads, AdpcmDec, Workload};
@@ -157,6 +157,7 @@ fn exec_certify(
         threads: spec.threads,
         lanes: spec.lanes,
         sections: spec.sections,
+        fault_model: spec.fault_model,
         ..CertifyConfig::default()
     };
     let artifact = state.artifacts.get(
@@ -191,10 +192,24 @@ fn exec_certify(
     );
     match status {
         CertifyStatus::Done(inc) => Ok(Outcome::Done {
-            name: format!("certified_{}.json", technique_slug(spec.technique)),
-            bytes: certified_json(&inc.coverage),
+            name: format!(
+                "certified_{}{}.json",
+                model_prefix(spec.fault_model),
+                technique_slug(spec.technique)
+            ),
+            bytes: certified_json_model(&inc.coverage, spec.fault_model),
         }),
         CertifyStatus::Paused(_) => Ok(Outcome::Paused),
+    }
+}
+
+/// Artifact-name infix distinguishing generalized-model results from the
+/// legacy (default-model) ones, which keep their original filenames.
+fn model_prefix(model: FaultModel) -> String {
+    if model.is_default() {
+        String::new()
+    } else {
+        format!("{}_", model.slug())
     }
 }
 
@@ -210,6 +225,7 @@ fn exec_triage(
         seed: spec.seed,
         threads: spec.threads,
         lanes: spec.lanes,
+        fault_model: spec.fault_model,
         ..CampaignConfig::default()
     };
     let status = run_triaged_campaign_resumable(
@@ -245,8 +261,12 @@ fn exec_triage(
                 &LowerConfig::default(),
             );
             Ok(Outcome::Done {
-                name: format!("triage_{}.json", technique_slug(spec.technique)),
-                bytes: triage_json(&t, &artifact.program, spec.runs),
+                name: format!(
+                    "triage_{}{}.json",
+                    model_prefix(spec.fault_model),
+                    technique_slug(spec.technique)
+                ),
+                bytes: triage_json_model(&t, &artifact.program, spec.runs, spec.fault_model),
             })
         }
         TriageStatus::Paused(_) => Ok(Outcome::Paused),
@@ -273,6 +293,7 @@ fn exec_campaign(
         seed: spec.seed,
         threads: spec.threads,
         lanes: spec.lanes,
+        fault_model: spec.fault_model,
         ..CampaignConfig::default()
     };
     let total = (suite.len() * techniques.len()) as u64;
@@ -325,8 +346,13 @@ fn exec_campaign(
         workloads: suite.iter().map(|w| w.name().to_string()).collect(),
         techniques: techniques.to_vec(),
     };
+    let name = if spec.fault_model.is_default() {
+        "fig8.json".to_string()
+    } else {
+        format!("fig8_{}.json", spec.fault_model.slug())
+    };
     Ok(Outcome::Done {
-        name: "fig8.json".to_string(),
-        bytes: fig.to_json(),
+        name,
+        bytes: fig.to_json_model(spec.fault_model),
     })
 }

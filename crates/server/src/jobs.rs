@@ -12,7 +12,7 @@
 
 use crate::json::{escape, Json};
 use sor_core::Technique;
-use sor_harness::{CampaignResult, OutcomeCounts, RunCtrl};
+use sor_harness::{CampaignResult, FaultModel, OutcomeCounts, RunCtrl};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -105,6 +105,9 @@ pub fn parse_technique(s: &str) -> Option<Technique> {
         "trumpswiftr" => Some(Technique::TrumpSwiftR),
         "swiftr" => Some(Technique::SwiftR),
         "swift" => Some(Technique::Swift),
+        "cfcss" => Some(Technique::Cfcss),
+        "ceda" => Some(Technique::Ceda),
+        "swiftrcfcss" => Some(Technique::SwiftRCfcss),
         _ => None,
     }
 }
@@ -116,6 +119,10 @@ pub struct JobSpec {
     pub kind: JobKind,
     /// Technique for certify/triage jobs.
     pub technique: Technique,
+    /// Fault model every injection in the job draws from. The default
+    /// (`seu-reg`) keeps the job byte-identical to the legacy service;
+    /// generalized models execute monolithically (no store reuse).
+    pub fault_model: FaultModel,
     /// Workload name for certify/triage jobs.
     pub workload: String,
     /// `adpcmdec` sample count (other kernels run at their defaults).
@@ -155,6 +162,10 @@ impl JobSpec {
             Some(t) => parse_technique(t).ok_or_else(|| format!("unknown technique {t:?}"))?,
             None => Technique::SwiftR,
         };
+        let fault_model = match v.get("fault_model").and_then(Json::as_str) {
+            Some(m) => FaultModel::parse(m).ok_or_else(|| format!("unknown fault_model {m:?}"))?,
+            None => FaultModel::SeuReg,
+        };
         let u64_field = |key: &str, default: u64| -> Result<u64, String> {
             match v.get(key) {
                 None => Ok(default),
@@ -188,6 +199,7 @@ impl JobSpec {
         Ok(JobSpec {
             kind,
             technique,
+            fault_model,
             workload: v
                 .get("workload")
                 .and_then(Json::as_str)
@@ -304,7 +316,8 @@ impl Job {
         let (ci_lo, ci_hi) = p.counts.sdc_ci95();
         format!(
             "{{\"id\": {}, \"kind\": \"{}\", \"state\": \"{}\", \
-             \"technique\": \"{}\", \"workload\": \"{}\", \"samples\": {}, \
+             \"technique\": \"{}\", \"fault_model\": \"{}\", \
+             \"workload\": \"{}\", \"samples\": {}, \
              \"wseed\": {}, \"runs\": {}, \"seed\": {}, \"sections\": {}, \
              \"threads\": {}, \"lanes\": {}, \"workloads\": [{}], \
              \"pause_after\": {}, \"section_delay_ms\": {}, \
@@ -316,6 +329,7 @@ impl Job {
             s.kind.as_str(),
             self.state.as_str(),
             s.technique,
+            s.fault_model.slug(),
             escape(&s.workload),
             s.samples,
             s.wseed,
@@ -514,6 +528,7 @@ mod tests {
         JobSpec {
             kind,
             technique: Technique::TrumpSwiftR,
+            fault_model: FaultModel::MemBit,
             workload: "adpcmdec".to_string(),
             samples: 8,
             wseed: 1,
@@ -580,6 +595,7 @@ mod tests {
         let job = reg.job(a).unwrap();
         assert_eq!(job.state, JobState::Paused, "interrupted running job");
         assert_eq!(job.spec.technique, Technique::TrumpSwiftR);
+        assert_eq!(job.spec.fault_model, FaultModel::MemBit);
         // pause_after is dropped on crash recovery so a resume runs to
         // completion instead of instantly re-pausing on the probe.
         assert_eq!(job.spec.pause_after, None);
@@ -601,16 +617,22 @@ mod tests {
     fn spec_parsing_validates_fields() {
         let ok = Json::parse(
             r#"{"kind": "triage", "technique": "trump-swift-r", "runs": 99,
-                "workloads": ["mcf"], "pause_after": 3}"#,
+                "workloads": ["mcf"], "pause_after": 3,
+                "fault_model": "pc_corrupt"}"#,
         )
         .unwrap();
         let s = JobSpec::from_json(&ok).unwrap();
         assert_eq!(s.kind, JobKind::Triage);
         assert_eq!(s.technique, Technique::TrumpSwiftR);
+        assert_eq!(s.fault_model, FaultModel::PcCorrupt);
         assert_eq!(s.runs, 99);
         assert_eq!(s.workloads, vec!["mcf".to_string()]);
         assert_eq!(s.pause_after, Some(3));
         assert_eq!(s.samples, 40, "default");
+        let bare = Json::parse(r#"{"kind": "certify", "technique": "cfcss"}"#).unwrap();
+        let bare = JobSpec::from_json(&bare).unwrap();
+        assert_eq!(bare.technique, Technique::Cfcss);
+        assert_eq!(bare.fault_model, FaultModel::SeuReg, "default model");
 
         for bad in [
             r#"{}"#,
@@ -618,6 +640,7 @@ mod tests {
             r#"{"kind": "certify", "technique": "rot13"}"#,
             r#"{"kind": "certify", "samples": -3}"#,
             r#"{"kind": "campaign", "workloads": [7]}"#,
+            r#"{"kind": "certify", "fault_model": "cosmic-ray"}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(JobSpec::from_json(&v).is_err(), "accepted {bad}");

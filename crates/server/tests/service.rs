@@ -11,8 +11,9 @@
 
 use sor_core::Technique;
 use sor_harness::{
-    certified_json, run_certified_campaign_in, run_triaged_campaign_in, triage_json, ArtifactStore,
-    CampaignConfig, CertifyConfig, FigureEight,
+    certified_json, certified_json_model, certify_program_model, run_certified_campaign_in,
+    run_triaged_campaign_in, triage_json, ArtifactStore, CampaignConfig, CertifyConfig, FaultModel,
+    FigureEight,
 };
 use sor_regalloc::LowerConfig;
 use sor_server::{Client, Json, Server, ServerConfig};
@@ -84,6 +85,62 @@ fn certify_job_bytes_match_the_batch_bin() {
 
     let bytes = client.result_bytes(id).expect("result");
     assert_eq!(bytes, certify_oracle(6, 4, Technique::SwiftR));
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pc_corrupt_certify_job_matches_the_harness_oracle() {
+    let dir = temp_dir("pc-corrupt");
+    let (handle, client) = spawn(&dir);
+
+    let id = client
+        .submit(r#"{"kind": "certify", "technique": "swift-r", "fault_model": "pc-corrupt", "samples": 4, "threads": 2}"#)
+        .expect("submit");
+    let job = client.wait(id, &["done"]).expect("wait");
+    assert_eq!(
+        job.get("state").and_then(Json::as_str),
+        Some("done"),
+        "{job:?}"
+    );
+    assert_eq!(
+        job.get("fault_model").and_then(Json::as_str),
+        Some("pc-corrupt"),
+        "job document carries the model"
+    );
+    // Generalized-model artifacts get a model-slug infix so they never
+    // clobber a default-model result for the same technique.
+    assert_eq!(
+        job.get("artifact").and_then(Json::as_str),
+        Some("certified_pc-corrupt_swift-r.json")
+    );
+
+    let workload = AdpcmDec {
+        samples: 4,
+        seed: 1,
+    };
+    let cfg = CertifyConfig::default();
+    let store = ArtifactStore::new();
+    let artifact = store.get(
+        &workload,
+        Technique::SwiftR,
+        &cfg.transform,
+        &LowerConfig::default(),
+    );
+    let coverage = certify_program_model(
+        &artifact.program,
+        Some(std::sync::Arc::clone(&artifact.decoded)),
+        "adpcmdec",
+        "SWIFT-R",
+        FaultModel::PcCorrupt,
+        2,
+        cfg.checkpoint_interval,
+    )
+    .expect("pc-corrupt plan");
+    let oracle = certified_json_model(&coverage, FaultModel::PcCorrupt);
+    assert_eq!(client.result_bytes(id).expect("result"), oracle);
 
     handle.shutdown();
     handle.join();
@@ -305,8 +362,11 @@ fn campaign_job_bytes_match_the_fig8_bin() {
         job.get("artifact").and_then(Json::as_str),
         Some("fig8.json")
     );
-    // 1 workload x 6 techniques.
-    assert_eq!(progress_field(&job, "done"), 6);
+    // 1 workload x the full Figure-8 technique set.
+    assert_eq!(
+        progress_field(&job, "done"),
+        Technique::FIGURE8.len() as u64
+    );
 
     let suite: Vec<Box<dyn Workload>> = vec![Box::new(AdpcmDec {
         samples: 6,

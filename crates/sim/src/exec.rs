@@ -28,7 +28,7 @@
 //! effectively splits at any slot an observer is due.
 
 use crate::decode::{DArg, DLoc, DecodedProg, Ext, Src, UOp};
-use crate::fault::FaultSpec;
+use crate::fault::{FaultEffect, FaultSpec, GenFault};
 use crate::machine::{Frame, Machine, ProbeCounts, RunResult, RunStatus, Val, MAX_FRAMES, SP_IDX};
 use crate::trace::TraceSink;
 use crate::Checkpoint;
@@ -72,6 +72,91 @@ impl Machine<'_> {
             }
         };
         self.take_result(status)
+    }
+
+    /// Decoded-engine counterpart of [`Machine::run_mut_gen`], pinned
+    /// bit-identical to it for every [`FaultEffect`] (and, for
+    /// `RegXor { mask: 1 << bit }`, to the legacy [`FaultSpec`] path on
+    /// both engines).
+    pub(crate) fn run_mut_gen_decoded(
+        &mut self,
+        d: &DecodedProg,
+        fault: Option<GenFault>,
+    ) -> RunResult {
+        let status = loop {
+            if self.dyn_count >= self.fuel {
+                break RunStatus::OutOfFuel;
+            }
+            let mut budget = self.fuel - self.dyn_count;
+            if let Some(f) = fault {
+                if !self.injected {
+                    if self.dyn_count == f.at_instr {
+                        self.injected = true;
+                        self.fault_pc = Some(self.pc);
+                        match f.effect {
+                            FaultEffect::RegXor { reg, mask } => {
+                                self.iregs[reg as usize] ^= mask;
+                            }
+                            FaultEffect::PcXor { mask } => {
+                                let target = self.pc ^ mask as usize;
+                                if target >= d.uops.len() {
+                                    break RunStatus::Segv; // wild fetch
+                                }
+                                self.pc = target;
+                            }
+                            FaultEffect::MemXor { addr, bit } => {
+                                if let Ok(byte) = self.mem.read(addr, 1) {
+                                    let _ = self.mem.write(addr, 1, byte ^ (1u64 << bit));
+                                }
+                            }
+                            FaultEffect::AluXor { mask } => {
+                                // The slot's counted instruction needs
+                                // single-step execution to latch the
+                                // corrupted result.
+                                match self.exec_alu_slot(d, mask) {
+                                    None => continue,
+                                    Some(s) => break s,
+                                }
+                            }
+                        }
+                    } else if f.at_instr > self.dyn_count {
+                        budget = budget.min(f.at_instr - self.dyn_count);
+                    }
+                }
+            }
+            match self.exec_span(d, budget) {
+                SpanExit::Budget => continue,
+                SpanExit::Done(s) => break s,
+            }
+        };
+        self.take_result(status)
+    }
+
+    /// Executes exactly the current slot's counted instruction (burning
+    /// any preceding free probes), then XORs `mask` — truncated to the
+    /// operation width — into the destination if that instruction was an
+    /// ALU op that committed. Returns the terminal status if the program
+    /// ended at this slot. Mirrors the legacy `run_mut_gen` AluXor arm.
+    fn exec_alu_slot(&mut self, d: &DecodedProg, mask: u64) -> Option<RunStatus> {
+        while let UOp::Probe(e) = &d.uops[self.pc] {
+            bump_probe(&mut self.probes, *e);
+            self.pc += 1;
+        }
+        let target = match &d.uops[self.pc] {
+            UOp::Alu64 { dst, .. } => Some((Width::W64, *dst)),
+            UOp::Alu32 { dst, .. } => Some((Width::W32, *dst)),
+            _ => None, // the transient latched into no ALU result
+        };
+        match self.exec_span(d, 1) {
+            SpanExit::Budget => {
+                if let Some((w, dst)) = target {
+                    let v = self.ireg(dst) ^ crate::alu::trunc(w, mask);
+                    self.set_ireg(dst, v);
+                }
+                None
+            }
+            SpanExit::Done(s) => Some(s),
+        }
     }
 
     /// Decoded-engine counterpart of

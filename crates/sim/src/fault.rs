@@ -88,6 +88,143 @@ impl fmt::Display for FaultSpec {
     }
 }
 
+/// The architectural effect of one transient fault, generalizing the
+/// register-SEU of [`FaultSpec`] to the fault models of `sor-models`.
+///
+/// Every effect is applied exactly once, at one dynamic instruction slot,
+/// and is defined so that `RegXor { reg, mask: 1 << bit }` is *bit-identical*
+/// to the legacy [`FaultSpec`] injection path — same injection point, same
+/// architectural state transition, same `fault_pc` attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultEffect {
+    /// XOR `mask` into integer register `reg` immediately before the slot
+    /// executes. `mask == 1 << bit` is the classic SEU; wider masks model
+    /// multi-bit upsets (adjacent-bit bursts).
+    RegXor {
+        /// Integer register file index, `0..32`, never the SP.
+        reg: u8,
+        /// Bits to flip (nonzero).
+        mask: u64,
+    },
+    /// XOR `mask` into the program counter immediately before the slot
+    /// executes: the fetch/branch-target corruption model. A corrupted PC
+    /// outside the program image terminates the run as a SEGV.
+    PcXor {
+        /// Bits to flip in the instruction index (nonzero).
+        mask: u64,
+    },
+    /// Flip `bit` of the data-memory byte at `addr` immediately before the
+    /// slot executes. A flip in an unmapped page has no architectural
+    /// effect (the particle struck unallocated silicon) but still counts
+    /// as fired.
+    MemXor {
+        /// Absolute byte address in the machine's memory map.
+        addr: u64,
+        /// Bit position within the byte, `0..8`.
+        bit: u8,
+    },
+    /// Corrupt the *result* of the ALU operation executed at the slot by
+    /// XORing `mask` into it after it commits (a single-event transient in
+    /// the datapath). If the slot's instruction is not an ALU operation —
+    /// or the op faults before committing — the transient is latched by
+    /// nothing and has no architectural effect. 32-bit ops truncate the
+    /// mask to their width (high-bit transients are physically masked).
+    AluXor {
+        /// Bits to flip in the committed result (nonzero).
+        mask: u64,
+    },
+}
+
+impl fmt::Display for FaultEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEffect::RegXor { reg, mask } => write!(f, "xor r{reg} with {mask:#x}"),
+            FaultEffect::PcXor { mask } => write!(f, "xor pc with {mask:#x}"),
+            FaultEffect::MemXor { addr, bit } => write!(f, "flip mem[{addr:#x}] bit {bit}"),
+            FaultEffect::AluXor { mask } => write!(f, "xor alu result with {mask:#x}"),
+        }
+    }
+}
+
+impl FaultEffect {
+    /// The integer register the effect targets directly, if any — used by
+    /// triage to attribute outcomes to registers.
+    pub fn target_reg(&self) -> Option<u8> {
+        match self {
+            FaultEffect::RegXor { reg, .. } => Some(*reg),
+            _ => None,
+        }
+    }
+}
+
+/// One transient fault under a generalized model: apply `effect` at
+/// dynamic instruction `at_instr`. `GenFault::from_spec` embeds the legacy
+/// SEU model exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GenFault {
+    /// Dynamic instruction index (0-based) at which the effect applies.
+    pub at_instr: u64,
+    /// What the fault does to the architectural state.
+    pub effect: FaultEffect,
+}
+
+impl GenFault {
+    /// Creates a generalized fault, validating the effect's target.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range or SP register, an out-of-range bit, or a
+    /// zero XOR mask (a no-op "fault" would silently skew campaign
+    /// statistics).
+    pub fn new(at_instr: u64, effect: FaultEffect) -> Self {
+        match effect {
+            FaultEffect::RegXor { reg, mask } => {
+                assert!((reg as usize) < NUM_IREGS, "register {reg} out of range");
+                assert_ne!(reg, SP.index(), "the stack pointer is never injected");
+                assert_ne!(mask, 0, "empty register mask");
+            }
+            FaultEffect::PcXor { mask } => assert_ne!(mask, 0, "empty pc mask"),
+            FaultEffect::MemXor { bit, .. } => assert!(bit < 8, "byte bit {bit} out of range"),
+            FaultEffect::AluXor { mask } => assert_ne!(mask, 0, "empty alu mask"),
+        }
+        GenFault { at_instr, effect }
+    }
+
+    /// The generalized form of a legacy SEU spec (bit-identical injection).
+    pub fn from_spec(spec: FaultSpec) -> Self {
+        GenFault {
+            at_instr: spec.at_instr,
+            effect: FaultEffect::RegXor {
+                reg: spec.reg,
+                mask: 1u64 << spec.bit,
+            },
+        }
+    }
+
+    /// The legacy spec this fault corresponds to, if it is a single-bit
+    /// register SEU.
+    pub fn as_spec(&self) -> Option<FaultSpec> {
+        match self.effect {
+            FaultEffect::RegXor { reg, mask } if mask.count_ones() == 1 => Some(FaultSpec::new(
+                self.at_instr,
+                reg,
+                mask.trailing_zeros() as u8,
+            )),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GenFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} before dynamic instruction {}",
+            self.effect, self.at_instr
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +278,45 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bit_64_is_rejected() {
         let _ = FaultSpec::new(0, 2, 64);
+    }
+
+    #[test]
+    fn gen_fault_round_trips_the_legacy_spec() {
+        let spec = FaultSpec::new(17, 5, 63);
+        let gen = GenFault::from_spec(spec);
+        assert_eq!(gen.at_instr, 17);
+        assert_eq!(
+            gen.effect,
+            FaultEffect::RegXor {
+                reg: 5,
+                mask: 1u64 << 63
+            }
+        );
+        assert_eq!(gen.as_spec(), Some(spec));
+        // Multi-bit masks are not legacy specs.
+        let multi = GenFault::new(0, FaultEffect::RegXor { reg: 5, mask: 0b11 });
+        assert_eq!(multi.as_spec(), None);
+        assert_eq!(
+            GenFault::new(0, FaultEffect::PcXor { mask: 4 }).as_spec(),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stack pointer")]
+    fn gen_fault_rejects_sp() {
+        let _ = GenFault::new(
+            0,
+            FaultEffect::RegXor {
+                reg: SP.index(),
+                mask: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn gen_fault_rejects_empty_mask() {
+        let _ = GenFault::new(0, FaultEffect::AluXor { mask: 0 });
     }
 }

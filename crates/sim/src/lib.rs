@@ -11,6 +11,11 @@
 //! * [`FaultSpec`] — one bit-flip in one integer register before one dynamic
 //!   instruction, the paper's §7.1 fault model. The stack pointer is never
 //!   targeted (the paper excluded SP and TOC).
+//! * [`GenFault`] / [`FaultEffect`] — the generalized fault surface behind
+//!   the `sor-models` fault-model subsystem: register XOR bursts, PC
+//!   corruption, data-memory bit flips and transient-ALU (SET) result
+//!   corruption, each pinned bit-identical across both execution engines
+//!   and exactly equal to the legacy path for single-bit register upsets.
 //! * [`DecodedProg`] / [`ExecEngine`] — the predecoded micro-op engine:
 //!   programs are translated once into fully-resolved micro-ops grouped
 //!   into straight-line superblocks, and the hot loop becomes a dense
@@ -59,11 +64,11 @@ mod trace;
 pub use cache::{Cache, CacheConfig};
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use decode::DecodedProg;
-pub use fault::{FaultSpec, INJECTABLE_REGS};
+pub use fault::{FaultEffect, FaultSpec, GenFault, INJECTABLE_REGS};
 pub use lanes::LaneReplayer;
 pub use machine::{ExecEngine, Machine, MachineConfig, ProbeCounts, RunResult, RunStatus};
 pub use mem::{MemError, Memory, PageSnapshot, PAGE_SIZE};
 pub use outcome::{classify, Outcome};
-pub use runner::{FaultRecord, Replayer, Runner};
+pub use runner::{FaultRecord, GenFaultRecord, Replayer, Runner};
 pub use timing::{Latencies, Timing, TimingConfig};
 pub use trace::TraceSink;

@@ -1,10 +1,10 @@
 //! The functional machine: executes program images instruction by
 //! instruction, optionally injecting one SEU and/or driving the timing model.
 
-use crate::alu::{alu_eval, cmp_eval, sign_extend};
+use crate::alu::{alu_eval, cmp_eval, sign_extend, trunc};
 use crate::checkpoint::Checkpoint;
 use crate::decode::DecodedProg;
-use crate::fault::FaultSpec;
+use crate::fault::{FaultEffect, FaultSpec, GenFault};
 use crate::mem::Memory;
 use crate::timing::{Timing, TimingConfig};
 use crate::trace::TraceSink;
@@ -296,6 +296,85 @@ impl<'p> Machine<'p> {
             }
             match self.step() {
                 Step::Next => self.pc += 1,
+                Step::Goto(t) => self.pc = t,
+                Step::Done(s) => break s,
+            }
+        };
+        self.take_result(status)
+    }
+
+    /// Runs to termination under a generalized fault model (see
+    /// [`GenFault`]). `RegXor { reg, mask: 1 << bit }` is pinned
+    /// bit-identical to [`Machine::run_mut`] with the equivalent
+    /// [`FaultSpec`]: same injection point, same `fault_pc`, same
+    /// architectural trajectory.
+    ///
+    /// Effect semantics at the armed slot (the first top-of-loop check
+    /// with that dynamic count — a probe's pc when probes precede the
+    /// counted instruction, exactly like the legacy model and the trace's
+    /// `check_pc`):
+    ///
+    /// * `RegXor` — flip the masked bits of the register before the slot.
+    /// * `PcXor` — corrupt the pc before fetch; a target outside the
+    ///   program image ends the run as a SEGV (wild fetch).
+    /// * `MemXor` — flip one bit of one mapped memory byte; unmapped
+    ///   addresses fire with no architectural effect.
+    /// * `AluXor` — corrupt the *result* of the slot's counted instruction
+    ///   when it is an ALU op (truncated to its width); non-ALU slots and
+    ///   pre-commit faults (division) latch nothing.
+    pub fn run_mut_gen(&mut self, fault: Option<GenFault>) -> RunResult {
+        if let Some(d) = &self.decoded {
+            let d = Arc::clone(d);
+            return self.run_mut_gen_decoded(&d, fault);
+        }
+        // An armed AluXor mask waiting for the slot's counted instruction.
+        let mut alu_pending: Option<u64> = None;
+        let status = loop {
+            if self.dyn_count >= self.fuel {
+                break RunStatus::OutOfFuel;
+            }
+            if let Some(f) = fault {
+                if !self.injected && self.dyn_count == f.at_instr {
+                    self.injected = true;
+                    self.fault_pc = Some(self.pc);
+                    match f.effect {
+                        FaultEffect::RegXor { reg, mask } => self.iregs[reg as usize] ^= mask,
+                        FaultEffect::PcXor { mask } => {
+                            let target = self.pc ^ mask as usize;
+                            if target >= self.prog.insts.len() {
+                                break RunStatus::Segv; // fetch outside the image
+                            }
+                            self.pc = target;
+                        }
+                        FaultEffect::MemXor { addr, bit } => {
+                            if let Ok(byte) = self.mem.read(addr, 1) {
+                                let _ = self.mem.write(addr, 1, byte ^ (1u64 << bit));
+                            }
+                        }
+                        FaultEffect::AluXor { mask } => alu_pending = Some(mask),
+                    }
+                }
+            }
+            // The counted instruction of an AluXor slot: probes at the same
+            // slot step normally first (they are free and uncounted).
+            let alu_target =
+                if alu_pending.is_some() && !matches!(self.prog.insts[self.pc], PInst::Probe(_)) {
+                    let mask = alu_pending.take().expect("checked above");
+                    match self.prog.insts[self.pc] {
+                        PInst::Alu { width, dst, .. } => Some((mask, width, dst)),
+                        _ => None, // the transient latched into no ALU result
+                    }
+                } else {
+                    None
+                };
+            match self.step() {
+                Step::Next => {
+                    if let Some((mask, width, dst)) = alu_target {
+                        let m = trunc(width, mask);
+                        self.iregs[dst.index() as usize] ^= m;
+                    }
+                    self.pc += 1;
+                }
                 Step::Goto(t) => self.pc = t,
                 Step::Done(s) => break s,
             }

@@ -3,9 +3,12 @@
 //! Three mapped regions (see [`sor_ir::layout`]): the global/heap segment,
 //! the downward-growing stack, and the output MMIO page (handled by the
 //! machine, not here). Everything else — notably the entire low null-guard
-//! region and the vast gaps between segments — faults. Memory contents are
-//! assumed ECC-protected (the paper's assumption), so faults are only ever
-//! injected into registers; memory simply stores bytes.
+//! region and the vast gaps between segments — faults. Under the paper's
+//! §7.1 model memory contents are assumed ECC-protected, so register
+//! upsets were the only injected faults; the `mem-bit` fault model of
+//! `sor-models` relaxes that assumption and flips stored bits directly
+//! (see [`crate::FaultEffect::MemXor`]). Memory itself simply stores
+//! bytes.
 
 use sor_ir::layout;
 use std::fmt;

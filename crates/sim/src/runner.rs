@@ -2,7 +2,7 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::decode::DecodedProg;
-use crate::fault::FaultSpec;
+use crate::fault::{FaultSpec, GenFault};
 use crate::machine::{ExecEngine, Machine, MachineConfig, RunResult};
 use crate::outcome::{classify, Outcome};
 use crate::trace::TraceSink;
@@ -31,6 +31,28 @@ impl FaultRecord {
     /// The dynamic instruction slot the fault was armed for.
     pub fn dynamic_slot(&self) -> u64 {
         self.spec.at_instr
+    }
+}
+
+/// A [`FaultRecord`] under a generalized fault model: the injected
+/// [`GenFault`] plus the same outcome/provenance annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenFaultRecord {
+    /// The injected fault (effect + dynamic slot).
+    pub fault: GenFault,
+    /// Classified outcome of the run.
+    pub outcome: Outcome,
+    /// Static instruction about to execute when the fault fired; `None`
+    /// when the fault point was past the end of the run.
+    pub static_inst: Option<usize>,
+    /// Protection role of that instruction.
+    pub role: ProtectionRole,
+}
+
+impl GenFaultRecord {
+    /// The dynamic instruction slot the fault was armed for.
+    pub fn dynamic_slot(&self) -> u64 {
+        self.fault.at_instr
     }
 }
 
@@ -231,6 +253,12 @@ impl<'p> Runner<'p> {
         self.replayer().run_fault(fault)
     }
 
+    /// Runs once with the generalized `fault` injected and classifies the
+    /// outcome (convenience wrapper; loops should reuse a [`Replayer`]).
+    pub fn run_fault_gen(&self, fault: GenFault) -> (Outcome, RunResult) {
+        self.replayer().run_fault_gen(fault)
+    }
+
     /// Creates a lane-parallel fault-run executor that runs up to `lanes`
     /// injections in SPMD lockstep over this runner's decoded image (see
     /// [`crate::LaneReplayer`]). The width rounds down to the supported
@@ -266,6 +294,35 @@ impl Replayer<'_, '_> {
             .prepare_replay(prefix, &self.runner.golden.output);
         let result = self.machine.run_mut(Some(fault));
         (classify(&self.runner.golden, &result), result)
+    }
+
+    /// Runs once with the generalized `fault` injected and classifies the
+    /// outcome. For a `RegXor { mask: 1 << bit }` effect this is pinned
+    /// bit-identical to [`Replayer::run_fault`] with the equivalent
+    /// [`FaultSpec`].
+    pub fn run_fault_gen(&mut self, fault: GenFault) -> (Outcome, RunResult) {
+        let prefix = self.runner.ckpts.prefix_for(fault.at_instr);
+        self.machine
+            .prepare_replay(prefix, &self.runner.golden.output);
+        let result = self.machine.run_mut_gen(Some(fault));
+        (classify(&self.runner.golden, &result), result)
+    }
+
+    /// Runs once with the generalized `fault` injected and returns the
+    /// provenance-annotated [`GenFaultRecord`] alongside the raw result.
+    pub fn run_fault_record_gen(&mut self, fault: GenFault) -> (GenFaultRecord, RunResult) {
+        let (outcome, result) = self.run_fault_gen(fault);
+        let role = result
+            .fault_pc
+            .map(|pc| self.runner.prog.role_of(pc))
+            .unwrap_or_default();
+        let record = GenFaultRecord {
+            fault,
+            outcome,
+            static_inst: result.fault_pc,
+            role,
+        };
+        (record, result)
     }
 
     /// Runs once with `fault` injected and returns the provenance-annotated
@@ -470,6 +527,101 @@ mod tests {
         let first: Vec<Outcome> = probe.iter().map(|&f| replayer.run_fault(f).0).collect();
         let second: Vec<Outcome> = probe.iter().map(|&f| replayer.run_fault(f).0).collect();
         assert_eq!(first, second, "reuse changed outcomes");
+    }
+
+    /// The generalized injection path with a single-bit `RegXor` is the
+    /// legacy SEU path, bit for bit: same outcome, output, dynamic count,
+    /// probes and `fault_pc`, on both engines.
+    #[test]
+    fn gen_reg_xor_single_bit_is_the_legacy_seu_exactly() {
+        for engine in [ExecEngine::Decoded, ExecEngine::Legacy] {
+            let prog = looping_program();
+            let cfg = MachineConfig {
+                engine,
+                ..MachineConfig::default()
+            };
+            let r = Runner::new(&prog, &cfg);
+            let golden_len = r.golden().dyn_instrs;
+            let mut replayer = r.replayer();
+            for at in 0..golden_len {
+                for (reg, bit) in [(3u8, 0u8), (5, 17), (8, 62)] {
+                    let spec = FaultSpec::new(at, reg, bit);
+                    let (o_spec, r_spec) = replayer.run_fault(spec);
+                    let (o_gen, r_gen) = replayer.run_fault_gen(crate::GenFault::from_spec(spec));
+                    assert_eq!(o_spec, o_gen, "{spec} ({engine:?}): outcome diverged");
+                    assert_eq!(r_spec, r_gen, "{spec} ({engine:?}): result diverged");
+                }
+            }
+        }
+    }
+
+    /// Every generalized effect is pinned decoded == legacy on every
+    /// observable, across every dynamic slot of a program with calls,
+    /// loops, probes-free ALU chains and memory traffic.
+    #[test]
+    fn gen_effects_are_bit_identical_across_engines() {
+        use crate::fault::FaultEffect;
+        let prog = looping_program();
+        let legacy = Runner::new(
+            &prog,
+            &MachineConfig {
+                engine: ExecEngine::Legacy,
+                ..MachineConfig::default()
+            },
+        );
+        let decoded = Runner::new(&prog, &MachineConfig::default());
+        let golden_len = legacy.golden().dyn_instrs;
+        let g0 = prog.globals.first().map(|g| g.addr).unwrap_or(0);
+        let effects = [
+            FaultEffect::RegXor {
+                reg: 5,
+                mask: 0b111 << 20,
+            },
+            FaultEffect::RegXor { reg: 8, mask: 0b11 },
+            FaultEffect::PcXor { mask: 1 },
+            FaultEffect::PcXor { mask: 0b110 },
+            FaultEffect::PcXor { mask: 1 << 12 },
+            FaultEffect::MemXor { addr: g0, bit: 3 },
+            FaultEffect::MemXor {
+                addr: g0 + 8,
+                bit: 7,
+            },
+            FaultEffect::MemXor { addr: 0x10, bit: 0 }, // unmapped: fires, no effect
+            FaultEffect::AluXor { mask: 1 },
+            FaultEffect::AluXor { mask: 1 << 40 },
+            FaultEffect::AluXor { mask: u64::MAX },
+        ];
+        let mut rl = legacy.replayer();
+        let mut rd = decoded.replayer();
+        for at in 0..golden_len {
+            for effect in effects {
+                let f = GenFault::new(at, effect);
+                let (o_l, r_l) = rl.run_fault_gen(f);
+                let (o_d, r_d) = rd.run_fault_gen(f);
+                assert_eq!(o_l, o_d, "{f}: outcome diverged across engines");
+                assert_eq!(r_l, r_d, "{f}: result diverged across engines");
+            }
+        }
+    }
+
+    /// PC corruption that lands outside the program image is a SEGV (wild
+    /// fetch), and the fault still counts as fired at the original pc.
+    #[test]
+    fn gen_pc_xor_outside_the_image_is_a_segv() {
+        let prog = program();
+        for engine in [ExecEngine::Decoded, ExecEngine::Legacy] {
+            let cfg = MachineConfig {
+                engine,
+                ..MachineConfig::default()
+            };
+            let r = Runner::new(&prog, &cfg);
+            // A huge mask lands far outside any real image.
+            let f = GenFault::new(1, crate::FaultEffect::PcXor { mask: 1 << 40 });
+            let (outcome, res) = r.run_fault_gen(f);
+            assert_eq!(outcome, Outcome::Segv, "{engine:?}");
+            assert!(res.injected);
+            assert!(res.fault_pc.is_some());
+        }
     }
 
     #[derive(Default)]

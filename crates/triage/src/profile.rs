@@ -1,7 +1,7 @@
 //! Per-fault-site outcome aggregation.
 
 use sor_ir::ProtectionRole;
-use sor_sim::FaultRecord;
+use sor_sim::{FaultEffect, FaultRecord, GenFaultRecord};
 use sor_stats::OutcomeCounts;
 use std::collections::BTreeMap;
 
@@ -54,6 +54,33 @@ impl VulnerabilityProfile {
                     .record(rec.outcome, recoveries);
             }
             // Armed past the end of the run: no site to attribute to.
+            None => self.unfired.record(rec.outcome, recoveries),
+        }
+    }
+
+    /// Records one generalized-model injection (see
+    /// [`sor_sim::GenFaultRecord`]): site and role attribution are
+    /// identical to [`record`](Self::record); the per-register histogram
+    /// only accrues when the effect actually targets a register
+    /// (`RegXor`), since a PC, memory or ALU upset has no victim register
+    /// to attribute to.
+    pub fn record_gen(&mut self, rec: &GenFaultRecord, recoveries: u64) {
+        match rec.static_inst {
+            Some(pc) => {
+                let site = self.sites.entry(pc).or_default();
+                site.role = rec.role;
+                site.counts.record(rec.outcome, recoveries);
+                self.roles
+                    .entry(rec.role)
+                    .or_default()
+                    .record(rec.outcome, recoveries);
+                if let FaultEffect::RegXor { reg, .. } = rec.fault.effect {
+                    self.regs
+                        .entry(reg)
+                        .or_default()
+                        .record(rec.outcome, recoveries);
+                }
+            }
             None => self.unfired.record(rec.outcome, recoveries),
         }
     }
@@ -233,6 +260,46 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, whole);
         assert_eq!(ba, whole);
+    }
+
+    /// A `RegXor` gen record attributes exactly like the legacy record it
+    /// generalizes; a register-less effect skips only the reg histogram.
+    #[test]
+    fn record_gen_matches_record_for_reg_faults_and_skips_regs_otherwise() {
+        use sor_sim::{FaultEffect, GenFault, GenFaultRecord};
+        let mut legacy = VulnerabilityProfile::new();
+        legacy.record(&rec(0, 2, 7, ProtectionRole::Voter, Outcome::Sdc), 1);
+        let mut gen = VulnerabilityProfile::new();
+        gen.record_gen(
+            &GenFaultRecord {
+                fault: GenFault::new(
+                    0,
+                    FaultEffect::RegXor {
+                        reg: 2,
+                        mask: 1 << 3,
+                    },
+                ),
+                outcome: Outcome::Sdc,
+                static_inst: Some(7),
+                role: ProtectionRole::Voter,
+            },
+            1,
+        );
+        assert_eq!(gen, legacy);
+        gen.record_gen(
+            &GenFaultRecord {
+                fault: GenFault::new(1, FaultEffect::PcXor { mask: 1 }),
+                outcome: Outcome::Detected,
+                static_inst: Some(9),
+                role: ProtectionRole::Original,
+            },
+            0,
+        );
+        assert_eq!(gen.site(9).unwrap().counts.detected, 1);
+        assert_eq!(gen.role_counts(ProtectionRole::Original).detected, 1);
+        // No register to attribute the PC upset to.
+        assert_eq!(gen.regs().map(|(_, c)| c.total()).sum::<u64>(), 1);
+        assert_eq!(gen.totals().total(), 2);
     }
 
     #[test]

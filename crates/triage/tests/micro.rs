@@ -1,14 +1,16 @@
 //! Micro-workload triage tests: adaptive sampling vs exhaustive ground
 //! truth, and role attribution of voter faults under SWIFT-R.
 
+use sor_ace::DefUseTrace;
 use sor_core::{Technique, TransformConfig};
 use sor_ir::{
     CmpOp, MemWidth, Module, ModuleBuilder, Operand, PArg, PInst, POperand, Preg, ProtectionRole,
     Width,
 };
 use sor_regalloc::{lower, LowerConfig};
-use sor_sim::{FaultSpec, MachineConfig, Outcome, Runner};
+use sor_sim::{FaultEffect, FaultSpec, GenFault, MachineConfig, Outcome, Runner};
 use sor_triage::{adaptive_profile, AdaptiveConfig, VulnerabilityProfile};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A straight-line "staircase" whose live-register count ramps from 0 up
 /// to 5 and back down: five values are built (each kept live until the
@@ -232,5 +234,140 @@ fn swiftr_voter_faults_recover_or_escape_through_vote_to_use_window() {
         escapes * 5 <= voter_hits,
         "window escapes ({escapes}) should be a small minority of \
          voter-site faults ({voter_hits})"
+    );
+}
+
+/// Maximal-block partition of a lowered image: every Jump/Branch target,
+/// every fall-through after a terminator, and every function `Enter`
+/// starts a block.
+fn block_starts(program: &sor_ir::Program) -> BTreeSet<usize> {
+    let mut starts = BTreeSet::new();
+    starts.insert(0);
+    for (pc, inst) in program.insts.iter().enumerate() {
+        match inst {
+            PInst::Jump(t) => {
+                starts.insert(*t);
+                starts.insert(pc + 1);
+            }
+            PInst::Branch { t, f, .. } => {
+                starts.insert(*t);
+                starts.insert(*f);
+                starts.insert(pc + 1);
+            }
+            PInst::Ret { .. } | PInst::Trap(_) => {
+                starts.insert(pc + 1);
+            }
+            PInst::Enter { .. } => {
+                starts.insert(pc);
+            }
+            _ => {}
+        }
+    }
+    starts.retain(|&s| s < program.len());
+    starts
+}
+
+/// The detection guarantee CFCSS is built on, pinned exhaustively — the
+/// control-flow analogue of the SWIFT-R vote-to-use escape-window test
+/// above: at every dynamic control-transfer slot, redirecting the pc to
+/// *any* signature-checked block head other than the transfer's own legal
+/// successors and the current block's own head is caught by the `G == s_j`
+/// check, deterministically.
+///
+/// The two exclusions are exactly CFCSS's documented blind spots for this
+/// fault shape: landing on a legal successor replays the intended edge
+/// (the run-time signature already matches), and landing back on the
+/// current block's own head re-passes the check that block already
+/// satisfied (re-executing its body — detectable only by data-flow
+/// schemes, not signatures). Everything else must trap, because the
+/// signature register G holds the current block's (injective) signature
+/// and every checked head compares against its own.
+#[test]
+fn cfcss_detects_every_wrong_successor_pc_corruption() {
+    let module = micro_module();
+    let protected = Technique::Cfcss.apply_with(&module, &TransformConfig::default());
+    let program = lower(&protected, &LowerConfig::default()).unwrap();
+    let runner = Runner::new(&program, &MachineConfig::default());
+    let trace = DefUseTrace::record(&runner);
+
+    let starts = block_starts(&program);
+    // Checked heads are block starts holding a CFCSS signature check: a
+    // voter-tagged `Cmp::Ne` against G followed by the det/fall branch.
+    // The branch's false edge is the fall block continuing the *same*
+    // original block, so it inherits the head's signature identity.
+    let mut heads: Vec<usize> = Vec::new();
+    let mut fall_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for &s in &starts {
+        let is_check = matches!(program.insts[s], PInst::Cmp { op: CmpOp::Ne, .. })
+            && program.roles[s] == ProtectionRole::Voter;
+        if is_check {
+            if let PInst::Branch { f, .. } = program.insts[s + 1] {
+                heads.push(s);
+                fall_of.insert(f, s);
+            }
+        }
+    }
+    assert!(
+        heads.len() >= 3,
+        "micro loop (header/body/exit) must yield at least 3 checked heads, got {heads:?}"
+    );
+
+    // Which checked head owns the block a given pc sits in, if any: the
+    // check region itself, or a fall region continuing it. Entry, edge and
+    // trap blocks have no head — no same-block exclusion applies there.
+    let owner_head = |pc: usize| -> Option<usize> {
+        let region = *starts.range(..=pc).next_back().expect("pc 0 is a start");
+        if heads.contains(&region) {
+            Some(region)
+        } else {
+            fall_of.get(&region).copied()
+        }
+    };
+
+    let mut replayer = runner.replayer();
+    let mut wrong_landings = 0u64;
+    let mut same_block_skips = 0u64;
+    for slot in 0..trace.len() {
+        let pc = trace.check_pc(slot);
+        let legal: Vec<usize> = match program.insts[pc] {
+            PInst::Jump(t) => vec![t],
+            PInst::Branch { t, f, .. } => vec![t, f],
+            _ => continue,
+        };
+        let own = owner_head(pc);
+        for &h in &heads {
+            if legal.contains(&h) {
+                continue;
+            }
+            if own == Some(h) {
+                same_block_skips += 1;
+                continue;
+            }
+            let fault = GenFault::new(
+                slot,
+                FaultEffect::PcXor {
+                    mask: (pc ^ h) as u64,
+                },
+            );
+            let (rec, _) = replayer.run_fault_record_gen(fault);
+            wrong_landings += 1;
+            assert_eq!(
+                rec.outcome,
+                Outcome::Detected,
+                "pc corruption at dyn slot {slot} (pc {pc}, `{}`) redirected to \
+                 checked head {h} (`{}`) escaped the signature check with {:?}",
+                program.insts[pc],
+                program.insts[h],
+                rec.outcome
+            );
+        }
+    }
+    assert!(
+        wrong_landings > 50,
+        "exhaustive grid collapsed: only {wrong_landings} wrong-successor injections ran"
+    );
+    assert!(
+        same_block_skips > 0,
+        "the same-block blind spot never occurred — the exclusion logic is dead code"
     );
 }

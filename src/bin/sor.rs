@@ -76,6 +76,9 @@ fn technique_key(t: Technique) -> &'static str {
         Technique::TrumpSwiftR => "trump-swiftr",
         Technique::SwiftR => "swiftr",
         Technique::Swift => "swift",
+        Technique::Cfcss => "cfcss",
+        Technique::Ceda => "ceda",
+        Technique::SwiftRCfcss => "swiftr-cfcss",
     }
 }
 

@@ -98,6 +98,14 @@ fn every_cell_survives_the_verified_pipeline_with_golden_output() {
                 ),
                 T::SwiftR => assert!(totals.votes > 0, "{}/{t}: no votes", w.name()),
                 T::Swift => assert!(totals.checks > 0, "{}/{t}: no checks", w.name()),
+                T::Cfcss | T::Ceda => {
+                    assert!(totals.checks > 0, "{}/{t}: no signature checks", w.name())
+                }
+                T::SwiftRCfcss => assert!(
+                    totals.votes > 0 && totals.checks > 0,
+                    "{}/{t}: stacked pipeline missing votes or checks",
+                    w.name()
+                ),
             }
 
             let p = lower(&out.module, &LowerConfig::default())
