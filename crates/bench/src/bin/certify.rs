@@ -10,7 +10,9 @@
 //! `--threads N` (default all cores), `--fault-model M` (default
 //! `seu-reg`; generalized models certify monolithically and bypass the
 //! store; `mem-bit` has no exhaustive plan and is rejected with
-//! guidance), `--store DIR` persistent result store directory (default
+//! guidance), `--engine legacy|decoded|jit` (execution engine — results
+//! are bit-identical, so this only changes throughput; default
+//! `decoded`), `--store DIR` persistent result store directory (default
 //! `results/store`), `--no-store` to disable the store and certify
 //! monolithically, `--sections N` incremental-reuse granularity (default
 //! 8; results are bit-identical for every value).
@@ -58,6 +60,7 @@ fn main() {
         threads,
         sections,
         fault_model: model,
+        engine: sor_bench::engine_arg(),
         ..CertifyConfig::default()
     };
     let store = ArtifactStore::new();

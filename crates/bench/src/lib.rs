@@ -34,7 +34,12 @@
 //!   extension experiment E12).
 //!
 //! All bins spell their common flags the same way: `--runs N`, `--seed S`,
-//! `--threads N`, `--samples N`, `--json`. `certify` and `triage`
+//! `--threads N`, `--samples N`, `--json`. The injection-driving bins
+//! (`fig8`, `certify`, `triage`, `coverage`) also take `--engine
+//! legacy|decoded|jit` — a pure throughput knob (all engines are
+//! bit-identical by contract; `jit` degrades to `decoded` off
+//! x86-64/Linux), defaulting to `decoded` so existing outputs stay
+//! byte-identical. `certify` and `triage`
 //! additionally take `--store DIR` / `--no-store` / `--sections N` for the
 //! persistent result store (see `sor_harness::ResultStore`).
 //!
@@ -120,6 +125,25 @@ pub fn fault_model_arg() -> sor_harness::FaultModel {
             let known: Vec<&str> = FaultModel::ALL.iter().map(|m| m.slug()).collect();
             eprintln!(
                 "unknown --fault-model {v:?}; known models: {}",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Parses `--engine E` (default [`sor_harness::ExecEngine::default`],
+/// i.e. `decoded`), exiting with the known engine list on an
+/// unrecognized spelling. Every injection-driving bin spells the flag
+/// the same way; the default keeps existing outputs byte-identical.
+pub fn engine_arg() -> sor_harness::ExecEngine {
+    use sor_harness::ExecEngine;
+    match arg_value("--engine") {
+        None => ExecEngine::default(),
+        Some(v) => v.parse::<ExecEngine>().unwrap_or_else(|_| {
+            let known: Vec<&str> = ExecEngine::ALL.iter().map(|e| e.slug()).collect();
+            eprintln!(
+                "unknown --engine {v:?}; known engines: {}",
                 known.join(", ")
             );
             std::process::exit(2);

@@ -25,11 +25,11 @@
 use sor_core::{Pipeline, PipelineReport, Technique, TransformConfig};
 use sor_ir::{ContentHash, Digest, Module, Program};
 use sor_regalloc::{lower, LowerConfig};
-use sor_sim::DecodedProg;
+use sor_sim::{DecodedProg, ExecEngine, JitProg};
 use sor_workloads::Workload;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The coordinates that fully determine a prepared program.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -59,8 +59,28 @@ pub struct Artifact {
     /// here so every campaign/certify/triage consumer of this artifact
     /// shares one image instead of re-decoding per [`sor_sim::Runner`].
     pub decoded: Arc<DecodedProg>,
+    /// The native image for the jit engine, compiled lazily on the first
+    /// [`Artifact::jit_for`] request so decoded/legacy consumers never pay
+    /// for it. `Some(None)` records a failed compilation (degraded to the
+    /// decoded interpreter) so it is not retried per runner.
+    jit: OnceLock<Option<Arc<JitProg>>>,
     /// Per-pass instrumentation from the pipeline run.
     pub report: PipelineReport,
+}
+
+impl Artifact {
+    /// The shared native image for `engine`: compiles (once, memoized)
+    /// under [`ExecEngine::Jit`], `None` under the other engines or when
+    /// native compilation is unavailable (the runner then degrades to the
+    /// decoded interpreter).
+    pub fn jit_for(&self, engine: ExecEngine) -> Option<Arc<JitProg>> {
+        if engine != ExecEngine::Jit {
+            return None;
+        }
+        self.jit
+            .get_or_init(|| JitProg::try_compile(&self.decoded, &self.program))
+            .clone()
+    }
 }
 
 /// A memoized map from [`ArtifactKey`] to shared [`Artifact`]s.
@@ -165,6 +185,7 @@ fn build_artifact(source: Module, key: &ArtifactKey) -> Artifact {
         module: out.module,
         program,
         decoded,
+        jit: OnceLock::new(),
         report: out.report,
     }
 }
@@ -243,6 +264,30 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &c));
         assert!(Arc::ptr_eq(&b, &d));
         assert_eq!(store.hits(), 2);
+    }
+
+    #[test]
+    fn jit_image_is_memoized_per_artifact() {
+        let store = ArtifactStore::new();
+        let w = AdpcmDec {
+            samples: 40,
+            seed: 1,
+        };
+        let a = store.get(
+            &w,
+            Technique::SwiftR,
+            &TransformConfig::default(),
+            &LowerConfig::default(),
+        );
+        assert!(a.jit_for(ExecEngine::Decoded).is_none());
+        assert!(a.jit_for(ExecEngine::Legacy).is_none());
+        let j1 = a.jit_for(ExecEngine::Jit);
+        let j2 = a.jit_for(ExecEngine::Jit);
+        match (j1, j2) {
+            (Some(x), Some(y)) => assert!(Arc::ptr_eq(&x, &y), "compiled twice"),
+            (None, None) => {} // degraded environment stays degraded
+            _ => panic!("jit availability flapped between requests"),
+        }
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub struct CampaignConfig {
     /// default) auto-sizes from the golden run length.
     pub checkpoint_interval: u64,
     /// Interpreter core the injection machines run on (see
-    /// [`ExecEngine`]): the predecoded micro-op engine by default, with
-    /// the legacy step path available as the differential-testing oracle.
+    /// [`ExecEngine`]): the predecoded micro-op engine by default, the
+    /// legacy step path as the differential-testing oracle, or the native
+    /// jit engine for paper-scale throughput (bit-identical results on
+    /// all three).
     pub engine: ExecEngine,
     /// SPMD lane width for batched injection (see
     /// [`sor_sim::LaneReplayer`]): `1` (the default) runs each fault on a
@@ -156,6 +158,7 @@ pub fn run_campaign_in(
     let counts = inject(
         &artifact.program,
         Some(Arc::clone(&artifact.decoded)),
+        artifact.jit_for(cfg.engine),
         cfg,
         workload.name(),
         technique,
@@ -171,11 +174,12 @@ pub fn run_campaign_in(
 fn inject(
     program: &Program,
     decoded: Option<Arc<DecodedProg>>,
+    jit: Option<Arc<sor_sim::JitProg>>,
     cfg: &CampaignConfig,
     wl_name: &str,
     technique: Technique,
 ) -> (OutcomeCounts, u64) {
-    let runner = pool::build_runner(program, decoded, cfg.checkpoint_interval, cfg.engine);
+    let runner = pool::build_runner(program, decoded, jit, cfg.checkpoint_interval, cfg.engine);
     let golden_len = runner.golden().dyn_instrs;
     if !cfg.fault_model.is_default() {
         // Generalized models: same seed derivation, model-specific draws,

@@ -23,7 +23,7 @@ use sor_core::Technique;
 use sor_ir::Program;
 use sor_models::FaultModel;
 use sor_regalloc::LowerConfig;
-use sor_sim::{DecodedProg, ExecEngine, FaultSpec, GenFault, MachineConfig};
+use sor_sim::{DecodedProg, ExecEngine, FaultSpec, GenFault, JitProg, MachineConfig};
 use sor_stats::OutcomeCounts;
 use sor_workloads::Workload;
 use std::sync::Arc;
@@ -61,6 +61,12 @@ pub struct CertifyConfig {
     /// [`ModelPlanError::NotCertifiable`]'s message; use a sampled
     /// campaign for it.
     pub fault_model: FaultModel,
+    /// Execution engine for the golden run and every injection (see
+    /// [`ExecEngine`]). All three engines are bit-identical by contract —
+    /// the differential tests pin it — so this is a throughput knob, not a
+    /// semantic one; [`ExecEngine::Jit`] degrades to the decoded
+    /// interpreter where native compilation is unavailable.
+    pub engine: ExecEngine,
 }
 
 impl Default for CertifyConfig {
@@ -72,6 +78,7 @@ impl Default for CertifyConfig {
             transform: sor_core::TransformConfig::default(),
             sections: 8,
             fault_model: FaultModel::SeuReg,
+            engine: ExecEngine::default(),
         }
     }
 }
@@ -99,22 +106,26 @@ pub fn run_certified_campaign_in(
         return certify_program_model(
             &artifact.program,
             Some(Arc::clone(&artifact.decoded)),
+            artifact.jit_for(cfg.engine),
             workload.name(),
             &technique.to_string(),
             cfg.fault_model,
             cfg.threads,
             cfg.checkpoint_interval,
+            cfg.engine,
         )
         .unwrap_or_else(|e| panic!("{e}"));
     }
     certify_program_with(
         &artifact.program,
         Some(Arc::clone(&artifact.decoded)),
+        artifact.jit_for(cfg.engine),
         workload.name(),
         &technique.to_string(),
         cfg.threads,
         cfg.checkpoint_interval,
         cfg.lanes,
+        cfg.engine,
     )
 }
 
@@ -135,26 +146,33 @@ pub fn certify_program(
     certify_program_with(
         program,
         None,
+        None,
         workload,
         technique,
         threads,
         checkpoint_interval,
         1,
+        ExecEngine::default(),
     )
 }
 
-/// [`certify_program`] reusing an already-predecoded image (the artifact
-/// store memoizes one per lowered program) instead of translating again.
+/// [`certify_program`] reusing already-prepared images — the predecoded
+/// program and (under [`ExecEngine::Jit`]) the compiled native image,
+/// both memoized per lowered program by the artifact store — instead of
+/// translating again.
+#[allow(clippy::too_many_arguments)]
 pub fn certify_program_with(
     program: &Program,
     decoded: Option<Arc<DecodedProg>>,
+    jit: Option<Arc<JitProg>>,
     workload: &str,
     technique: &str,
     threads: usize,
     checkpoint_interval: u64,
     lanes: usize,
+    engine: ExecEngine,
 ) -> CertifiedCoverage {
-    let runner = pool::build_runner(program, decoded, checkpoint_interval, ExecEngine::default());
+    let runner = pool::build_runner(program, decoded, jit, checkpoint_interval, engine);
     let trace = DefUseTrace::record(&runner);
     let plan = CertPlan::build(&trace);
     let golden_recoveries =
@@ -216,13 +234,15 @@ pub fn certify_program_with(
 pub fn certify_program_model(
     program: &Program,
     decoded: Option<Arc<DecodedProg>>,
+    jit: Option<Arc<JitProg>>,
     workload: &str,
     technique: &str,
     model: FaultModel,
     threads: usize,
     checkpoint_interval: u64,
+    engine: ExecEngine,
 ) -> Result<CertifiedCoverage, ModelPlanError> {
-    let runner = pool::build_runner(program, decoded, checkpoint_interval, ExecEngine::default());
+    let runner = pool::build_runner(program, decoded, jit, checkpoint_interval, engine);
     let trace = DefUseTrace::record(&runner);
     let plan = GenCertPlan::build(model, program, &trace)?;
     let golden_recoveries =
@@ -295,6 +315,7 @@ pub fn run_certified_campaign_stored(
         results,
         &artifact.program,
         Some(Arc::clone(&artifact.decoded)),
+        artifact.jit_for(cfg.engine),
         workload.name(),
         &technique.to_string(),
         cfg,
@@ -315,10 +336,12 @@ pub fn run_certified_campaign_stored(
 /// sections it was composed from — labels (`workload`, `technique`) are
 /// applied at assembly and never cached, so renames cannot poison the
 /// store.
+#[allow(clippy::too_many_arguments)]
 pub fn certify_incremental(
     results: &ResultStore,
     program: &Program,
     decoded: Option<Arc<DecodedProg>>,
+    jit: Option<Arc<JitProg>>,
     workload: &str,
     technique: &str,
     cfg: &CertifyConfig,
@@ -327,6 +350,7 @@ pub fn certify_incremental(
         results,
         program,
         decoded,
+        jit,
         workload,
         technique,
         cfg,
@@ -389,6 +413,7 @@ pub fn certify_resumable(
     results: &ResultStore,
     program: &Program,
     decoded: Option<Arc<DecodedProg>>,
+    jit: Option<Arc<JitProg>>,
     workload: &str,
     technique: &str,
     cfg: &CertifyConfig,
@@ -403,11 +428,13 @@ pub fn certify_resumable(
         let coverage = certify_program_model(
             program,
             decoded,
+            jit,
             workload,
             technique,
             cfg.fault_model,
             cfg.threads,
             cfg.checkpoint_interval,
+            cfg.engine,
         )
         .unwrap_or_else(|e| panic!("{e}"));
         let progress = CertifyProgress {
@@ -426,12 +453,7 @@ pub fn certify_resumable(
             fresh_injections: progress.fresh_injections,
         });
     }
-    let runner = pool::build_runner(
-        program,
-        decoded,
-        cfg.checkpoint_interval,
-        ExecEngine::default(),
-    );
+    let runner = pool::build_runner(program, decoded, jit, cfg.checkpoint_interval, cfg.engine);
     let trace = DefUseTrace::record(&runner);
     let plan = CertPlan::build(&trace);
     let golden_recoveries =
@@ -686,11 +708,13 @@ mod tests {
             let certified = certify_program_model(
                 &program,
                 None,
+                None,
                 "memsel",
                 &technique.to_string(),
                 FaultModel::PcCorrupt,
                 2,
                 3,
+                ExecEngine::default(),
             )
             .unwrap();
             let runner = Runner::new(&program, &MachineConfig::default());
@@ -756,9 +780,18 @@ mod tests {
     #[test]
     fn mem_bit_certification_is_rejected_with_guidance() {
         let program = chain_program(Technique::SwiftR);
-        let err =
-            certify_program_model(&program, None, "chain", "SWIFT-R", FaultModel::MemBit, 1, 0)
-                .unwrap_err();
+        let err = certify_program_model(
+            &program,
+            None,
+            None,
+            "chain",
+            "SWIFT-R",
+            FaultModel::MemBit,
+            1,
+            0,
+            ExecEngine::default(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("sampled campaign"), "{err}");
     }
 

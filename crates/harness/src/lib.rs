@@ -73,6 +73,7 @@ pub use render::{
 };
 pub use report::{headline, Headline};
 pub use sor_models::{FaultModel, SampleCtx};
+pub use sor_sim::{ExecEngine, JitProg};
 pub use sor_stats::{wilson_ci, OutcomeCounts};
 pub use store::{triage_section_key, ResultStore, STORE_FORMAT_VERSION};
 pub use triage::{

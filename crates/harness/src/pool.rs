@@ -62,11 +62,12 @@ pub fn resolve_lanes(runner: &Runner<'_>, lanes: usize) -> usize {
 }
 
 /// Builds the injection runner every campaign flavour shares: the golden
-/// run plus checkpoint store, optionally reusing a predecoded image from
-/// the artifact store.
+/// run plus checkpoint store, optionally reusing predecoded and compiled
+/// native images from the artifact store.
 pub(crate) fn build_runner<'p>(
     program: &'p Program,
     decoded: Option<Arc<DecodedProg>>,
+    jit: Option<Arc<sor_sim::JitProg>>,
     checkpoint_interval: u64,
     engine: ExecEngine,
 ) -> Runner<'p> {
@@ -75,7 +76,7 @@ pub(crate) fn build_runner<'p>(
         engine,
         ..MachineConfig::default()
     };
-    Runner::with_decoded(program, &mcfg, decoded)
+    Runner::with_images(program, &mcfg, decoded, jit)
 }
 
 /// A campaign accumulator: per-worker partial results merge commutatively,

@@ -52,6 +52,7 @@ pub fn run_triaged_campaign_in(
     let (profile, golden_instrs) = inject_profiled(
         &artifact.program,
         Some(Arc::clone(&artifact.decoded)),
+        artifact.jit_for(cfg.engine),
         cfg,
         workload.name(),
         technique,
@@ -153,6 +154,7 @@ pub fn run_triaged_campaign_resumable(
         let (profile, golden_instrs) = inject_profiled(
             &artifact.program,
             Some(Arc::clone(&artifact.decoded)),
+            artifact.jit_for(cfg.engine),
             cfg,
             workload.name(),
             technique,
@@ -176,6 +178,7 @@ pub fn run_triaged_campaign_resumable(
     let runner = pool::build_runner(
         &artifact.program,
         Some(Arc::clone(&artifact.decoded)),
+        artifact.jit_for(cfg.engine),
         cfg.checkpoint_interval,
         cfg.engine,
     );
@@ -231,11 +234,12 @@ pub fn run_triaged_campaign_resumable(
 fn inject_profiled(
     program: &Program,
     decoded: Option<Arc<DecodedProg>>,
+    jit: Option<Arc<sor_sim::JitProg>>,
     cfg: &CampaignConfig,
     wl_name: &str,
     technique: Technique,
 ) -> (VulnerabilityProfile, u64) {
-    let runner = pool::build_runner(program, decoded, cfg.checkpoint_interval, cfg.engine);
+    let runner = pool::build_runner(program, decoded, jit, cfg.checkpoint_interval, cfg.engine);
     let golden_len = runner.golden().dyn_instrs;
     if !cfg.fault_model.is_default() {
         // Generalized models: model-specific draws, scalar generalized

@@ -15,6 +15,13 @@
 //! SPMD execution ([`sor_sim::LaneReplayer`]) at widths 2/4/8 must be
 //! bit-identical to scalar decoded replay — per-fault records, sampled
 //! and triaged campaign histograms, and certified-coverage reports alike.
+//!
+//! The jit column extends it along a fourth: the native x86-64 superblock
+//! JIT ([`sor_sim::JitProg`]) services fault slots, probes, fuel and
+//! checkpoint boundaries only at span edges, so every cell above must
+//! also hold with `jit == decoded == legacy`. Where native compilation is
+//! unavailable the jit engine degrades to the decoded interpreter, and
+//! the same assertions pin the fallback instead.
 
 use sor_core::Technique;
 use sor_harness::{
@@ -88,32 +95,62 @@ fn decoded_engine_matches_legacy_bit_for_bit() {
                 Some(Arc::clone(&artifact.decoded)),
             );
             let legacy = Runner::new(&artifact.program, &engine_cfg(ExecEngine::Legacy, 7));
+            let jit = Runner::with_images(
+                &artifact.program,
+                &engine_cfg(ExecEngine::Jit, 7),
+                Some(Arc::clone(&artifact.decoded)),
+                artifact.jit_for(ExecEngine::Jit),
+            );
             assert!(decoded.decoded().is_some(), "{label}");
             assert!(legacy.decoded().is_none(), "{label}");
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            assert!(jit.jit().is_some(), "{label}: jit must compile natively");
 
             // Golden runs: the whole observable result, field for field.
             assert_eq!(decoded.golden(), legacy.golden(), "{label}: golden run");
+            assert_eq!(jit.golden(), legacy.golden(), "{label}: jit golden run");
 
             // Checkpoints: same capture points, same architectural state.
-            let (d_cps, l_cps) = (decoded.checkpoints(), legacy.checkpoints());
+            let (d_cps, l_cps, j_cps) = (
+                decoded.checkpoints(),
+                legacy.checkpoints(),
+                jit.checkpoints(),
+            );
             assert_eq!(d_cps.len(), l_cps.len(), "{label}: checkpoint count");
+            assert_eq!(j_cps.len(), l_cps.len(), "{label}: jit checkpoint count");
             assert!(d_cps.len() > 2, "{label}: interval 7 must checkpoint");
-            for (d, l) in d_cps.as_slice().iter().zip(l_cps.as_slice()) {
+            for ((d, l), j) in d_cps
+                .as_slice()
+                .iter()
+                .zip(l_cps.as_slice())
+                .zip(j_cps.as_slice())
+            {
                 assert_eq!(d.at, l.at, "{label}: checkpoint slot");
+                assert_eq!(j.at, l.at, "{label}: jit checkpoint slot");
                 assert_eq!(
                     d.fingerprint(),
                     l.fingerprint(),
                     "{label}: checkpoint state diverged at slot {}",
                     d.at
                 );
+                assert_eq!(
+                    j.fingerprint(),
+                    l.fingerprint(),
+                    "{label}: jit checkpoint state diverged at slot {}",
+                    j.at
+                );
             }
 
             // Def-use traces: identical event streams, identical results.
-            let (mut d_sink, mut l_sink) = (VecSink::default(), VecSink::default());
+            let (mut d_sink, mut l_sink, mut j_sink) =
+                (VecSink::default(), VecSink::default(), VecSink::default());
             let d_traced = decoded.trace_golden(&mut d_sink);
             let l_traced = legacy.trace_golden(&mut l_sink);
+            let j_traced = jit.trace_golden(&mut j_sink);
             assert_eq!(d_traced, l_traced, "{label}: traced run");
+            assert_eq!(j_traced, l_traced, "{label}: jit traced run");
             assert_eq!(d_sink, l_sink, "{label}: trace events");
+            assert_eq!(j_sink, l_sink, "{label}: jit trace events");
 
             // Seeded faults plus targeted boundary slots (first, near-end,
             // past-end): full records and raw results must match, which
@@ -129,12 +166,16 @@ fn decoded_engine_matches_legacy_bit_for_bit() {
             faults.push(FaultSpec::new(golden_len + 9, 5, 2));
             let mut d_replayer = decoded.replayer();
             let mut l_replayer = legacy.replayer();
+            let mut j_replayer = jit.replayer();
             let mut scalar_records = Vec::new();
             for &f in &faults {
                 let (d_rec, d_res) = d_replayer.run_fault_record(f);
                 let (l_rec, l_res) = l_replayer.run_fault_record(f);
+                let (j_rec, j_res) = j_replayer.run_fault_record(f);
                 assert_eq!(d_rec, l_rec, "{label}: {f} record diverged");
                 assert_eq!(d_res, l_res, "{label}: {f} result diverged");
+                assert_eq!(j_rec, l_rec, "{label}: {f} jit record diverged");
+                assert_eq!(j_res, l_res, "{label}: {f} jit result diverged");
                 scalar_records.push((d_rec, d_res));
             }
 
@@ -177,8 +218,11 @@ fn campaign_histograms_agree_across_engines() {
         };
         let d = run_campaign(&w, technique, &cfg(ExecEngine::Decoded));
         let l = run_campaign(&w, technique, &cfg(ExecEngine::Legacy));
+        let j = run_campaign(&w, technique, &cfg(ExecEngine::Jit));
         assert_eq!(d.counts, l.counts, "{technique}: histogram diverged");
         assert_eq!(d.golden_instrs, l.golden_instrs, "{technique}");
+        assert_eq!(j.counts, l.counts, "{technique}: jit histogram diverged");
+        assert_eq!(j.golden_instrs, l.golden_instrs, "{technique}: jit");
     }
 }
 
@@ -200,27 +244,38 @@ fn lane_campaigns_match_scalar_across_matrix() {
     for w in &workloads {
         for technique in [Technique::SwiftR, Technique::Trump, Technique::Swift] {
             let label = format!("{}/{technique}", w.name());
-            let cfg = |lanes| CampaignConfig {
+            let cfg = |lanes, engine| CampaignConfig {
                 runs: 48,
                 seed: 11,
                 threads: 2,
                 lanes,
+                engine,
                 ..Default::default()
             };
-            let scalar = run_campaign(w.as_ref(), technique, &cfg(1));
+            let scalar = run_campaign(w.as_ref(), technique, &cfg(1, ExecEngine::Decoded));
             for lanes in [2, 4, 8, 16] {
-                let laned = run_campaign(w.as_ref(), technique, &cfg(lanes));
+                let laned = run_campaign(w.as_ref(), technique, &cfg(lanes, ExecEngine::Decoded));
                 assert_eq!(
                     laned.counts, scalar.counts,
                     "{label}: {lanes}-lane histogram diverged"
                 );
                 assert_eq!(laned.golden_instrs, scalar.golden_instrs, "{label}");
             }
-            let triaged_scalar = run_triaged_campaign(w.as_ref(), technique, &cfg(1));
-            let triaged_laned = run_triaged_campaign(w.as_ref(), technique, &cfg(8));
+            let jit = run_campaign(w.as_ref(), technique, &cfg(1, ExecEngine::Jit));
+            assert_eq!(jit.counts, scalar.counts, "{label}: jit histogram diverged");
+            assert_eq!(jit.golden_instrs, scalar.golden_instrs, "{label}: jit");
+            let triaged_scalar =
+                run_triaged_campaign(w.as_ref(), technique, &cfg(1, ExecEngine::Decoded));
+            let triaged_laned =
+                run_triaged_campaign(w.as_ref(), technique, &cfg(8, ExecEngine::Decoded));
             assert_eq!(
                 triaged_laned.profile, triaged_scalar.profile,
                 "{label}: triage profile diverged under lanes"
+            );
+            let triaged_jit = run_triaged_campaign(w.as_ref(), technique, &cfg(1, ExecEngine::Jit));
+            assert_eq!(
+                triaged_jit.profile, triaged_scalar.profile,
+                "{label}: triage profile diverged under jit"
             );
         }
     }
@@ -241,19 +296,24 @@ fn lane_certified_campaigns_match_scalar() {
     for w in &workloads {
         for technique in [Technique::SwiftR, Technique::Trump, Technique::Swift] {
             let label = format!("{}/{technique}", w.name());
-            let cfg = |lanes| CertifyConfig {
+            let cfg = |lanes, engine| CertifyConfig {
                 threads: 2,
                 lanes,
+                engine,
                 ..Default::default()
             };
-            let scalar = run_certified_campaign(w.as_ref(), technique, &cfg(1));
+            let scalar =
+                run_certified_campaign(w.as_ref(), technique, &cfg(1, ExecEngine::Decoded));
             for lanes in [4, 8] {
-                let laned = run_certified_campaign(w.as_ref(), technique, &cfg(lanes));
+                let laned =
+                    run_certified_campaign(w.as_ref(), technique, &cfg(lanes, ExecEngine::Decoded));
                 assert_eq!(
                     laned, scalar,
                     "{label}: certified report diverged at {lanes} lanes"
                 );
             }
+            let jit = run_certified_campaign(w.as_ref(), technique, &cfg(1, ExecEngine::Jit));
+            assert_eq!(jit, scalar, "{label}: certified report diverged under jit");
         }
     }
 }
@@ -280,6 +340,12 @@ fn generalized_fault_models_match_across_engines_and_lanes() {
             Some(Arc::clone(&artifact.decoded)),
         );
         let legacy = Runner::new(&artifact.program, &engine_cfg(ExecEngine::Legacy, 7));
+        let jit = Runner::with_images(
+            &artifact.program,
+            &engine_cfg(ExecEngine::Jit, 7),
+            Some(Arc::clone(&artifact.decoded)),
+            artifact.jit_for(ExecEngine::Jit),
+        );
         let golden_len = legacy.golden().dyn_instrs;
         let ctx = SampleCtx::for_program(&artifact.program, golden_len);
         for model in FaultModel::ALL {
@@ -287,12 +353,16 @@ fn generalized_fault_models_match_across_engines_and_lanes() {
             let mut rng = SmallRng::seed_from_u64(0x40DE1 ^ golden_len);
             let mut d_replayer = decoded.replayer();
             let mut l_replayer = legacy.replayer();
+            let mut j_replayer = jit.replayer();
             for _ in 0..12 {
                 let fault = model.sample(&mut rng, &ctx);
                 let (d_rec, d_res) = d_replayer.run_fault_record_gen(fault);
                 let (l_rec, l_res) = l_replayer.run_fault_record_gen(fault);
+                let (j_rec, j_res) = j_replayer.run_fault_record_gen(fault);
                 assert_eq!(d_rec, l_rec, "{label}: record diverged across engines");
                 assert_eq!(d_res, l_res, "{label}: result diverged across engines");
+                assert_eq!(j_rec, l_rec, "{label}: jit record diverged across engines");
+                assert_eq!(j_res, l_res, "{label}: jit result diverged across engines");
             }
 
             let cfg = |engine, lanes| CampaignConfig {
@@ -311,6 +381,11 @@ fn generalized_fault_models_match_across_engines_and_lanes() {
                 "{label}: histogram diverged across engines"
             );
             assert_eq!(d.golden_instrs, l.golden_instrs, "{label}");
+            let j = run_campaign(&w, technique, &cfg(ExecEngine::Jit, 1));
+            assert_eq!(
+                j.counts, l.counts,
+                "{label}: jit histogram diverged across engines"
+            );
             let laned = run_campaign(&w, technique, &cfg(ExecEngine::Decoded, 8));
             assert_eq!(
                 laned.counts, d.counts,
@@ -341,16 +416,26 @@ fn decoded_checkpointed_replay_matches_legacy_from_scratch() {
         &engine_cfg(ExecEngine::Decoded, 5),
         Some(Arc::clone(&artifact.decoded)),
     );
+    let jit = Runner::with_images(
+        &artifact.program,
+        &engine_cfg(ExecEngine::Jit, 5),
+        Some(Arc::clone(&artifact.decoded)),
+        artifact.jit_for(ExecEngine::Jit),
+    );
     let legacy_scratch = Runner::new(&artifact.program, &engine_cfg(ExecEngine::Legacy, 0));
     let golden_len = legacy_scratch.golden().dyn_instrs;
     let mut rng = SmallRng::seed_from_u64(0xCAFE);
     let mut d_replayer = decoded.replayer();
+    let mut j_replayer = jit.replayer();
     let mut l_replayer = legacy_scratch.replayer();
     for _ in 0..24 {
         let f = FaultSpec::sample(&mut rng, golden_len);
         let (d_outcome, d_res) = d_replayer.run_fault(f);
+        let (j_outcome, j_res) = j_replayer.run_fault(f);
         let (l_outcome, l_res) = l_replayer.run_fault(f);
         assert_eq!(d_outcome, l_outcome, "{f}");
         assert_eq!(d_res, l_res, "{f}");
+        assert_eq!(j_outcome, l_outcome, "{f}: jit");
+        assert_eq!(j_res, l_res, "{f}: jit");
     }
 }

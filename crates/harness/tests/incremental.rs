@@ -87,12 +87,26 @@ fn incremental_equals_monolithic_cold_and_warm() {
             let label = format!("{name}/{technique}");
             let reference = certify_program(&program, name, &technique.to_string(), 2, 3);
             let store = ResultStore::in_memory();
-            let cold =
-                certify_incremental(&store, &program, None, name, &technique.to_string(), &cfg());
+            let cold = certify_incremental(
+                &store,
+                &program,
+                None,
+                None,
+                name,
+                &technique.to_string(),
+                &cfg(),
+            );
             assert_eq!(cold.coverage, reference, "{label}: cold diverged");
             assert_eq!(cold.sections_hit, 0, "{label}: cold store served hits");
-            let warm =
-                certify_incremental(&store, &program, None, name, &technique.to_string(), &cfg());
+            let warm = certify_incremental(
+                &store,
+                &program,
+                None,
+                None,
+                name,
+                &technique.to_string(),
+                &cfg(),
+            );
             assert_eq!(warm.coverage, reference, "{label}: warm diverged");
             assert_eq!(warm.fresh_injections, 0, "{label}: warm re-injected");
             assert_eq!(
@@ -119,12 +133,12 @@ fn mutating_one_workload_reexecutes_exactly_its_sections() {
         let bystander = mem_program(technique);
 
         let store = ResultStore::in_memory();
-        certify_incremental(&store, &edited_v1, None, "chain", "t", &cfg());
-        certify_incremental(&store, &bystander, None, "memsel", "t", &cfg());
+        certify_incremental(&store, &edited_v1, None, None, "chain", "t", &cfg());
+        certify_incremental(&store, &bystander, None, None, "memsel", "t", &cfg());
 
         // Re-certifying the edited program: every section is dependent
         // (its program digest changed), so none may hit...
-        let edited = certify_incremental(&store, &edited_v2, None, "chain", "t", &cfg());
+        let edited = certify_incremental(&store, &edited_v2, None, None, "chain", "t", &cfg());
         assert_eq!(edited.sections_hit, 0, "{label}: served a stale section");
         assert!(edited.fresh_injections > 0, "{label}: nothing re-executed");
         let reference = certify_program(&edited_v2, "chain", "t", 1, 0);
@@ -132,7 +146,7 @@ fn mutating_one_workload_reexecutes_exactly_its_sections() {
 
         // ...while the bystander program's sections are exactly the
         // non-dependent set: all of them still hit, zero injections.
-        let untouched = certify_incremental(&store, &bystander, None, "memsel", "t", &cfg());
+        let untouched = certify_incremental(&store, &bystander, None, None, "memsel", "t", &cfg());
         assert_eq!(
             untouched.fresh_injections, 0,
             "{label}: bystander re-executed"
@@ -142,7 +156,7 @@ fn mutating_one_workload_reexecutes_exactly_its_sections() {
         // Both versions of the edited program now coexist in the store:
         // re-certifying v1 is warm too (the store is content-addressed,
         // not latest-wins).
-        let v1_again = certify_incremental(&store, &edited_v1, None, "chain", "t", &cfg());
+        let v1_again = certify_incremental(&store, &edited_v1, None, None, "chain", "t", &cfg());
         assert_eq!(v1_again.fresh_injections, 0, "{label}: v1 evicted");
         assert_eq!(
             v1_again.coverage,
@@ -165,7 +179,7 @@ fn damaged_disk_store_recovers_with_identical_results() {
     // Prime a healthy on-disk store.
     {
         let store = ResultStore::open(&dir);
-        let cold = certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+        let cold = certify_incremental(&store, &program, None, None, "memsel", "SWIFT-R", &cfg());
         assert_eq!(cold.coverage, reference);
         assert_eq!(store.warnings(), 0);
     }
@@ -178,7 +192,7 @@ fn damaged_disk_store_recovers_with_identical_results() {
     {
         let store = ResultStore::open(&dir);
         assert!(store.warnings() > 0, "truncation must surface a warning");
-        let r = certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+        let r = certify_incremental(&store, &program, None, None, "memsel", "SWIFT-R", &cfg());
         assert_eq!(r.coverage, reference, "post-truncation report diverged");
         assert!(r.sections_hit < r.sections_total, "damage cost no section");
     }
@@ -191,7 +205,7 @@ fn damaged_disk_store_recovers_with_identical_results() {
     {
         let store = ResultStore::open(&dir);
         assert!(store.warnings() > 0, "stale version must surface a warning");
-        let r = certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+        let r = certify_incremental(&store, &program, None, None, "memsel", "SWIFT-R", &cfg());
         assert_eq!(r.coverage, reference, "post-version-bump report diverged");
         assert_eq!(r.sections_hit, 0, "discarded store cannot serve hits");
     }
@@ -200,7 +214,7 @@ fn damaged_disk_store_recovers_with_identical_results() {
     {
         let store = ResultStore::open(&dir);
         assert_eq!(store.warnings(), 0);
-        let r = certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+        let r = certify_incremental(&store, &program, None, None, "memsel", "SWIFT-R", &cfg());
         assert_eq!(r.coverage, reference);
         assert_eq!(r.fresh_injections, 0);
     }
@@ -231,7 +245,7 @@ fn pre_fault_model_store_is_detected_stale_and_recomputed_identically() {
     // case: every record would parse, but under obsolete key semantics.
     {
         let store = ResultStore::open(&dir);
-        certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+        certify_incremental(&store, &program, None, None, "memsel", "SWIFT-R", &cfg());
     }
     let path = dir.join("sections.bin");
     let mut bytes = std::fs::read(&path).unwrap();
@@ -243,7 +257,7 @@ fn pre_fault_model_store_is_detected_stale_and_recomputed_identically() {
         store.warnings() > 0,
         "a pre-fault-model store must surface a staleness warning"
     );
-    let r = certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+    let r = certify_incremental(&store, &program, None, None, "memsel", "SWIFT-R", &cfg());
     assert_eq!(r.sections_hit, 0, "stale records must never serve hits");
     assert!(r.fresh_injections > 0, "everything recomputes");
     assert_eq!(r.coverage, reference, "recompute diverged from cold");
@@ -252,7 +266,7 @@ fn pre_fault_model_store_is_detected_stale_and_recomputed_identically() {
     drop(store);
     let store = ResultStore::open(&dir);
     assert_eq!(store.warnings(), 0, "rebuilt store must be healthy");
-    let warm = certify_incremental(&store, &program, None, "memsel", "SWIFT-R", &cfg());
+    let warm = certify_incremental(&store, &program, None, None, "memsel", "SWIFT-R", &cfg());
     assert_eq!(warm.coverage, reference);
     assert_eq!(warm.fresh_injections, 0);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -311,6 +325,7 @@ fn racing_certify_jobs_share_one_store_and_hit() {
                         store,
                         &program,
                         None,
+                        None,
                         "chain",
                         &technique.to_string(),
                         &cfg(),
@@ -321,6 +336,7 @@ fn racing_certify_jobs_share_one_store_and_hit() {
                     let second = certify_incremental(
                         store,
                         &program,
+                        None,
                         None,
                         "chain",
                         &technique.to_string(),
@@ -347,6 +363,7 @@ fn racing_certify_jobs_share_one_store_and_hit() {
     let warm = certify_incremental(
         &reopened,
         &program,
+        None,
         None,
         "chain",
         &technique.to_string(),

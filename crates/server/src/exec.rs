@@ -158,6 +158,7 @@ fn exec_certify(
         lanes: spec.lanes,
         sections: spec.sections,
         fault_model: spec.fault_model,
+        engine: spec.engine,
         ..CertifyConfig::default()
     };
     let artifact = state.artifacts.get(
@@ -170,6 +171,7 @@ fn exec_certify(
         &state.results,
         &artifact.program,
         Some(Arc::clone(&artifact.decoded)),
+        artifact.jit_for(cfg.engine),
         workload.name(),
         &spec.technique.to_string(),
         &cfg,
@@ -226,6 +228,7 @@ fn exec_triage(
         threads: spec.threads,
         lanes: spec.lanes,
         fault_model: spec.fault_model,
+        engine: spec.engine,
         ..CampaignConfig::default()
     };
     let status = run_triaged_campaign_resumable(
@@ -294,6 +297,7 @@ fn exec_campaign(
         threads: spec.threads,
         lanes: spec.lanes,
         fault_model: spec.fault_model,
+        engine: spec.engine,
         ..CampaignConfig::default()
     };
     let total = (suite.len() * techniques.len()) as u64;

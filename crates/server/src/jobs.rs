@@ -12,7 +12,7 @@
 
 use crate::json::{escape, Json};
 use sor_core::Technique;
-use sor_harness::{CampaignResult, FaultModel, OutcomeCounts, RunCtrl};
+use sor_harness::{CampaignResult, ExecEngine, FaultModel, OutcomeCounts, RunCtrl};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -123,6 +123,12 @@ pub struct JobSpec {
     /// (`seu-reg`) keeps the job byte-identical to the legacy service;
     /// generalized models execute monolithically (no store reuse).
     pub fault_model: FaultModel,
+    /// Execution engine every run in the job uses. The default keeps
+    /// results byte-identical to the legacy service (engines are
+    /// bit-identical by contract, so this is purely a throughput knob);
+    /// `jit` degrades to the decoded interpreter where native
+    /// compilation is unavailable.
+    pub engine: ExecEngine,
     /// Workload name for certify/triage jobs.
     pub workload: String,
     /// `adpcmdec` sample count (other kernels run at their defaults).
@@ -166,6 +172,10 @@ impl JobSpec {
             Some(m) => FaultModel::parse(m).ok_or_else(|| format!("unknown fault_model {m:?}"))?,
             None => FaultModel::SeuReg,
         };
+        let engine = match v.get("engine").and_then(Json::as_str) {
+            Some(e) => e.parse::<ExecEngine>().map_err(|err| err.to_string())?,
+            None => ExecEngine::default(),
+        };
         let u64_field = |key: &str, default: u64| -> Result<u64, String> {
             match v.get(key) {
                 None => Ok(default),
@@ -200,6 +210,7 @@ impl JobSpec {
             kind,
             technique,
             fault_model,
+            engine,
             workload: v
                 .get("workload")
                 .and_then(Json::as_str)
@@ -317,6 +328,7 @@ impl Job {
         format!(
             "{{\"id\": {}, \"kind\": \"{}\", \"state\": \"{}\", \
              \"technique\": \"{}\", \"fault_model\": \"{}\", \
+             \"engine\": \"{}\", \
              \"workload\": \"{}\", \"samples\": {}, \
              \"wseed\": {}, \"runs\": {}, \"seed\": {}, \"sections\": {}, \
              \"threads\": {}, \"lanes\": {}, \"workloads\": [{}], \
@@ -330,6 +342,7 @@ impl Job {
             self.state.as_str(),
             s.technique,
             s.fault_model.slug(),
+            s.engine.slug(),
             escape(&s.workload),
             s.samples,
             s.wseed,
@@ -529,6 +542,7 @@ mod tests {
             kind,
             technique: Technique::TrumpSwiftR,
             fault_model: FaultModel::MemBit,
+            engine: ExecEngine::Jit,
             workload: "adpcmdec".to_string(),
             samples: 8,
             wseed: 1,
@@ -596,6 +610,7 @@ mod tests {
         assert_eq!(job.state, JobState::Paused, "interrupted running job");
         assert_eq!(job.spec.technique, Technique::TrumpSwiftR);
         assert_eq!(job.spec.fault_model, FaultModel::MemBit);
+        assert_eq!(job.spec.engine, ExecEngine::Jit, "engine round-trips");
         // pause_after is dropped on crash recovery so a resume runs to
         // completion instead of instantly re-pausing on the probe.
         assert_eq!(job.spec.pause_after, None);
@@ -618,13 +633,14 @@ mod tests {
         let ok = Json::parse(
             r#"{"kind": "triage", "technique": "trump-swift-r", "runs": 99,
                 "workloads": ["mcf"], "pause_after": 3,
-                "fault_model": "pc_corrupt"}"#,
+                "fault_model": "pc_corrupt", "engine": "jit"}"#,
         )
         .unwrap();
         let s = JobSpec::from_json(&ok).unwrap();
         assert_eq!(s.kind, JobKind::Triage);
         assert_eq!(s.technique, Technique::TrumpSwiftR);
         assert_eq!(s.fault_model, FaultModel::PcCorrupt);
+        assert_eq!(s.engine, ExecEngine::Jit);
         assert_eq!(s.runs, 99);
         assert_eq!(s.workloads, vec!["mcf".to_string()]);
         assert_eq!(s.pause_after, Some(3));
@@ -633,6 +649,7 @@ mod tests {
         let bare = JobSpec::from_json(&bare).unwrap();
         assert_eq!(bare.technique, Technique::Cfcss);
         assert_eq!(bare.fault_model, FaultModel::SeuReg, "default model");
+        assert_eq!(bare.engine, ExecEngine::default(), "default engine");
 
         for bad in [
             r#"{}"#,
@@ -641,6 +658,7 @@ mod tests {
             r#"{"kind": "certify", "samples": -3}"#,
             r#"{"kind": "campaign", "workloads": [7]}"#,
             r#"{"kind": "certify", "fault_model": "cosmic-ray"}"#,
+            r#"{"kind": "certify", "engine": "warp"}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(JobSpec::from_json(&v).is_err(), "accepted {bad}");

@@ -132,11 +132,13 @@ fn pc_corrupt_certify_job_matches_the_harness_oracle() {
     let coverage = certify_program_model(
         &artifact.program,
         Some(std::sync::Arc::clone(&artifact.decoded)),
+        None,
         "adpcmdec",
         "SWIFT-R",
         FaultModel::PcCorrupt,
         2,
         cfg.checkpoint_interval,
+        sor_harness::ExecEngine::default(),
     )
     .expect("pc-corrupt plan");
     let oracle = certified_json_model(&coverage, FaultModel::PcCorrupt);

@@ -50,6 +50,7 @@ impl Machine<'_> {
         d: &DecodedProg,
         fault: Option<FaultSpec>,
     ) -> RunResult {
+        let jit = self.jit.clone();
         let status = loop {
             if self.dyn_count >= self.fuel {
                 break RunStatus::OutOfFuel;
@@ -66,7 +67,7 @@ impl Machine<'_> {
                     }
                 }
             }
-            match self.exec_span(d, budget) {
+            match self.exec_span(d, jit.as_deref(), budget) {
                 SpanExit::Budget => continue,
                 SpanExit::Done(s) => break s,
             }
@@ -83,6 +84,7 @@ impl Machine<'_> {
         d: &DecodedProg,
         fault: Option<GenFault>,
     ) -> RunResult {
+        let jit = self.jit.clone();
         let status = loop {
             if self.dyn_count >= self.fuel {
                 break RunStatus::OutOfFuel;
@@ -124,7 +126,7 @@ impl Machine<'_> {
                     }
                 }
             }
-            match self.exec_span(d, budget) {
+            match self.exec_span(d, jit.as_deref(), budget) {
                 SpanExit::Budget => continue,
                 SpanExit::Done(s) => break s,
             }
@@ -147,7 +149,10 @@ impl Machine<'_> {
             UOp::Alu32 { dst, .. } => Some((Width::W32, *dst)),
             _ => None, // the transient latched into no ALU result
         };
-        match self.exec_span(d, 1) {
+        // Single-op span: no native dispatch (the one op would side-exit
+        // or finish immediately anyway), keeping the corrupted-result
+        // latch on the one interpreted path.
+        match self.exec_span(d, None, 1) {
             SpanExit::Budget => {
                 if let Some((w, dst)) = target {
                     let v = self.ireg(dst) ^ crate::alu::trunc(w, mask);
@@ -166,6 +171,7 @@ impl Machine<'_> {
         d: &DecodedProg,
         interval: u64,
     ) -> (RunResult, Vec<Checkpoint>) {
+        let jit = self.jit.clone();
         let mut cps = Vec::new();
         let mut next_at = 0u64;
         let status = loop {
@@ -177,7 +183,7 @@ impl Machine<'_> {
                 next_at = self.dyn_count.saturating_add(interval);
             }
             let budget = (self.fuel - self.dyn_count).min(next_at - self.dyn_count);
-            match self.exec_span(d, budget) {
+            match self.exec_span(d, jit.as_deref(), budget) {
                 SpanExit::Budget => continue,
                 SpanExit::Done(s) => break s,
             }
@@ -214,7 +220,9 @@ impl Machine<'_> {
             }
             let (reads, writes) = self.dyn_int_accesses();
             sink.record(self.dyn_count, check_pc, reads, writes);
-            match self.exec_span(d, 1) {
+            // Tracing observes every slot, so spans are single ops — the
+            // native engine would buy nothing; stay interpreted.
+            match self.exec_span(d, None, 1) {
                 SpanExit::Budget => continue,
                 SpanExit::Done(s) => break s,
             }
@@ -227,13 +235,58 @@ impl Machine<'_> {
     /// machine sits at the first instruction boundary whose dynamic count
     /// equals the observation slot — before any probe at that boundary has
     /// executed (see the module docs for why).
-    fn exec_span(&mut self, d: &DecodedProg, mut left: u64) -> SpanExit {
+    fn exec_span(
+        &mut self,
+        d: &DecodedProg,
+        jit: Option<&crate::JitProg>,
+        mut left: u64,
+    ) -> SpanExit {
         loop {
             let pc = self.pc;
             let run = d.run_len[pc] as u64;
             if run > 0 {
                 if left == 0 {
                     return SpanExit::Budget;
+                }
+                if run <= left {
+                    if let Some(j) = jit {
+                        // Native fast path: the budget covers the whole
+                        // remaining run, so no observation can fall inside
+                        // it and the compiled code may execute straight to
+                        // the run's edge. Side-exits (ops with no inline
+                        // template, segment misses) return the pc of the
+                        // first unexecuted op; that single op is
+                        // interpreted through the same `exec_straight` and
+                        // native execution resumes after it. Partial
+                        // budgets — an observation inside the run — take
+                        // the interpreted slice below, keeping every slot
+                        // boundary exactly where the decoded engine puts
+                        // it.
+                        let end = pc + run as usize;
+                        let mut cur = pc;
+                        loop {
+                            let stop = j.run_from(self, cur);
+                            let k = (stop - cur) as u64;
+                            self.dyn_count += k;
+                            left -= k;
+                            self.pc = stop;
+                            if stop == end {
+                                break;
+                            }
+                            if let Err(s) = self.exec_straight(&d.uops[stop]) {
+                                self.dyn_count += 1;
+                                return SpanExit::Done(s);
+                            }
+                            self.dyn_count += 1;
+                            left -= 1;
+                            self.pc = stop + 1;
+                            if self.pc == end {
+                                break;
+                            }
+                            cur = self.pc;
+                        }
+                        continue;
+                    }
                 }
                 // Superblock: burn through the straight-line run (or the
                 // budgeted prefix of it) with no dispatch-loop re-entry.

@@ -24,6 +24,13 @@
 //!   granularity. Selected by [`MachineConfig::engine`] (the default);
 //!   the legacy tree-matching interpreter remains as the
 //!   differential-testing oracle and the timing-model driver.
+//! * [`JitProg`] — superblocks compiled to native x86-64 by a
+//!   dependency-free template emitter ([`ExecEngine::Jit`]): a compiled
+//!   span either runs to its edge or side-exits to the interpreter, so
+//!   fault slots, probes, fuel, traces and checkpoints are serviced at
+//!   span edges exactly as the decoded engine does and every observable
+//!   stays bit-identical. Falls back to the decoded interpreter (with a
+//!   one-time warning) on targets the emitter does not cover.
 //! * [`LaneReplayer`] — lane-parallel SPMD fault batching: up to 16
 //!   injections of one decoded program execute in lockstep over
 //!   struct-of-arrays register state, sharing decode/dispatch/observation
@@ -53,6 +60,7 @@ mod checkpoint;
 mod decode;
 mod exec;
 mod fault;
+mod jit;
 mod lanes;
 mod machine;
 mod mem;
@@ -65,6 +73,7 @@ pub use cache::{Cache, CacheConfig};
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use decode::DecodedProg;
 pub use fault::{FaultEffect, FaultSpec, GenFault, INJECTABLE_REGS};
+pub use jit::{JitError, JitProg};
 pub use lanes::LaneReplayer;
 pub use machine::{ExecEngine, Machine, MachineConfig, ProbeCounts, RunResult, RunStatus};
 pub use mem::{MemError, Memory, PageSnapshot, PAGE_SIZE};

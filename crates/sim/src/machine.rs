@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 /// Which interpreter core executes the program.
 ///
-/// Both engines are pinned bit-for-bit equivalent on every observable
+/// All engines are pinned bit-for-bit equivalent on every observable
 /// (results, fault outcomes, trace events, checkpoint snapshots); the
 /// legacy path is retained as the differential-testing oracle and as the
 /// only core that drives the timing model.
@@ -29,6 +29,42 @@ pub enum ExecEngine {
     Decoded,
     /// The original tree-matching interpreter over [`sor_ir::PInst`].
     Legacy,
+    /// Superblocks compiled to native x86-64 (see [`crate::JitProg`]),
+    /// driven through the decoded engine's span loop so every observation
+    /// stays at a span edge. Falls back to [`ExecEngine::Decoded`] (with a
+    /// one-time warning) on targets the emitter does not cover.
+    Jit,
+}
+
+impl ExecEngine {
+    /// All engines, in oracle order (legacy is the reference).
+    pub const ALL: [ExecEngine; 3] = [ExecEngine::Legacy, ExecEngine::Decoded, ExecEngine::Jit];
+
+    /// The flag/JSON slug (`legacy` / `decoded` / `jit`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            ExecEngine::Decoded => "decoded",
+            ExecEngine::Legacy => "legacy",
+            ExecEngine::Jit => "jit",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+impl std::str::FromStr for ExecEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExecEngine::ALL
+            .into_iter()
+            .find(|e| e.slug() == s)
+            .ok_or_else(|| format!("unknown engine '{s}' (expected legacy, decoded or jit)"))
+    }
 }
 
 /// Machine parameters.
@@ -191,10 +227,14 @@ pub struct Machine<'p> {
     lat: crate::timing::Latencies,
     pub(crate) injected: bool,
     pub(crate) fault_pc: Option<usize>,
-    /// `Some` exactly when this machine executes on the decoded engine:
-    /// the config selected [`ExecEngine::Decoded`] and the timing model is
-    /// off.
+    /// `Some` exactly when this machine executes on the decoded span loop:
+    /// the config selected [`ExecEngine::Decoded`] or [`ExecEngine::Jit`]
+    /// and the timing model is off.
     pub(crate) decoded: Option<Arc<DecodedProg>>,
+    /// `Some` when the config selected [`ExecEngine::Jit`] and native
+    /// compilation succeeded; the decoded span loop then dispatches full
+    /// in-budget runs to native code and interprets everything else.
+    pub(crate) jit: Option<Arc<crate::JitProg>>,
 }
 
 pub(crate) const SP_IDX: usize = 1;
@@ -210,13 +250,21 @@ impl<'p> Machine<'p> {
     /// [`Machine::with_decoded`] instead of paying the translation per
     /// machine.
     pub fn new(prog: &'p Program, cfg: &MachineConfig) -> Self {
-        let decoded = (cfg.engine == ExecEngine::Decoded && cfg.timing.is_none())
-            .then(|| Arc::new(DecodedProg::new(prog)));
-        Self::build(prog, cfg, decoded)
+        let wants_spans = matches!(cfg.engine, ExecEngine::Decoded | ExecEngine::Jit);
+        let decoded =
+            (wants_spans && cfg.timing.is_none()).then(|| Arc::new(DecodedProg::new(prog)));
+        let jit = match (&decoded, cfg.engine) {
+            (Some(d), ExecEngine::Jit) => crate::JitProg::try_compile(d, prog),
+            _ => None,
+        };
+        Self::build(prog, cfg, decoded, jit)
     }
 
     /// Prepares a machine to run `prog` on the decoded engine, sharing a
-    /// predecoded image instead of re-translating.
+    /// predecoded image instead of re-translating. When the config selects
+    /// [`ExecEngine::Jit`] the native image is compiled here (falling back
+    /// to the interpreter on failure); use [`Machine::with_images`] to
+    /// share a compiled image across machines.
     ///
     /// # Panics
     ///
@@ -224,6 +272,26 @@ impl<'p> Machine<'p> {
     /// or if the config enables the timing model, which the decoded engine
     /// does not drive.
     pub fn with_decoded(prog: &'p Program, cfg: &MachineConfig, decoded: Arc<DecodedProg>) -> Self {
+        let jit = (cfg.engine == ExecEngine::Jit)
+            .then(|| crate::JitProg::try_compile(&decoded, prog))
+            .flatten();
+        Self::with_images(prog, cfg, decoded, jit)
+    }
+
+    /// Prepares a machine sharing both a predecoded image and (optionally)
+    /// a compiled native image — the campaign-worker path, where both are
+    /// memoized per program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either image was not produced from `prog`, or if the
+    /// config enables the timing model (span engines are functional-only).
+    pub fn with_images(
+        prog: &'p Program,
+        cfg: &MachineConfig,
+        decoded: Arc<DecodedProg>,
+        jit: Option<Arc<crate::JitProg>>,
+    ) -> Self {
         assert_eq!(
             decoded.len(),
             prog.insts.len(),
@@ -234,10 +302,22 @@ impl<'p> Machine<'p> {
             cfg.timing.is_none(),
             "the decoded engine is functional-only"
         );
-        Self::build(prog, cfg, Some(decoded))
+        if let Some(j) = &jit {
+            assert!(
+                j.matches(&decoded, prog),
+                "jit image does not match program '{}'",
+                prog.name
+            );
+        }
+        Self::build(prog, cfg, Some(decoded), jit)
     }
 
-    fn build(prog: &'p Program, cfg: &MachineConfig, decoded: Option<Arc<DecodedProg>>) -> Self {
+    fn build(
+        prog: &'p Program,
+        cfg: &MachineConfig,
+        decoded: Option<Arc<DecodedProg>>,
+        jit: Option<Arc<crate::JitProg>>,
+    ) -> Self {
         let init: Vec<(u64, &[u8])> = prog
             .globals
             .iter()
@@ -266,6 +346,7 @@ impl<'p> Machine<'p> {
             injected: false,
             fault_pc: None,
             decoded,
+            jit,
         }
     }
 

@@ -116,6 +116,25 @@ impl Memory {
         (self.global.len() + self.stack.len()) / PAGE_SIZE as usize
     }
 
+    /// Length in bytes of the (page-rounded) global segment.
+    pub(crate) fn global_len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Raw segment pointers for the JIT: (global base, stack base, dirty
+    /// bitmap or null when page tracking is off). The bitmap covers
+    /// global pages then stack pages, one bit per page, exactly the
+    /// layout [`Memory::mark_dirty`] maintains.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    pub(crate) fn raw_parts(&mut self) -> (*mut u8, *mut u8, *mut u64) {
+        let dirty = if self.tracking {
+            self.dirty.as_mut_ptr()
+        } else {
+            std::ptr::null_mut()
+        };
+        (self.global.as_mut_ptr(), self.stack.as_mut_ptr(), dirty)
+    }
+
     /// Starts dirty-page tracking from the current (assumed pristine,
     /// post-init) contents. Idempotent.
     pub fn enable_page_tracking(&mut self) {

@@ -98,10 +98,15 @@ pub struct Runner<'p> {
     cfg: MachineConfig,
     pub(crate) golden: RunResult,
     pub(crate) ckpts: CheckpointStore,
-    /// Shared predecoded image, `Some` iff the config selected the decoded
-    /// engine: translated once here (or supplied by the caller) and shared
-    /// by every machine this runner creates.
+    /// Shared predecoded image, `Some` iff the config selected a
+    /// span-based engine (decoded or jit): translated once here (or
+    /// supplied by the caller) and shared by every machine this runner
+    /// creates.
     decoded: Option<Arc<DecodedProg>>,
+    /// Shared native image, `Some` iff the config selected the jit engine
+    /// and compilation succeeded (otherwise machines degrade to the
+    /// decoded interpreter).
+    jit: Option<Arc<crate::JitProg>>,
 }
 
 impl<'p> Runner<'p> {
@@ -133,12 +138,39 @@ impl<'p> Runner<'p> {
         cfg: &MachineConfig,
         decoded: Option<Arc<DecodedProg>>,
     ) -> Self {
-        let decoded = (cfg.engine == ExecEngine::Decoded)
-            .then(|| decoded.unwrap_or_else(|| Arc::new(DecodedProg::new(prog))));
-        // The golden pass honours the caller's timing config; the decoded
-        // engine is functional-only, so timing goldens run legacy.
+        Self::with_images(prog, cfg, decoded, None)
+    }
+
+    /// Like [`Runner::with_decoded`], but additionally reuses an
+    /// already-compiled native image under [`ExecEngine::Jit`] (the
+    /// harness artifact store memoizes one per lowered program). `jit` is
+    /// ignored under the other engines; `None` under the jit engine
+    /// compiles here, degrading to the decoded interpreter (with a
+    /// one-time warning) when native compilation is unavailable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a supplied image was not produced from `prog`, or if the
+    /// golden run does not complete (see [`Runner::new`]).
+    pub fn with_images(
+        prog: &'p sor_ir::Program,
+        cfg: &MachineConfig,
+        decoded: Option<Arc<DecodedProg>>,
+        jit: Option<Arc<crate::JitProg>>,
+    ) -> Self {
+        let wants_spans = matches!(cfg.engine, ExecEngine::Decoded | ExecEngine::Jit);
+        let decoded =
+            wants_spans.then(|| decoded.unwrap_or_else(|| Arc::new(DecodedProg::new(prog))));
+        let jit = match (&decoded, cfg.engine) {
+            (Some(d), ExecEngine::Jit) => jit.or_else(|| crate::JitProg::try_compile(d, prog)),
+            _ => None,
+        };
+        // The golden pass honours the caller's timing config; the span
+        // engines are functional-only, so timing goldens run legacy.
         let golden_machine = match &decoded {
-            Some(d) if cfg.timing.is_none() => Machine::with_decoded(prog, cfg, Arc::clone(d)),
+            Some(d) if cfg.timing.is_none() => {
+                Machine::with_images(prog, cfg, Arc::clone(d), jit.clone())
+            }
             _ => Machine::new(prog, cfg),
         };
         let golden = golden_machine.run(None);
@@ -165,7 +197,7 @@ impl<'p> Runner<'p> {
         // functional golden run.
         let ckpts = if interval > 0 {
             let mut m = match &decoded {
-                Some(d) => Machine::with_decoded(prog, &fault_cfg, Arc::clone(d)),
+                Some(d) => Machine::with_images(prog, &fault_cfg, Arc::clone(d), jit.clone()),
                 None => Machine::new(prog, &fault_cfg),
             };
             m.enable_reuse();
@@ -185,20 +217,27 @@ impl<'p> Runner<'p> {
             golden,
             ckpts,
             decoded,
+            jit,
         }
     }
 
-    /// The shared predecoded image, `Some` iff the decoded engine is
-    /// selected.
+    /// The shared predecoded image, `Some` iff a span engine (decoded or
+    /// jit) is selected.
     pub fn decoded(&self) -> Option<&Arc<DecodedProg>> {
         self.decoded.as_ref()
     }
 
+    /// The shared native image, `Some` iff the jit engine is selected and
+    /// compilation succeeded.
+    pub fn jit(&self) -> Option<&Arc<crate::JitProg>> {
+        self.jit.as_ref()
+    }
+
     /// Creates a machine wired to this runner's fault config and shared
-    /// predecoded image (when the decoded engine is selected).
+    /// images (when a span engine is selected).
     pub(crate) fn fault_machine(&self) -> Machine<'p> {
         match &self.decoded {
-            Some(d) => Machine::with_decoded(self.prog, &self.cfg, Arc::clone(d)),
+            Some(d) => Machine::with_images(self.prog, &self.cfg, Arc::clone(d), self.jit.clone()),
             None => Machine::new(self.prog, &self.cfg),
         }
     }
@@ -534,7 +573,7 @@ mod tests {
     /// probes and `fault_pc`, on both engines.
     #[test]
     fn gen_reg_xor_single_bit_is_the_legacy_seu_exactly() {
-        for engine in [ExecEngine::Decoded, ExecEngine::Legacy] {
+        for engine in ExecEngine::ALL {
             let prog = looping_program();
             let cfg = MachineConfig {
                 engine,
@@ -570,6 +609,13 @@ mod tests {
             },
         );
         let decoded = Runner::new(&prog, &MachineConfig::default());
+        let jit = Runner::new(
+            &prog,
+            &MachineConfig {
+                engine: ExecEngine::Jit,
+                ..MachineConfig::default()
+            },
+        );
         let golden_len = legacy.golden().dyn_instrs;
         let g0 = prog.globals.first().map(|g| g.addr).unwrap_or(0);
         let effects = [
@@ -593,15 +639,104 @@ mod tests {
         ];
         let mut rl = legacy.replayer();
         let mut rd = decoded.replayer();
+        let mut rj = jit.replayer();
         for at in 0..golden_len {
             for effect in effects {
                 let f = GenFault::new(at, effect);
                 let (o_l, r_l) = rl.run_fault_gen(f);
                 let (o_d, r_d) = rd.run_fault_gen(f);
+                let (o_j, r_j) = rj.run_fault_gen(f);
                 assert_eq!(o_l, o_d, "{f}: outcome diverged across engines");
                 assert_eq!(r_l, r_d, "{f}: result diverged across engines");
+                assert_eq!(o_l, o_j, "{f}: jit outcome diverged");
+                assert_eq!(r_l, r_j, "{f}: jit result diverged");
             }
         }
+    }
+
+    /// The jit engine is pinned bit-identical to the decoded and legacy
+    /// engines on golden runs and an exhaustive single-bit fault sweep
+    /// over every dynamic slot (replayed through checkpoints as usual).
+    #[test]
+    fn jit_fault_sweep_matches_decoded_and_legacy() {
+        for prog in [program(), looping_program()] {
+            let mk = |engine| {
+                Runner::new(
+                    &prog,
+                    &MachineConfig {
+                        engine,
+                        ..MachineConfig::default()
+                    },
+                )
+            };
+            let legacy = mk(ExecEngine::Legacy);
+            let decoded = mk(ExecEngine::Decoded);
+            let jit = mk(ExecEngine::Jit);
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            assert!(
+                jit.jit().is_some(),
+                "native compilation must succeed on x86-64 linux"
+            );
+            assert_eq!(legacy.golden().output, jit.golden().output);
+            assert_eq!(legacy.golden().dyn_instrs, jit.golden().dyn_instrs);
+            let golden_len = legacy.golden().dyn_instrs;
+            let mut rl = legacy.replayer();
+            let mut rd = decoded.replayer();
+            let mut rj = jit.replayer();
+            for reg in FaultSpec::injectable_regs() {
+                for at in 0..golden_len {
+                    for bit in [0u8, 17, 40, 63] {
+                        let f = FaultSpec::new(at, reg, bit);
+                        let (o_l, r_l) = rl.run_fault(f);
+                        let (o_d, r_d) = rd.run_fault(f);
+                        let (o_j, r_j) = rj.run_fault(f);
+                        assert_eq!(o_l, o_j, "{f}: jit outcome diverged from legacy");
+                        assert_eq!(r_l, r_j, "{f}: jit result diverged from legacy");
+                        assert_eq!(o_d, o_j, "{f}: jit outcome diverged from decoded");
+                        assert_eq!(r_d, r_j, "{f}: jit result diverged from decoded");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Under the jit config with no native image supplied (compilation
+    /// unavailable), machines degrade to the decoded interpreter with
+    /// identical results — the graceful-degradation contract.
+    #[test]
+    fn jit_config_without_native_image_falls_back_to_decoded() {
+        let prog = looping_program();
+        let cfg = MachineConfig {
+            engine: ExecEngine::Jit,
+            ..MachineConfig::default()
+        };
+        let d = Arc::new(DecodedProg::new(&prog));
+        let reference = Machine::new(&prog, &MachineConfig::default()).run(None);
+        let fallback = Machine::with_images(&prog, &cfg, d, None).run(None);
+        assert_eq!(reference, fallback);
+    }
+
+    /// Off-native the emitter reports `Unsupported` and runners under the
+    /// jit config degrade (with a one-time warning) to the decoded
+    /// interpreter, still completing bit-identically.
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    #[test]
+    fn jit_unavailable_off_native_degrades_to_decoded() {
+        let prog = program();
+        let d = DecodedProg::new(&prog);
+        assert!(matches!(
+            crate::JitProg::compile(&d, &prog),
+            Err(crate::JitError::Unsupported)
+        ));
+        let r = Runner::new(
+            &prog,
+            &MachineConfig {
+                engine: ExecEngine::Jit,
+                ..MachineConfig::default()
+            },
+        );
+        assert!(r.jit().is_none());
+        assert_eq!(r.golden().output, vec![6]);
     }
 
     /// PC corruption that lands outside the program image is a SEGV (wild
@@ -609,7 +744,7 @@ mod tests {
     #[test]
     fn gen_pc_xor_outside_the_image_is_a_segv() {
         let prog = program();
-        for engine in [ExecEngine::Decoded, ExecEngine::Legacy] {
+        for engine in ExecEngine::ALL {
             let cfg = MachineConfig {
                 engine,
                 ..MachineConfig::default()
